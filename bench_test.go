@@ -1,0 +1,344 @@
+package ncq
+
+// The benchmark suite regenerates the paper's evaluation (one bench per
+// figure plus the Section 5 scaling claim) and adds ablations for the
+// design choices DESIGN.md calls out. cmd/ncqbench prints the same
+// series as TSV tables; EXPERIMENTS.md records the measured shapes.
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+
+	"ncq/internal/bat"
+	"ncq/internal/core"
+	"ncq/internal/datagen"
+	"ncq/internal/experiments"
+	"ncq/internal/fulltext"
+	"ncq/internal/monetx"
+	"ncq/internal/query"
+)
+
+var (
+	mmOnce  sync.Once
+	mmSetup *experiments.Setup
+
+	bibOnce  sync.Once
+	bibSetup *experiments.Setup
+)
+
+// multimedia returns the Figure 6 workload (~70k nodes), built once.
+func multimedia(b *testing.B) *experiments.Setup {
+	b.Helper()
+	mmOnce.Do(func() {
+		s, err := experiments.LoadMultimedia(datagen.DefaultMultimediaConfig())
+		if err != nil {
+			panic(err)
+		}
+		mmSetup = s
+	})
+	return mmSetup
+}
+
+// dblp returns the Figure 7 workload (~90k nodes), built once.
+func dblp(b *testing.B) *experiments.Setup {
+	b.Helper()
+	bibOnce.Do(func() {
+		s, err := experiments.LoadDBLP(datagen.DefaultDBLPConfig())
+		if err != nil {
+			panic(err)
+		}
+		bibSetup = s
+	})
+	return bibSetup
+}
+
+// BenchmarkFig6FulltextOnly is the flat series of Figure 6: the
+// full-text search whose cost dominates the combined query.
+func BenchmarkFig6FulltextOnly(b *testing.B) {
+	setup := multimedia(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		setup.Index.Search("landscape")
+	}
+}
+
+// BenchmarkFig6MeetByDistance is the rising series of Figure 6: the
+// pairwise meet at controlled distances 0..20. The per-op time should
+// grow linearly with the distance and stay orders of magnitude below
+// the full-text search.
+func BenchmarkFig6MeetByDistance(b *testing.B) {
+	setup := multimedia(b)
+	for d := 0; d <= 20; d += 4 {
+		termA, termB := datagen.ProbeTerms(d)
+		hitsA := setup.Index.Search(termA)
+		hitsB := setup.Index.Search(termB)
+		if len(hitsA) != 1 || len(hitsB) != 1 {
+			b.Fatalf("probe %d: %d/%d hits", d, len(hitsA), len(hitsB))
+		}
+		o1, o2 := hitsA[0].Owner, hitsB[0].Owner
+		b.Run(fmt.Sprintf("distance=%d", d), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := core.Meet2(setup.Store, o1, o2); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig7CaseStudy is Figure 7: the meet of the "ICDE" hits with
+// all year hits of a widening interval, root excluded. Time per
+// operation should grow roughly linearly as the interval (and with it
+// the output cardinality) grows.
+func BenchmarkFig7CaseStudy(b *testing.B) {
+	setup := dblp(b)
+	for _, low := range []int{1999, 1996, 1992, 1988, 1984} {
+		hits := setup.Index.SearchSubstring("ICDE")
+		for y := low; y <= 1999; y++ {
+			hits = append(hits, setup.Index.SearchSubstring(fmt.Sprintf("%d", y))...)
+		}
+		groups := setup.Index.Groups(hits)
+		opt := core.ExcludeRoot(setup.Store)
+		var out int
+		b.Run(fmt.Sprintf("yearLow=%d", low), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				results, _, err := core.Meet(setup.Store, groups, opt)
+				if err != nil {
+					b.Fatal(err)
+				}
+				out = len(results)
+			}
+			b.ReportMetric(float64(out), "results")
+		})
+	}
+}
+
+// BenchmarkMeetInputScaling isolates the Section 5 claim: meet cost is
+// linear in the input cardinality.
+func BenchmarkMeetInputScaling(b *testing.B) {
+	setup := dblp(b)
+	var yearHits []fulltext.Hit
+	for y := 1984; y <= 1999; y++ {
+		yearHits = append(yearHits, setup.Index.SearchSubstring(fmt.Sprintf("%d", y))...)
+	}
+	opt := core.ExcludeRoot(setup.Store)
+	for _, frac := range []int{1, 2, 4, 8} {
+		n := len(yearHits) / frac
+		groups := setup.Index.Groups(yearHits[:n])
+		b.Run(fmt.Sprintf("inputs=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := core.Meet(setup.Store, groups, opt); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationParent compares the two execution styles of the
+// set-oriented meet: per-OID parent arrays (this reproduction's fast
+// path) versus pure BAT joins (the paper's in-Monet execution).
+func BenchmarkAblationParent(b *testing.B) {
+	setup := dblp(b)
+	groups := setup.Index.Groups(setup.Index.SearchSubstring("ICDE"))
+	var icde []bat.OID
+	for _, g := range groups {
+		if len(g) > len(icde) {
+			icde = g
+		}
+	}
+	groups = setup.Index.Groups(setup.Index.SearchSubstring("1999"))
+	var year []bat.OID
+	for _, g := range groups {
+		if len(g) > len(year) {
+			year = g
+		}
+	}
+	b.Run("parent-array", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := core.MeetSets(setup.Store, icde, year, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("parent-bat-join", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := core.MeetSetsBAT(setup.Store, icde, year, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkAblationSteering measures the value of the paper's
+// path-prefix steering in meet_2 against an ancestor-set baseline that
+// has no path information (Figure 3's motivation).
+func BenchmarkAblationSteering(b *testing.B) {
+	setup := multimedia(b)
+	termA, termB := datagen.ProbeTerms(6)
+	o1 := setup.Index.Search(termA)[0].Owner
+	o2 := setup.Index.Search(termB)[0].Owner
+	b.Run("prefix-steered", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := core.Meet2(setup.Store, o1, o2); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("ancestor-set", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			core.Meet2AncestorSetForBench(setup.Store, o1, o2)
+		}
+	})
+}
+
+// BenchmarkBulkLoad measures the Monet transform itself (the paper
+// reports bulk-load characteristics in its companion paper [19]).
+func BenchmarkBulkLoad(b *testing.B) {
+	doc := datagen.DBLP(datagen.DBLPConfig{Seed: 1, YearFrom: 1995, YearTo: 1999, PubsPerVenueYear: 20})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := monetx.Load(doc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkIndexBuild measures inverted-index construction.
+func BenchmarkIndexBuild(b *testing.B) {
+	doc := datagen.DBLP(datagen.DBLPConfig{Seed: 1, YearFrom: 1995, YearTo: 1999, PubsPerVenueYear: 20})
+	store, err := monetx.Load(doc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fulltext.New(store)
+	}
+}
+
+// BenchmarkBATJoin measures the core relational primitive.
+func BenchmarkBATJoin(b *testing.B) {
+	setup := dblp(b)
+	// Join every record's year edge with the record edge relation.
+	sum := setup.Store.Summary()
+	recPath, ok := sum.Lookup([]string{"dblp", "inproceedings"})
+	if !ok {
+		b.Fatal("no record path")
+	}
+	yearPath, ok := sum.Lookup([]string{"dblp", "inproceedings", "year"})
+	if !ok {
+		b.Fatal("no year path")
+	}
+	years := setup.Store.ParentBAT(yearPath) // year -> record
+	recs := setup.Store.ParentBAT(recPath)   // record -> root
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bat.Join(years, recs)
+	}
+}
+
+// BenchmarkQueryEndToEnd runs the full pipeline: parse, bind, filter,
+// meet, format.
+func BenchmarkQueryEndToEnd(b *testing.B) {
+	setup := dblp(b)
+	engine := query.NewEngine(setup.Store, setup.Index)
+	const q = `SELECT meet(e1, e2; EXCLUDE /dblp)
+		FROM //booktitle/cdata AS e1, //year/cdata AS e2
+		WHERE e1 CONTAINS 'ICDE' AND e2 CONTAINS '1999'`
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ans, err := engine.Query(q)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(ans.Rows) == 0 {
+			b.Fatal("no results")
+		}
+	}
+}
+
+// BenchmarkSnapshotSave measures persisting the store.
+func BenchmarkSnapshotSave(b *testing.B) {
+	setup := dblp(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var sink countingWriter
+		if err := setup.Store.WriteSnapshot(&sink); err != nil {
+			b.Fatal(err)
+		}
+		b.SetBytes(int64(sink))
+	}
+}
+
+// BenchmarkSnapshotLoad measures reopening from a snapshot — the fast
+// path that skips XML parsing and shredding.
+func BenchmarkSnapshotLoad(b *testing.B) {
+	setup := dblp(b)
+	var buf bytes.Buffer
+	if err := setup.Store.WriteSnapshot(&buf); err != nil {
+		b.Fatal(err)
+	}
+	raw := buf.Bytes()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := monetx.ReadSnapshot(bytes.NewReader(raw)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+type countingWriter int
+
+func (w *countingWriter) Write(p []byte) (int, error) {
+	*w += countingWriter(len(p))
+	return len(p), nil
+}
+
+// BenchmarkExplosionBaseline contrasts the minimal set-oriented meet
+// with the naive all-pairs baseline on one Figure 7 work unit.
+func BenchmarkExplosionBaseline(b *testing.B) {
+	setup := dblp(b)
+	groups := setup.Index.Groups(setup.Index.SearchSubstring("ICDE"))
+	var icde []bat.OID
+	for _, g := range groups {
+		if len(g) > len(icde) {
+			icde = g
+		}
+	}
+	groups = setup.Index.Groups(setup.Index.SearchSubstring("1999"))
+	var year []bat.OID
+	for _, g := range groups {
+		if len(g) > len(year) {
+			year = g
+		}
+	}
+	b.Run("minimal", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := core.MeetSets(setup.Store, icde, year, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("all-pairs", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := core.MeetPairsBaseline(setup.Store, icde, year); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkQueryParseOnly isolates the query compiler.
+func BenchmarkQueryParseOnly(b *testing.B) {
+	const q = `SELECT meet(e1, e2; EXCLUDE /dblp, WITHIN 6)
+		FROM //booktitle/cdata AS e1, //year/cdata AS e2
+		WHERE e1 CONTAINS 'ICDE' AND e2 CONTAINS '1999'`
+	for i := 0; i < b.N; i++ {
+		if _, err := query.Parse(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,297 @@
+// Command ncq runs nearest concept queries against an XML file from
+// the command line.
+//
+// Usage:
+//
+//	ncq -f doc.xml stats
+//	ncq -f doc.xml paths                    # the storage catalogue
+//	ncq -f doc.xml transform 4              # Figure-2 style dump
+//	ncq -f doc.xml search Bit 1999          # full-text hits per term
+//	ncq -f doc.xml meet Bit 1999            # nearest concepts of the terms
+//	ncq -f doc.xml query "SELECT meet(e1, e2) FROM //cdata AS e1, //cdata AS e2 WHERE e1 CONTAINS 'Bit' AND e2 CONTAINS '1999'"
+//	ncq -f doc.xml repl                     # interactive session
+//
+//	ncq -f doc.xml -save-snapshot doc.snap stats   # persist the store
+//	ncq -snap doc.snap meet Bit 1999               # reload without parsing
+//
+// meet accepts the options -exclude-root, -within and -show to control
+// the operator and result rendering.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"ncq"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
+}
+
+// run is the testable entry point: it parses argv, loads the database
+// and dispatches the command, writing results to stdout and diagnostics
+// to stderr. The return value is the process exit code.
+func run(argv []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("ncq", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		file        = fs.String("f", "", "XML input file")
+		snap        = fs.String("snap", "", "snapshot input file (alternative to -f)")
+		saveSnap    = fs.String("save-snapshot", "", "write a snapshot of the loaded store to this file")
+		excludeRoot = fs.Bool("exclude-root", true, "meet: discard matches at the document root")
+		within      = fs.Int("within", 0, "meet: maximum witness distance (0 = unbounded)")
+		show        = fs.Bool("show", false, "meet: print the matched subtrees")
+	)
+	if err := fs.Parse(argv); err != nil {
+		return 2
+	}
+	args := fs.Args()
+	if (*file == "") == (*snap == "") || len(args) == 0 {
+		fmt.Fprintln(stderr,
+			"usage: ncq {-f doc.xml | -snap doc.snap} {stats | paths | transform [N] | search TERM... | meet TERM... | query SQL | repl}")
+		return 2
+	}
+
+	db, err := load(*file, *snap)
+	if err != nil {
+		fmt.Fprintf(stderr, "ncq: %v\n", err)
+		return 1
+	}
+	if *saveSnap != "" {
+		if err := writeSnapshot(db, *saveSnap); err != nil {
+			fmt.Fprintf(stderr, "ncq: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(stderr, "ncq: snapshot written to %s\n", *saveSnap)
+	}
+
+	cmd, rest := args[0], args[1:]
+	if err := dispatch(db, cmd, rest, meetFlags{*excludeRoot, *within, *show}, stdin, stdout); err != nil {
+		fmt.Fprintf(stderr, "ncq: %v\n", err)
+		return 1
+	}
+	return 0
+}
+
+func load(file, snap string) (*ncq.Database, error) {
+	if file != "" {
+		f, err := os.Open(file)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return ncq.Open(f)
+	}
+	f, err := os.Open(snap)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ncq.OpenSnapshot(f)
+}
+
+func writeSnapshot(db *ncq.Database, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := db.SaveSnapshot(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+type meetFlags struct {
+	excludeRoot bool
+	within      int
+	show        bool
+}
+
+func (mf meetFlags) options() *ncq.Options {
+	opt := &ncq.Options{}
+	if mf.excludeRoot {
+		opt.ExcludeRoot()
+	}
+	if mf.within > 0 {
+		opt.Within(mf.within)
+	}
+	return opt
+}
+
+func dispatch(db *ncq.Database, cmd string, rest []string, mf meetFlags, stdin io.Reader, stdout io.Writer) error {
+	switch cmd {
+	case "stats":
+		st := db.Stats()
+		fmt.Fprintf(stdout, "nodes         %d\n", st.Nodes)
+		fmt.Fprintf(stdout, "paths         %d\n", st.Paths)
+		fmt.Fprintf(stdout, "associations  %d\n", st.Associations)
+		fmt.Fprintf(stdout, "column bytes  %d\n", st.MemBytes)
+		fmt.Fprintf(stdout, "index terms   %d\n", st.Terms)
+		return nil
+	case "paths":
+		for _, pi := range db.Paths() {
+			kind := "elem"
+			if pi.Attr {
+				kind = "attr"
+			}
+			fmt.Fprintf(stdout, "%-6s %8d  %s\n", kind, pi.Count, pi.Path)
+		}
+		return nil
+	case "transform":
+		limit := 4
+		if len(rest) == 1 {
+			fmt.Sscanf(rest[0], "%d", &limit)
+		}
+		return db.DumpTransform(stdout, limit)
+	case "search":
+		if len(rest) == 0 {
+			return fmt.Errorf("search needs at least one term")
+		}
+		for _, term := range rest {
+			hits := db.SearchSubstring(term)
+			fmt.Fprintf(stdout, "%q: %d hit(s)\n", term, len(hits))
+			for _, h := range hits {
+				fmt.Fprintf(stdout, "  node %-6d %-55s %q\n", h.Node, h.Path, h.Value)
+			}
+		}
+		return nil
+	case "meet":
+		if len(rest) < 1 {
+			return fmt.Errorf("meet needs at least one term")
+		}
+		meets, unmatched, err := db.MeetOfTerms(mf.options(), rest...)
+		if err != nil {
+			return err
+		}
+		ncq.RankMeets(meets)
+		fmt.Fprintf(stdout, "%d nearest concept(s), %d unmatched input(s)\n", len(meets), len(unmatched))
+		for _, m := range meets {
+			fmt.Fprintf(stdout, "  <%s> node %d  distance %d  witnesses %v  (%s)\n",
+				m.Tag, m.Node, m.Distance, m.Witnesses, m.Path)
+			if mf.show {
+				if xml, err := db.Subtree(m.Node); err == nil {
+					fmt.Fprintf(stdout, "    %s\n", xml)
+				}
+			}
+		}
+		return nil
+	case "query":
+		if len(rest) != 1 {
+			return fmt.Errorf("query needs exactly one SQL argument")
+		}
+		ans, err := db.Query(rest[0])
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(stdout, ans.XML())
+		return nil
+	case "repl":
+		repl(db, mf, stdin, stdout)
+		return nil
+	default:
+		return fmt.Errorf("unknown command %q", cmd)
+	}
+}
+
+// repl reads commands from stdin: `search …`, `meet …`, `show N`,
+// `explain N` (after a meet), bare SELECT queries, and `quit`.
+func repl(db *ncq.Database, mf meetFlags, stdin io.Reader, stdout io.Writer) {
+	sc := bufio.NewScanner(stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var lastMeets []ncq.Meet
+	fmt.Fprintln(stdout, "ncq interactive session — try: meet Bit 1999   (quit to exit)")
+	for {
+		fmt.Fprint(stdout, "ncq> ")
+		if !sc.Scan() {
+			fmt.Fprintln(stdout)
+			return
+		}
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch strings.ToLower(fields[0]) {
+		case "quit", "exit":
+			return
+		case "stats":
+			st := db.Stats()
+			fmt.Fprintf(stdout, "nodes %d, paths %d, associations %d, terms %d\n",
+				st.Nodes, st.Paths, st.Associations, st.Terms)
+		case "search":
+			for _, term := range fields[1:] {
+				hits := db.SearchSubstring(term)
+				fmt.Fprintf(stdout, "%q: %d hit(s)\n", term, len(hits))
+				for i, h := range hits {
+					if i >= 10 {
+						fmt.Fprintln(stdout, "  …")
+						break
+					}
+					fmt.Fprintf(stdout, "  node %-6d %q\n", h.Node, h.Value)
+				}
+			}
+		case "meet":
+			if len(fields) < 2 {
+				fmt.Fprintln(stdout, "meet needs at least one term")
+				continue
+			}
+			meets, unmatched, err := db.MeetOfTerms(mf.options(), fields[1:]...)
+			if err != nil {
+				fmt.Fprintln(stdout, "error:", err)
+				continue
+			}
+			ncq.RankMeets(meets)
+			lastMeets = meets
+			fmt.Fprintf(stdout, "%d concept(s), %d unmatched\n", len(meets), len(unmatched))
+			for i, m := range meets {
+				if i >= 10 {
+					fmt.Fprintln(stdout, "  …")
+					break
+				}
+				fmt.Fprintf(stdout, "  [%d] <%s> node %d distance %d\n", i, m.Tag, m.Node, m.Distance)
+			}
+		case "show", "explain":
+			if len(fields) != 2 {
+				fmt.Fprintln(stdout, "usage: show N | explain N  (after a meet)")
+				continue
+			}
+			var idx int
+			if _, err := fmt.Sscanf(fields[1], "%d", &idx); err != nil || idx < 0 || idx >= len(lastMeets) {
+				fmt.Fprintln(stdout, "no such result; run meet first")
+				continue
+			}
+			if strings.EqualFold(fields[0], "show") {
+				xml, err := db.Subtree(lastMeets[idx].Node)
+				if err != nil {
+					fmt.Fprintln(stdout, "error:", err)
+					continue
+				}
+				fmt.Fprintln(stdout, xml)
+				continue
+			}
+			text, err := db.Explain(lastMeets[idx])
+			if err != nil {
+				fmt.Fprintln(stdout, "error:", err)
+				continue
+			}
+			fmt.Fprint(stdout, text)
+		default:
+			if strings.EqualFold(fields[0], "select") {
+				ans, err := db.Query(line)
+				if err != nil {
+					fmt.Fprintln(stdout, "error:", err)
+					continue
+				}
+				fmt.Fprintln(stdout, ans.XML())
+				continue
+			}
+			fmt.Fprintln(stdout, "commands: stats, search T…, meet T…, show N, explain N, SELECT …, quit")
+		}
+	}
+}

@@ -1,0 +1,196 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const fig1XML = `<bibliography><institute>
+<article key="BB99"><author><firstname>Ben</firstname><lastname>Bit</lastname></author>
+<title>How to Hack</title><year>1999</year></article>
+<article key="BK99"><author>Bob Byte</author><title>Hacking &amp; RSI</title><year>1999</year></article>
+</institute></bibliography>`
+
+// writeFixture writes the Fig. 1 document to a temp file.
+func writeFixture(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "fig1.xml")
+	if err := os.WriteFile(path, []byte(fig1XML), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// exec runs the CLI and returns (exit code, stdout, stderr).
+func exec(t *testing.T, stdin string, argv ...string) (int, string, string) {
+	t.Helper()
+	var out, errOut bytes.Buffer
+	code := run(argv, strings.NewReader(stdin), &out, &errOut)
+	return code, out.String(), errOut.String()
+}
+
+func TestCLIUsageErrors(t *testing.T) {
+	cases := [][]string{
+		nil,                           // no args at all
+		{"stats"},                     // no input file
+		{"-f", "x.xml", "-snap", "y"}, // both inputs
+		{"-f", "x.xml"},               // no command
+	}
+	for _, argv := range cases {
+		if code, _, errOut := exec(t, "", argv...); code != 2 || !strings.Contains(errOut, "usage:") {
+			t.Errorf("argv %v: code %d, stderr %q", argv, code, errOut)
+		}
+	}
+}
+
+func TestCLIMissingFile(t *testing.T) {
+	code, _, errOut := exec(t, "", "-f", "/nonexistent.xml", "stats")
+	if code != 1 || !strings.Contains(errOut, "ncq:") {
+		t.Errorf("code %d, stderr %q", code, errOut)
+	}
+}
+
+func TestCLIStats(t *testing.T) {
+	f := writeFixture(t)
+	code, out, _ := exec(t, "", "-f", f, "stats")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if !strings.Contains(out, "nodes         19") {
+		t.Errorf("stats output:\n%s", out)
+	}
+}
+
+func TestCLIMeet(t *testing.T) {
+	f := writeFixture(t)
+	code, out, _ := exec(t, "", "-f", f, "meet", "Bit", "1999")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if !strings.Contains(out, "<article> node 3") || !strings.Contains(out, "distance 5") {
+		t.Errorf("meet output:\n%s", out)
+	}
+}
+
+func TestCLIMeetShowAndWithin(t *testing.T) {
+	f := writeFixture(t)
+	_, out, _ := exec(t, "", "-f", f, "-show", "meet", "Bit", "1999")
+	if !strings.Contains(out, "<title>How to Hack</title>") {
+		t.Errorf("show output:\n%s", out)
+	}
+	_, out, _ = exec(t, "", "-f", f, "-within", "4", "meet", "Bit", "1999")
+	if !strings.Contains(out, "0 nearest concept(s)") {
+		t.Errorf("within output:\n%s", out)
+	}
+}
+
+func TestCLISearch(t *testing.T) {
+	f := writeFixture(t)
+	code, out, _ := exec(t, "", "-f", f, "search", "Hack")
+	if code != 0 || !strings.Contains(out, `"Hack": 2 hit(s)`) {
+		t.Errorf("code %d, output:\n%s", code, out)
+	}
+	if code, _, _ := exec(t, "", "-f", f, "search"); code != 1 {
+		t.Error("search without terms should fail")
+	}
+}
+
+func TestCLIQuery(t *testing.T) {
+	f := writeFixture(t)
+	code, out, _ := exec(t, "", "-f", f, "query",
+		`SELECT meet(e1, e2) FROM //cdata AS e1, //cdata AS e2 WHERE e1 CONTAINS 'Bit' AND e2 CONTAINS '1999'`)
+	if code != 0 || !strings.Contains(out, "<result> article </result>") {
+		t.Errorf("code %d, output:\n%s", code, out)
+	}
+	if code, _, errOut := exec(t, "", "-f", f, "query", "garbage"); code != 1 || errOut == "" {
+		t.Error("bad query should fail with a diagnostic")
+	}
+	if code, _, _ := exec(t, "", "-f", f, "query"); code != 1 {
+		t.Error("query without SQL should fail")
+	}
+}
+
+func TestCLIPathsAndTransform(t *testing.T) {
+	f := writeFixture(t)
+	_, out, _ := exec(t, "", "-f", f, "paths")
+	if !strings.Contains(out, "/bibliography/institute/article") {
+		t.Errorf("paths output:\n%s", out)
+	}
+	_, out, _ = exec(t, "", "-f", f, "transform", "1")
+	if !strings.Contains(out, "… (1 more)") {
+		t.Errorf("transform output:\n%s", out)
+	}
+}
+
+func TestCLISnapshotRoundTrip(t *testing.T) {
+	f := writeFixture(t)
+	snap := filepath.Join(t.TempDir(), "fig1.snap")
+	code, _, errOut := exec(t, "", "-f", f, "-save-snapshot", snap, "stats")
+	if code != 0 || !strings.Contains(errOut, "snapshot written") {
+		t.Fatalf("save failed: code %d, stderr %q", code, errOut)
+	}
+	code, out, _ := exec(t, "", "-snap", snap, "meet", "Bit", "1999")
+	if code != 0 || !strings.Contains(out, "<article> node 3") {
+		t.Errorf("snapshot meet: code %d\n%s", code, out)
+	}
+	// Corrupt snapshot fails cleanly.
+	if err := os.WriteFile(snap, []byte("junk"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code, _, _ := exec(t, "", "-snap", snap, "stats"); code != 1 {
+		t.Error("corrupt snapshot accepted")
+	}
+}
+
+func TestCLIUnknownCommand(t *testing.T) {
+	f := writeFixture(t)
+	code, _, errOut := exec(t, "", "-f", f, "frobnicate")
+	if code != 1 || !strings.Contains(errOut, "unknown command") {
+		t.Errorf("code %d, stderr %q", code, errOut)
+	}
+}
+
+func TestCLIRepl(t *testing.T) {
+	f := writeFixture(t)
+	session := strings.Join([]string{
+		"",              // empty line ignored
+		"meet Bit 1999", // populates lastMeets
+		"show 0",
+		"explain 0",
+		"show 99",     // out of range
+		"search Hack", // inline search
+		"stats",
+		"SELECT tag(e) FROM //year AS e",
+		"bogus",
+		"quit",
+	}, "\n")
+	code, out, _ := exec(t, session, "-f", f, "repl")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	for _, want := range []string{
+		"1 concept(s)",
+		"<article key=\"BB99\">",
+		"<article> connects:",
+		"no such result",
+		`"Hack": 2 hit(s)`,
+		"nodes 19",
+		"<result> year </result>",
+		"commands:",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("repl output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCLIReplEOF(t *testing.T) {
+	f := writeFixture(t)
+	// EOF without quit terminates cleanly.
+	if code, _, _ := exec(t, "meet Ben", "-f", f, "repl"); code != 0 {
+		t.Errorf("exit %d", code)
+	}
+}

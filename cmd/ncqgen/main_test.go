@@ -1,0 +1,95 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"ncq"
+)
+
+func exec(t *testing.T, argv ...string) (int, string, string) {
+	t.Helper()
+	var out, errOut bytes.Buffer
+	code := run(argv, &out, &errOut)
+	return code, out.String(), errOut.String()
+}
+
+func TestGenDBLPToStdout(t *testing.T) {
+	code, out, errOut := exec(t, "-dataset", "dblp", "-pubs", "2")
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut)
+	}
+	if !strings.HasPrefix(out, "<dblp>") {
+		t.Errorf("output starts with %q", out[:min(40, len(out))])
+	}
+	if !strings.Contains(errOut, "wrote") {
+		t.Errorf("stderr = %q", errOut)
+	}
+	// The generated XML loads.
+	db, err := ncq.OpenString(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.Tag(db.Root()) != "dblp" {
+		t.Error("wrong root")
+	}
+}
+
+func TestGenMultimediaToFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "mm.xml")
+	code, _, _ := exec(t, "-dataset", "multimedia", "-items", "5", "-o", path)
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(raw), "probeA0") {
+		t.Error("probes missing from generated file")
+	}
+}
+
+func TestGenSeedChangesOutput(t *testing.T) {
+	_, a, _ := exec(t, "-dataset", "dblp", "-pubs", "1", "-seed", "7")
+	_, b, _ := exec(t, "-dataset", "dblp", "-pubs", "1", "-seed", "8")
+	_, a2, _ := exec(t, "-dataset", "dblp", "-pubs", "1", "-seed", "7")
+	if a == b {
+		t.Error("different seeds gave identical output")
+	}
+	if a != a2 {
+		t.Error("same seed gave different output")
+	}
+}
+
+func TestGenIndent(t *testing.T) {
+	_, out, _ := exec(t, "-dataset", "dblp", "-pubs", "1", "-indent")
+	if !strings.Contains(out, "\n  ") {
+		t.Error("indent flag had no effect")
+	}
+	if _, err := ncq.OpenString(out); err != nil {
+		t.Fatalf("indented output does not load: %v", err)
+	}
+}
+
+func TestGenErrors(t *testing.T) {
+	if code, _, errOut := exec(t, "-dataset", "bogus"); code != 2 || !strings.Contains(errOut, "unknown dataset") {
+		t.Errorf("code %d, stderr %q", code, errOut)
+	}
+	if code, _, _ := exec(t, "-o", "/nonexistent-dir/x.xml"); code != 1 {
+		t.Error("unwritable output accepted")
+	}
+	if code, _, _ := exec(t, "-badflag"); code != 2 {
+		t.Error("bad flag accepted")
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,70 @@
+package ncq
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"ncq/internal/xmltree"
+)
+
+// TestConcurrentReads hammers one loaded database from many goroutines
+// exercising every read path — full-text, meets, queries, navigation,
+// reassembly — to validate the documented guarantee that a loaded
+// Database is safe for concurrent readers (run with -race to verify).
+func TestConcurrentReads(t *testing.T) {
+	db, err := FromDocument(xmltree.Fig1())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const goroutines = 16
+	const iters = 50
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				switch (g + i) % 6 {
+				case 0:
+					if meets, _, err := db.MeetOfTerms(nil, "Bit", "1999"); err != nil || len(meets) != 1 {
+						errs <- fmt.Errorf("MeetOfTerms: %v (%d meets)", err, len(meets))
+						return
+					}
+				case 1:
+					if hits := db.Search("ben"); len(hits) != 1 {
+						errs <- fmt.Errorf("Search: %d hits", len(hits))
+						return
+					}
+				case 2:
+					ans, err := db.Query(`SELECT tag(e) FROM //year AS e`)
+					if err != nil || len(ans.Rows) != 2 {
+						errs <- fmt.Errorf("Query: %v", err)
+						return
+					}
+				case 3:
+					if _, err := db.Subtree(3); err != nil {
+						errs <- fmt.Errorf("Subtree: %v", err)
+						return
+					}
+				case 4:
+					if m, err := db.Meet2(6, 8); err != nil || m.Node != 4 {
+						errs <- fmt.Errorf("Meet2: %v", err)
+						return
+					}
+				case 5:
+					if kids := db.Children(3); len(kids) != 3 {
+						errs <- fmt.Errorf("Children: %v", kids)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}

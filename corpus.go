@@ -1,0 +1,84 @@
+package ncq
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Corpus is a named collection of databases queried together. It
+// implements the Section 4 application: "we may want to know whether a
+// certain bibliographical item that we found in one bibliography also
+// lives in another bibliography; however, we have no idea how the
+// relevant information is marked up" — the meet runs per document, so
+// each answer carries the result type of its own instance.
+type Corpus struct {
+	names []string
+	dbs   map[string]*Database
+}
+
+// NewCorpus returns an empty corpus.
+func NewCorpus() *Corpus {
+	return &Corpus{dbs: make(map[string]*Database)}
+}
+
+// Add registers a database under a name. Re-adding a name replaces the
+// previous database but keeps its position.
+func (c *Corpus) Add(name string, db *Database) error {
+	if db == nil {
+		return fmt.Errorf("ncq: corpus: nil database for %q", name)
+	}
+	if _, exists := c.dbs[name]; !exists {
+		c.names = append(c.names, name)
+	}
+	c.dbs[name] = db
+	return nil
+}
+
+// Names returns the registered names in insertion order.
+func (c *Corpus) Names() []string {
+	out := make([]string, len(c.names))
+	copy(out, c.names)
+	return out
+}
+
+// Get returns the database registered under name.
+func (c *Corpus) Get(name string) (*Database, bool) {
+	db, ok := c.dbs[name]
+	return db, ok
+}
+
+// Len returns the number of registered databases.
+func (c *Corpus) Len() int { return len(c.names) }
+
+// CorpusMeet is one nearest concept found in one member document.
+type CorpusMeet struct {
+	Source string // the database's registered name
+	Meet
+}
+
+// MeetOfTerms runs the nearest-concept query against every member and
+// returns all answers, ranked by distance (ties by source name, then
+// document order). Documents in which the terms do not meet simply
+// contribute nothing.
+func (c *Corpus) MeetOfTerms(opt *Options, terms ...string) ([]CorpusMeet, error) {
+	var out []CorpusMeet
+	for _, name := range c.names {
+		meets, _, err := c.dbs[name].MeetOfTerms(opt, terms...)
+		if err != nil {
+			return nil, fmt.Errorf("ncq: corpus %q: %w", name, err)
+		}
+		for _, m := range meets {
+			out = append(out, CorpusMeet{Source: name, Meet: m})
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Distance != out[j].Distance {
+			return out[i].Distance < out[j].Distance
+		}
+		if out[i].Source != out[j].Source {
+			return out[i].Source < out[j].Source
+		}
+		return out[i].Node < out[j].Node
+	})
+	return out, nil
+}

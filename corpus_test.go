@@ -1,0 +1,216 @@
+package ncq
+
+import (
+	"strings"
+	"testing"
+
+	"ncq/internal/xmltree"
+)
+
+// Two bibliographies with completely different mark-up for the same
+// item — the scenario of Section 4's cross-bibliography application.
+const otherMarkup = `<refs>
+  <entry>
+    <who>Ben Bit</who>
+    <what>How to Hack</what>
+    <when>1999</when>
+  </entry>
+  <entry>
+    <who>Carol Code</who>
+    <what>Sorting Things</what>
+    <when>1997</when>
+  </entry>
+</refs>`
+
+func testCorpus(t *testing.T) *Corpus {
+	t.Helper()
+	c := NewCorpus()
+	db1, err := FromDocument(xmltree.Fig1())
+	if err != nil {
+		t.Fatal(err)
+	}
+	db2, err := OpenString(otherMarkup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Add("cwi", db1); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Add("personal", db2); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestCorpusBasics(t *testing.T) {
+	c := testCorpus(t)
+	if c.Len() != 2 {
+		t.Errorf("Len = %d", c.Len())
+	}
+	names := c.Names()
+	if len(names) != 2 || names[0] != "cwi" || names[1] != "personal" {
+		t.Errorf("Names = %v", names)
+	}
+	if _, ok := c.Get("cwi"); !ok {
+		t.Error("Get(cwi) failed")
+	}
+	if _, ok := c.Get("nope"); ok {
+		t.Error("Get(nope) succeeded")
+	}
+	if err := c.Add("x", nil); err == nil {
+		t.Error("nil database accepted")
+	}
+	// Replacing keeps the position and count.
+	db, _ := c.Get("cwi")
+	if err := c.Add("cwi", db); err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != 2 {
+		t.Errorf("Len after replace = %d", c.Len())
+	}
+}
+
+// TestCorpusFindsItemUnderBothMarkups is the paper's cross-bibliography
+// scenario: the same publication is found in both files although one
+// marks it up as article/author/year and the other as entry/who/when —
+// and the answer's type differs per instance.
+func TestCorpusFindsItemUnderBothMarkups(t *testing.T) {
+	c := testCorpus(t)
+	meets, err := c.MeetOfTerms(ExcludeRoot(), "Bit", "1999")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bySource := map[string]string{}
+	for _, m := range meets {
+		bySource[m.Source] = m.Tag
+	}
+	if bySource["cwi"] != "article" {
+		t.Errorf("cwi concept = %q, want article", bySource["cwi"])
+	}
+	if bySource["personal"] != "entry" {
+		t.Errorf("personal concept = %q, want entry", bySource["personal"])
+	}
+}
+
+func TestCorpusRanking(t *testing.T) {
+	c := testCorpus(t)
+	meets, err := c.MeetOfTerms(ExcludeRoot(), "Bit", "1999")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(meets); i++ {
+		if meets[i].Distance < meets[i-1].Distance {
+			t.Errorf("results not ranked by distance: %+v", meets)
+		}
+	}
+}
+
+func TestCorpusTermMissingEverywhere(t *testing.T) {
+	c := testCorpus(t)
+	meets, err := c.MeetOfTerms(nil, "absent", "alsoabsent")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(meets) != 0 {
+		t.Errorf("meets = %+v", meets)
+	}
+}
+
+func TestExplain(t *testing.T) {
+	db := fig1DB(t)
+	meets, _, err := db.MeetOfTerms(nil, "Bit", "1999")
+	if err != nil {
+		t.Fatal(err)
+	}
+	text, err := db.Explain(meets[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"<article>", "lastname/cdata", `"Bit"`, "year/cdata", `"1999"`} {
+		if !contains(text, want) {
+			t.Errorf("Explain missing %q:\n%s", want, text)
+		}
+	}
+	// A meet whose witness is the concept itself.
+	meets, _, err = db.MeetOf([]NodeID{3, 8}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text, err = db.Explain(meets[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !contains(text, "(the concept itself)") {
+		t.Errorf("Explain self-witness:\n%s", text)
+	}
+	// Bogus meet surfaces an error.
+	if _, err := db.Explain(Meet{Node: 3, Witnesses: []NodeID{19}}); err == nil {
+		t.Error("Explain with foreign witness succeeded")
+	}
+}
+
+func TestPathBetweenAndContextFacade(t *testing.T) {
+	db := fig1DB(t)
+	p, err := db.PathBetween(6, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p) != 5 || p[0] != 6 || p[4] != 8 {
+		t.Errorf("PathBetween = %v", p)
+	}
+	ctx, err := db.Context(3, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ctx) != 3 || ctx[0] != "author" {
+		t.Errorf("Context = %v", ctx)
+	}
+	if _, err := db.PathBetween(0, 8); err == nil {
+		t.Error("invalid node accepted")
+	}
+	if _, err := db.Context(8, 3); err == nil {
+		t.Error("non-ancestor accepted")
+	}
+}
+
+func TestThesaurusFacade(t *testing.T) {
+	db := fig1DB(t)
+	th := NewThesaurus().Add("robert", "bob")
+	hits := db.SearchExpanded(th, "robert")
+	if len(hits) != 1 || hits[0].Node != 15 {
+		t.Errorf("SearchExpanded = %+v", hits)
+	}
+	if got := db.SearchExpanded(nil, "Ben"); len(got) != 1 {
+		t.Errorf("nil thesaurus = %+v", got)
+	}
+	// Broadened meet: 'robert' alone finds nothing to meet with; with
+	// the thesaurus it reaches Bob Byte's article via 1999.
+	meets, _, err := db.MeetOfTermsExpanded(th, ExcludeRoot(), "robert", "1999")
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, m := range meets {
+		if m.Node == 13 && m.Tag == "article" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("broadened meet missed the second article: %+v", meets)
+	}
+	// Nil thesaurus falls back to the plain path.
+	plain, _, err := db.MeetOfTermsExpanded(nil, nil, "Bit", "1999")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plain) != 1 || plain[0].Node != 3 {
+		t.Errorf("nil-thesaurus meet = %+v", plain)
+	}
+	if th.Expand("robert")[0] != "bob" {
+		t.Errorf("Expand = %v", th.Expand("robert"))
+	}
+}
+
+func contains(haystack, needle string) bool {
+	return strings.Contains(haystack, needle)
+}

@@ -1,0 +1,127 @@
+package ncq_test
+
+import (
+	"fmt"
+	"log"
+
+	"ncq"
+)
+
+const bib = `<bibliography><institute>
+<article key="BB99"><author><firstname>Ben</firstname><lastname>Bit</lastname></author>
+<title>How to Hack</title><year>1999</year></article>
+<article key="BK99"><author>Bob Byte</author><title>Hacking &amp; RSI</title><year>1999</year></article>
+</institute></bibliography>`
+
+// The headline interaction: ask what connects two strings without
+// knowing any tags. The answer's type comes from the data.
+func ExampleDatabase_MeetOfTerms() {
+	db, err := ncq.OpenString(bib)
+	if err != nil {
+		log.Fatal(err)
+	}
+	meets, _, err := db.MeetOfTerms(nil, "Bit", "1999")
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, m := range meets {
+		fmt.Printf("<%s> at distance %d\n", m.Tag, m.Distance)
+	}
+	// Output:
+	// <article> at distance 5
+}
+
+// The paper's SQL variant with meet as a declarative aggregation.
+func ExampleDatabase_Query() {
+	db, err := ncq.OpenString(bib)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ans, err := db.Query(`
+		SELECT meet(e1, e2)
+		FROM //cdata AS e1, //cdata AS e2
+		WHERE e1 CONTAINS 'Bit' AND e2 CONTAINS '1999'`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(ans.XML())
+	// Output:
+	// <answer>
+	//   <result> article </result>
+	// </answer>
+}
+
+// Restricting the result type turns the meet into keyword search
+// (Section 6 of the paper).
+func ExampleRestrict() {
+	db, err := ncq.OpenString(bib)
+	if err != nil {
+		log.Fatal(err)
+	}
+	meets, _, err := db.MeetOfTerms(ncq.Restrict("//article"), "Ben", "Bit")
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, m := range meets {
+		fmt.Printf("<%s key=%q>\n", m.Tag, mustAttr(db, m.Node, "key"))
+	}
+	// Output:
+	// <article key="BB99">
+}
+
+// Explain renders a meet in terms of its witnesses' contexts.
+func ExampleDatabase_Explain() {
+	db, err := ncq.OpenString(bib)
+	if err != nil {
+		log.Fatal(err)
+	}
+	meets, _, err := db.MeetOfTerms(nil, "Bit", "1999")
+	if err != nil {
+		log.Fatal(err)
+	}
+	text, err := db.Explain(meets[0])
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(text)
+	// Output:
+	// <article> connects:
+	//   · author/lastname/cdata = "Bit"
+	//   · year/cdata = "1999"
+}
+
+// Meet2 computes the nearest concept of an explicit pair.
+func ExampleDatabase_Meet2() {
+	db, err := ncq.OpenString(bib)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ben := db.Search("Ben")[0].Node
+	bit := db.Search("Bit")[0].Node
+	m, err := db.Meet2(ben, bit)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("<%s> %d edges apart\n", m.Tag, m.Distance)
+	// Output:
+	// <author> 4 edges apart
+}
+
+// A thesaurus broadens a search that returned too few answers.
+func ExampleThesaurus() {
+	db, err := ncq.OpenString(bib)
+	if err != nil {
+		log.Fatal(err)
+	}
+	th := ncq.NewThesaurus().Add("robert", "bob")
+	for _, h := range db.SearchExpanded(th, "Robert") {
+		fmt.Println(h.Value)
+	}
+	// Output:
+	// Bob Byte
+}
+
+func mustAttr(db *ncq.Database, n ncq.NodeID, name string) string {
+	v, _ := db.Attr(n, name)
+	return v
+}

@@ -1,0 +1,58 @@
+package ncq
+
+import (
+	"fmt"
+	"strings"
+
+	"ncq/internal/core"
+)
+
+// This file exposes the Section 3.1 interpretations of the meet: the
+// shortest path between two nodes and the relative contexts of the
+// witnesses with respect to their nearest concept, plus a human-
+// readable explanation built from them.
+
+// PathBetween returns the nodes on the unique tree path from a to b,
+// inclusive; its length in edges equals Dist(a, b).
+func (db *Database) PathBetween(a, b NodeID) ([]NodeID, error) {
+	p, err := core.PathBetween(db.store, a, b)
+	if err != nil {
+		return nil, fmt.Errorf("ncq: %w", err)
+	}
+	return p, nil
+}
+
+// Context returns the label steps leading from ancestor down to node
+// (exclusive of the ancestor, inclusive of the node) — "the context of
+// o with respect to the meet" from the paper's Section 3.1. For
+// node == ancestor the context is empty.
+func (db *Database) Context(ancestor, node NodeID) ([]string, error) {
+	c, err := core.Context(db.store, ancestor, node)
+	if err != nil {
+		return nil, fmt.Errorf("ncq: %w", err)
+	}
+	return c, nil
+}
+
+// Explain renders a meet for humans: the concept's tag followed by one
+// line per witness showing its relative context and its value, e.g.
+//
+//	<article> connects:
+//	  · author/lastname/cdata = "Bit"
+//	  · year/cdata = "1999"
+func (db *Database) Explain(m Meet) (string, error) {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "<%s> connects:\n", m.Tag)
+	for _, w := range m.Witnesses {
+		ctx, err := db.Context(m.Node, w)
+		if err != nil {
+			return "", err
+		}
+		loc := strings.Join(ctx, "/")
+		if loc == "" {
+			loc = "(the concept itself)"
+		}
+		fmt.Fprintf(&sb, "  · %s = %q\n", loc, db.Value(w))
+	}
+	return sb.String(), nil
+}

@@ -1,0 +1,144 @@
+package bat
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNewAndAppend(t *testing.T) {
+	b := New[string]("r")
+	if b.Name() != "r" {
+		t.Fatalf("Name() = %q, want %q", b.Name(), "r")
+	}
+	if b.Len() != 0 {
+		t.Fatalf("Len() = %d, want 0", b.Len())
+	}
+	b.Append(1, "a")
+	b.Append(2, "b")
+	b.Append(1, "c")
+	if b.Len() != 3 {
+		t.Fatalf("Len() = %d, want 3", b.Len())
+	}
+	if b.Head(0) != 1 || b.Tail(0) != "a" {
+		t.Errorf("pair 0 = (%d,%q), want (1,a)", b.Head(0), b.Tail(0))
+	}
+	if got := b.Pair(2); got != (Pair[string]{1, "c"}) {
+		t.Errorf("Pair(2) = %v, want {1 c}", got)
+	}
+}
+
+func TestFromPairsAndClone(t *testing.T) {
+	b := FromPairs("x", []Pair[OID]{{1, 2}, {3, 4}})
+	c := b.Clone()
+	c.Append(5, 6)
+	if b.Len() != 2 {
+		t.Errorf("Clone aliased the original: Len = %d, want 2", b.Len())
+	}
+	if c.Len() != 3 {
+		t.Errorf("clone Len = %d, want 3", c.Len())
+	}
+	if c.Name() != "x" {
+		t.Errorf("clone name = %q, want x", c.Name())
+	}
+}
+
+func TestFind(t *testing.T) {
+	b := FromPairs("r", []Pair[string]{{1, "a"}, {2, "b"}, {1, "c"}})
+	got, ok := b.Find(1)
+	if !ok || got != "a" {
+		t.Errorf("Find(1) = (%q,%v), want (a,true)", got, ok)
+	}
+	if _, ok := b.Find(9); ok {
+		t.Error("Find(9) reported present, want absent")
+	}
+	all := b.FindAll(1)
+	if len(all) != 2 || all[0] != "a" || all[1] != "c" {
+		t.Errorf("FindAll(1) = %v, want [a c]", all)
+	}
+	if b.FindAll(9) != nil {
+		t.Errorf("FindAll(9) = %v, want nil", b.FindAll(9))
+	}
+	if !b.HasHead(2) || b.HasHead(7) {
+		t.Error("HasHead membership wrong")
+	}
+}
+
+func TestFindAfterAppendRebuildsIndex(t *testing.T) {
+	b := New[string]("r")
+	b.Append(1, "a")
+	if _, ok := b.Find(2); ok {
+		t.Fatal("Find(2) before append reported present")
+	}
+	b.Append(2, "b")
+	got, ok := b.Find(2)
+	if !ok || got != "b" {
+		t.Errorf("Find(2) after append = (%q,%v), want (b,true)", got, ok)
+	}
+}
+
+func TestHeadsTailsAreCopies(t *testing.T) {
+	b := FromPairs("r", []Pair[OID]{{1, 10}, {2, 20}})
+	h := b.Heads()
+	h[0] = 99
+	if b.Head(0) != 1 {
+		t.Error("Heads() exposed internal storage")
+	}
+	tl := b.Tails()
+	tl[0] = 99
+	if b.Tail(0) != 10 {
+		t.Error("Tails() exposed internal storage")
+	}
+}
+
+func TestEachStopsEarly(t *testing.T) {
+	b := FromPairs("r", []Pair[OID]{{1, 1}, {2, 2}, {3, 3}})
+	var visited int
+	b.Each(func(h OID, _ OID) bool {
+		visited++
+		return h < 2
+	})
+	if visited != 2 {
+		t.Errorf("Each visited %d pairs, want 2", visited)
+	}
+}
+
+func TestSortByHead(t *testing.T) {
+	b := FromPairs("r", []Pair[string]{{3, "x"}, {1, "a"}, {3, "y"}, {2, "m"}})
+	s := b.SortByHead()
+	want := []Pair[string]{{1, "a"}, {2, "m"}, {3, "x"}, {3, "y"}}
+	for i, w := range want {
+		if s.Pair(i) != w {
+			t.Errorf("sorted pair %d = %v, want %v", i, s.Pair(i), w)
+		}
+	}
+	// Stability: equal heads keep insertion order (x before y).
+	if s.Tail(2) != "x" || s.Tail(3) != "y" {
+		t.Error("SortByHead is not stable")
+	}
+	// Original untouched.
+	if b.Head(0) != 3 {
+		t.Error("SortByHead mutated its input")
+	}
+}
+
+func TestString(t *testing.T) {
+	b := FromPairs("r", []Pair[OID]{{1, 2}})
+	if s := b.String(); !strings.Contains(s, "1->2") || !strings.Contains(s, "r") {
+		t.Errorf("String() = %q, want it to mention the name and the pair", s)
+	}
+}
+
+func TestMemBytes(t *testing.T) {
+	oo := FromPairs("oo", []Pair[OID]{{1, 2}, {3, 4}})
+	if got := oo.MemBytes(); got != 2*(4+4) {
+		t.Errorf("MemBytes oid×oid = %d, want 16", got)
+	}
+	os := FromPairs("os", []Pair[string]{{1, "x"}})
+	if got := os.MemBytes(); got != 4+16 {
+		t.Errorf("MemBytes oid×string = %d, want 20", got)
+	}
+	oi := FromPairs("oi", []Pair[int]{{1, 7}})
+	if got := oi.MemBytes(); got != 4+8 {
+		t.Errorf("MemBytes oid×int = %d, want 12", got)
+	}
+}

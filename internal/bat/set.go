@@ -1,0 +1,126 @@
+package bat
+
+import "sort"
+
+// Set is a mutable set of OIDs. It backs the intersection, difference
+// and membership steps of the meet algorithms. The zero value is not
+// usable; construct with NewSet or SetOf.
+type Set struct {
+	m map[OID]struct{}
+}
+
+// NewSet returns an empty set.
+func NewSet() *Set { return &Set{m: make(map[OID]struct{})} }
+
+// SetOf returns a set holding the given OIDs.
+func SetOf(oids ...OID) *Set {
+	s := &Set{m: make(map[OID]struct{}, len(oids))}
+	for _, o := range oids {
+		s.m[o] = struct{}{}
+	}
+	return s
+}
+
+// Add inserts o and reports whether it was newly added.
+func (s *Set) Add(o OID) bool {
+	if _, ok := s.m[o]; ok {
+		return false
+	}
+	s.m[o] = struct{}{}
+	return true
+}
+
+// Remove deletes o from the set.
+func (s *Set) Remove(o OID) { delete(s.m, o) }
+
+// Has reports membership of o.
+func (s *Set) Has(o OID) bool {
+	_, ok := s.m[o]
+	return ok
+}
+
+// Len returns the cardinality of the set.
+func (s *Set) Len() int { return len(s.m) }
+
+// Empty reports whether the set has no members.
+func (s *Set) Empty() bool { return len(s.m) == 0 }
+
+// Slice returns the members in ascending OID order.
+func (s *Set) Slice() []OID {
+	out := make([]OID, 0, len(s.m))
+	for o := range s.m {
+		out = append(out, o)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Each calls fn for every member in unspecified order, stopping early
+// when fn returns false.
+func (s *Set) Each(fn func(OID) bool) {
+	for o := range s.m {
+		if !fn(o) {
+			return
+		}
+	}
+}
+
+// Union returns a new set holding the members of s and t.
+func (s *Set) Union(t *Set) *Set {
+	out := &Set{m: make(map[OID]struct{}, len(s.m)+t.Len())}
+	for o := range s.m {
+		out.m[o] = struct{}{}
+	}
+	for o := range t.m {
+		out.m[o] = struct{}{}
+	}
+	return out
+}
+
+// Intersect returns a new set holding the members present in both.
+func (s *Set) Intersect(t *Set) *Set {
+	small, large := s, t
+	if t.Len() < s.Len() {
+		small, large = t, s
+	}
+	out := NewSet()
+	for o := range small.m {
+		if large.Has(o) {
+			out.Add(o)
+		}
+	}
+	return out
+}
+
+// Diff returns a new set holding the members of s not present in t.
+func (s *Set) Diff(t *Set) *Set {
+	out := NewSet()
+	for o := range s.m {
+		if !t.Has(o) {
+			out.Add(o)
+		}
+	}
+	return out
+}
+
+// Clone returns an independent copy of the set.
+func (s *Set) Clone() *Set {
+	out := &Set{m: make(map[OID]struct{}, len(s.m))}
+	for o := range s.m {
+		out.m[o] = struct{}{}
+	}
+	return out
+}
+
+// Equal reports whether s and t hold exactly the same members.
+func (s *Set) Equal(t *Set) bool {
+	if s.Len() != t.Len() {
+		return false
+	}
+	for o := range s.m {
+		if !t.Has(o) {
+			return false
+		}
+	}
+	return true
+}

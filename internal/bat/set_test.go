@@ -1,0 +1,92 @@
+package bat
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestSetBasics(t *testing.T) {
+	s := NewSet()
+	if !s.Empty() || s.Len() != 0 {
+		t.Fatal("new set not empty")
+	}
+	if !s.Add(3) {
+		t.Error("Add(3) on empty set reported not-new")
+	}
+	if s.Add(3) {
+		t.Error("Add(3) twice reported new")
+	}
+	s.Add(1)
+	if s.Len() != 2 || s.Empty() {
+		t.Errorf("Len = %d, want 2", s.Len())
+	}
+	if !s.Has(1) || s.Has(2) {
+		t.Error("membership wrong")
+	}
+	s.Remove(1)
+	if s.Has(1) {
+		t.Error("Remove(1) did not remove")
+	}
+	s.Remove(42) // absent: no-op, must not panic
+}
+
+func TestSetSliceSorted(t *testing.T) {
+	s := SetOf(5, 1, 3)
+	if got := s.Slice(); !reflect.DeepEqual(got, []OID{1, 3, 5}) {
+		t.Errorf("Slice() = %v, want [1 3 5]", got)
+	}
+}
+
+func TestSetEach(t *testing.T) {
+	s := SetOf(1, 2, 3)
+	var n int
+	s.Each(func(OID) bool { n++; return n < 2 })
+	if n != 2 {
+		t.Errorf("Each visited %d, want 2 (early stop)", n)
+	}
+}
+
+func TestSetAlgebra(t *testing.T) {
+	a := SetOf(1, 2, 3)
+	b := SetOf(2, 3, 4)
+	if got := a.Union(b); !got.Equal(SetOf(1, 2, 3, 4)) {
+		t.Errorf("Union = %v", got.Slice())
+	}
+	if got := a.Intersect(b); !got.Equal(SetOf(2, 3)) {
+		t.Errorf("Intersect = %v", got.Slice())
+	}
+	if got := b.Intersect(a); !got.Equal(SetOf(2, 3)) {
+		t.Errorf("Intersect (swapped) = %v", got.Slice())
+	}
+	if got := a.Diff(b); !got.Equal(SetOf(1)) {
+		t.Errorf("Diff = %v", got.Slice())
+	}
+	// Operands untouched.
+	if !a.Equal(SetOf(1, 2, 3)) || !b.Equal(SetOf(2, 3, 4)) {
+		t.Error("set algebra mutated operands")
+	}
+}
+
+func TestSetCloneIndependent(t *testing.T) {
+	a := SetOf(1)
+	c := a.Clone()
+	c.Add(2)
+	if a.Has(2) {
+		t.Error("Clone aliased the original")
+	}
+	if !c.Has(1) {
+		t.Error("Clone lost members")
+	}
+}
+
+func TestSetEqual(t *testing.T) {
+	if !SetOf(1, 2).Equal(SetOf(2, 1)) {
+		t.Error("order should not matter")
+	}
+	if SetOf(1).Equal(SetOf(1, 2)) {
+		t.Error("different cardinality reported equal")
+	}
+	if SetOf(1, 3).Equal(SetOf(1, 2)) {
+		t.Error("different members reported equal")
+	}
+}

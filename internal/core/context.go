@@ -1,0 +1,65 @@
+package core
+
+import (
+	"fmt"
+
+	"ncq/internal/bat"
+	"ncq/internal/monetx"
+)
+
+// This file implements the interpretations of meet_2 that Section 3.1
+// of the paper enumerates beyond the plain LCA:
+//
+//   - path(o1) − path(o) and path(o2) − path(o) "describe the context
+//     of o1 and o2 with respect to o",
+//   - the two contexts concatenated are "the different contexts we see
+//     while traversing from o1 to o2 … trivially, this is also the
+//     shortest path from o1 to o2".
+
+// PathBetween returns the nodes on the unique tree path from o1 to o2,
+// inclusive of both endpoints. The path ascends from o1 to the meet and
+// descends to o2; its length in edges equals Dist(o1, o2).
+func PathBetween(s *monetx.Store, o1, o2 bat.OID) ([]bat.OID, error) {
+	m, _, err := Meet2(s, o1, o2)
+	if err != nil {
+		return nil, err
+	}
+	var up []bat.OID
+	for cur := o1; cur != m; cur = s.Parent(cur) {
+		up = append(up, cur)
+	}
+	up = append(up, m)
+	var down []bat.OID
+	for cur := o2; cur != m; cur = s.Parent(cur) {
+		down = append(down, cur)
+	}
+	for i := len(down) - 1; i >= 0; i-- {
+		up = append(up, down[i])
+	}
+	return up, nil
+}
+
+// Context returns the label steps from ancestor anc (exclusive) down to
+// o (inclusive) — the paper's path(o) − path(anc), the relative context
+// of o with respect to its nearest concept. It fails when anc is not an
+// ancestor-or-self of o. For o == anc the context is empty.
+func Context(s *monetx.Store, anc, o bat.OID) ([]string, error) {
+	if err := checkOID(s, anc); err != nil {
+		return nil, err
+	}
+	if err := checkOID(s, o); err != nil {
+		return nil, err
+	}
+	if !s.Contains(anc, o) {
+		return nil, fmt.Errorf("core: Context: %d is not an ancestor of %d", anc, o)
+	}
+	var rev []string
+	for cur := o; cur != anc; cur = s.Parent(cur) {
+		rev = append(rev, s.Label(cur))
+	}
+	out := make([]string, len(rev))
+	for i := range rev {
+		out[i] = rev[len(rev)-1-i]
+	}
+	return out, nil
+}

@@ -1,0 +1,110 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"ncq/internal/bat"
+	"ncq/internal/monetx"
+	"ncq/internal/xmltree"
+)
+
+func TestPathBetween(t *testing.T) {
+	s := fig1Store(t)
+	cases := []struct {
+		name   string
+		o1, o2 bat.OID
+		want   []bat.OID
+	}{
+		{"Ben to Bit via the author", 6, 8, []bat.OID{6, 5, 4, 7, 8}},
+		{"same node", 15, 15, []bat.OID{15}},
+		{"ancestor to descendant", 3, 8, []bat.OID{3, 4, 7, 8}},
+		{"descendant to ancestor", 8, 3, []bat.OID{8, 7, 4, 3}},
+		{"across the articles", 12, 19, []bat.OID{12, 11, 3, 2, 13, 18, 19}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			got, err := PathBetween(s, c.o1, c.o2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got, c.want) {
+				t.Errorf("PathBetween(%d,%d) = %v, want %v", c.o1, c.o2, got, c.want)
+			}
+		})
+	}
+	if _, err := PathBetween(s, 0, 3); err == nil {
+		t.Error("invalid OID accepted")
+	}
+}
+
+func TestPathBetweenLengthIsDist(t *testing.T) {
+	r := rand.New(rand.NewSource(61))
+	for i := 0; i < 20; i++ {
+		doc := xmltree.Random(r, 60)
+		s, err := monetx.Load(doc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := s.Len()
+		for trial := 0; trial < 100; trial++ {
+			o1 := bat.OID(r.Intn(n) + 1)
+			o2 := bat.OID(r.Intn(n) + 1)
+			path, err := PathBetween(s, o1, o2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			d, err := Dist(s, o1, o2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(path)-1 != d {
+				t.Fatalf("path length %d != distance %d for (%d,%d)", len(path)-1, d, o1, o2)
+			}
+			if path[0] != o1 || path[len(path)-1] != o2 {
+				t.Fatalf("endpoints wrong: %v", path)
+			}
+			// Consecutive nodes are parent/child pairs.
+			for j := 1; j < len(path); j++ {
+				a, b := path[j-1], path[j]
+				if s.Parent(a) != b && s.Parent(b) != a {
+					t.Fatalf("non-adjacent steps %d-%d in %v", a, b, path)
+				}
+			}
+		}
+	}
+}
+
+func TestContext(t *testing.T) {
+	s := fig1Store(t)
+	got, err := Context(s, 3, 8) // article down to the 'Bit' cdata
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"author", "lastname", "cdata"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Context = %v, want %v", got, want)
+	}
+	// Empty context for o == anc.
+	got, err = Context(s, 3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Errorf("Context(self) = %v, want empty", got)
+	}
+	// Errors.
+	if _, err := Context(s, 8, 3); err == nil {
+		t.Error("non-ancestor accepted")
+	}
+	if _, err := Context(s, 13, 8); err == nil {
+		t.Error("sibling subtree accepted")
+	}
+	if _, err := Context(s, 0, 3); err == nil {
+		t.Error("invalid ancestor accepted")
+	}
+	if _, err := Context(s, 3, 99); err == nil {
+		t.Error("invalid descendant accepted")
+	}
+}

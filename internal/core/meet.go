@@ -1,0 +1,130 @@
+package core
+
+import (
+	"fmt"
+
+	"ncq/internal/bat"
+	"ncq/internal/monetx"
+	"ncq/internal/pathsum"
+)
+
+// Meet computes the meets of an arbitrary collection of input objects
+// grouped by path — the procedure meet of the paper's Figure 5, the
+// form used to post-process full-text results. groups maps each path to
+// the input OIDs at that path (as produced by fulltext.Index.Groups);
+// every OID must actually lie on its group's path.
+//
+// The algorithm "rolls up the tree-shaped schema from the bottom by
+// iteratively contracting the offspring of nodes whose only offspring
+// are leaves": the path summary is processed deepest-first, so when a
+// path is contracted all contributions from below have arrived. A node
+// on which at least two live contributions collide is a meet — the
+// lowest common ancestor of at least two input objects (the paper's
+// extended definition). Its contributions are consumed, so meets are
+// minimal by construction and the result is independent of input
+// order. Surviving single contributions keep lifting; those that reach
+// past the root unmatched are returned separately.
+//
+// Results are in document order of the meets; unmatched inputs are in
+// ascending OID order.
+func Meet(s *monetx.Store, groups map[pathsum.PathID][]bat.OID, opt *Options) (results []Result, unmatched []bat.OID, err error) {
+	sum := s.Summary()
+	// pending[p] holds, per current ancestor at path p, the live
+	// contributions that have arrived so far.
+	pending := make(map[pathsum.PathID]map[bat.OID][]contribution, len(groups))
+	seen := bat.NewSet()
+	for p, oids := range groups {
+		if int(p) < 0 || int(p) >= sum.Len() {
+			return nil, nil, fmt.Errorf("core: Meet: unknown group path %d", p)
+		}
+		for _, o := range oids {
+			if err := checkOID(s, o); err != nil {
+				return nil, nil, fmt.Errorf("core: Meet: %w", err)
+			}
+			if s.PathOf(o) != p {
+				return nil, nil, fmt.Errorf("core: Meet: OID %d has path %s, grouped under %s",
+					o, s.PathString(o), sum.String(p))
+			}
+			if !seen.Add(o) {
+				continue // duplicate input
+			}
+			m := pending[p]
+			if m == nil {
+				m = make(map[bat.OID][]contribution)
+				pending[p] = m
+			}
+			m[o] = append(m[o], contribution{orig: o, lifts: 0})
+		}
+	}
+	if seen.Len() < 2 {
+		// A single object (or none) can never meet anything.
+		return nil, seen.Slice(), nil
+	}
+
+	maxLift := int32(opt.maxLift())
+	unmatchedSet := bat.NewSet()
+	// Contract the path summary from the deepest paths upward.
+	for _, p := range sum.DeepestFirst() {
+		nodes := pending[p]
+		if len(nodes) == 0 {
+			continue
+		}
+		delete(pending, p)
+		parentPath := sum.Parent(p)
+		for cur, contribs := range nodes {
+			// A collision of two or more live contributions makes cur a
+			// meet (it is the LCA of all of them, since contributions
+			// from a common deeper branch would have collided earlier).
+			if len(contribs) >= 2 {
+				excluded := opt.excluded(p)
+				switch {
+				case excluded && opt.skipExcluded():
+					// Extension: keep lifting past inadmissible paths.
+				case excluded:
+					continue // meet_P: consumed, not reported
+				default:
+					if d := opt.maxDistance(); d > 0 && minPairDistance(contribs) > d {
+						continue // consumed, beyond the pairwise bound
+					}
+					results = append(results, emit(s, cur, contribs))
+					continue
+				}
+			}
+			// Lift the survivors one level.
+			if parentPath == pathsum.Invalid {
+				for _, c := range contribs {
+					unmatchedSet.Add(c.orig)
+				}
+				continue
+			}
+			parent := s.Parent(cur)
+			pm := pending[parentPath]
+			if pm == nil {
+				pm = make(map[bat.OID][]contribution)
+				pending[parentPath] = pm
+			}
+			for _, c := range contribs {
+				if maxLift > 0 && c.lifts+1 > maxLift {
+					unmatchedSet.Add(c.orig)
+					continue
+				}
+				pm[parent] = append(pm[parent], contribution{orig: c.orig, lifts: c.lifts + 1})
+			}
+		}
+	}
+	return SortByDocOrder(results), unmatchedSet.Slice(), nil
+}
+
+// MeetOIDs is a convenience wrapper around Meet for callers holding a
+// flat list of OIDs: it groups them by path first.
+func MeetOIDs(s *monetx.Store, oids []bat.OID, opt *Options) ([]Result, []bat.OID, error) {
+	groups := make(map[pathsum.PathID][]bat.OID)
+	for _, o := range oids {
+		if err := checkOID(s, o); err != nil {
+			return nil, nil, fmt.Errorf("core: MeetOIDs: %w", err)
+		}
+		p := s.PathOf(o)
+		groups[p] = append(groups[p], o)
+	}
+	return Meet(s, groups, opt)
+}

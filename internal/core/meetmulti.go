@@ -1,0 +1,68 @@
+package core
+
+import (
+	"fmt"
+
+	"ncq/internal/bat"
+	"ncq/internal/monetx"
+	"ncq/internal/pathsum"
+)
+
+// MeetMulti computes the meets of several input sets — one per search
+// term, as delivered by a multi-term full-text query. It reconciles the
+// two faces of the paper's semantics:
+//
+//   - An object occurring in at least two input sets is its own meet at
+//     distance zero. This is the Section 3.1 example where full-text
+//     searches for "Bob" and "Byte" both return the association
+//     ⟨o15,"Bob Byte"⟩ and meet_S reports the cdata node o15 itself
+//     (D := O1 ∩ O2 before any lifting).
+//   - All remaining objects are handed to the general roll-up of
+//     Figure 5, which groups them by path.
+//
+// Exclusion applies to the degenerate self-meets as well: an excluded
+// self-meet consumes its object silently, unless SkipExcluded is set,
+// in which case the object continues into the roll-up as an ordinary
+// single contribution.
+//
+// Results are in document order; unmatched inputs ascending.
+func MeetMulti(s *monetx.Store, inputSets [][]bat.OID, opt *Options) ([]Result, []bat.OID, error) {
+	// Count, per OID, the number of distinct input sets containing it.
+	counts := make(map[bat.OID]int)
+	for _, set := range inputSets {
+		seen := bat.NewSet()
+		for _, o := range set {
+			if err := checkOID(s, o); err != nil {
+				return nil, nil, fmt.Errorf("core: MeetMulti: %w", err)
+			}
+			if seen.Add(o) {
+				counts[o]++
+			}
+		}
+	}
+	var selfMeets []Result
+	groups := make(map[pathsum.PathID][]bat.OID)
+	for o, k := range counts {
+		p := s.PathOf(o)
+		if k >= 2 {
+			switch {
+			case opt.excluded(p) && opt.skipExcluded():
+				// Keep climbing as a single contribution.
+			case opt.excluded(p):
+				continue // consumed, not reported
+			default:
+				selfMeets = append(selfMeets, Result{
+					Meet: o, Path: p, Witnesses: []bat.OID{o}, Distance: 0,
+				})
+				continue
+			}
+		}
+		groups[p] = append(groups[p], o)
+	}
+	results, unmatched, err := Meet(s, groups, opt)
+	if err != nil {
+		return nil, nil, err
+	}
+	results = append(results, selfMeets...)
+	return SortByDocOrder(results), unmatched, nil
+}

@@ -1,0 +1,212 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"ncq/internal/bat"
+	"ncq/internal/monetx"
+	"ncq/internal/pathsum"
+	"ncq/internal/xmltree"
+)
+
+func TestMeetMultiBobByteExample(t *testing.T) {
+	s := fig1Store(t)
+	// "Bob" and "Byte" both hit ⟨o15,"Bob Byte"⟩: the meet is the cdata
+	// node itself at distance 0 (paper Section 3.1).
+	res, unmatched, err := MeetMulti(s, [][]bat.OID{{15}, {15}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1 || res[0].Meet != 15 || res[0].Distance != 0 {
+		t.Fatalf("MeetMulti = %+v, want self-meet at o15", res)
+	}
+	if !reflect.DeepEqual(res[0].Witnesses, []bat.OID{15}) {
+		t.Errorf("witnesses = %v", res[0].Witnesses)
+	}
+	if len(unmatched) != 0 {
+		t.Errorf("unmatched = %v", unmatched)
+	}
+}
+
+func TestMeetMultiMixedSelfAndRollup(t *testing.T) {
+	s := fig1Store(t)
+	// Set 1: {o15, o8}; set 2: {o15, o12}. o15 self-meets; o8 and o12
+	// roll up to the article o3.
+	res, unmatched, err := MeetMulti(s, [][]bat.OID{{15, 8}, {15, 12}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 2 {
+		t.Fatalf("results = %+v", res)
+	}
+	if res[0].Meet != 3 || res[1].Meet != 15 {
+		t.Errorf("meets = o%d,o%d, want o3,o15 (document order)", res[0].Meet, res[1].Meet)
+	}
+	if res[1].Distance != 0 || res[0].Distance != 5 {
+		t.Errorf("distances = %d,%d", res[0].Distance, res[1].Distance)
+	}
+	if len(unmatched) != 0 {
+		t.Errorf("unmatched = %v", unmatched)
+	}
+}
+
+func TestMeetMultiSingleSetEqualsMeetOIDs(t *testing.T) {
+	s := fig1Store(t)
+	oids := []bat.OID{8, 12, 19, 10}
+	a, ua, err := MeetMulti(s, [][]bat.OID{oids}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, ub, err := MeetOIDs(s, oids, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resultsEqual(a, b) || !reflect.DeepEqual(ua, ub) {
+		t.Errorf("single-set MeetMulti diverges from MeetOIDs:\n%+v\nvs\n%+v", a, b)
+	}
+}
+
+func TestMeetMultiDuplicatesWithinOneSetDoNotSelfMeet(t *testing.T) {
+	s := fig1Store(t)
+	// The same OID twice in ONE set is one object, not two.
+	res, unmatched, err := MeetMulti(s, [][]bat.OID{{15, 15}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 0 {
+		t.Errorf("results = %+v, want none", res)
+	}
+	if !reflect.DeepEqual(unmatched, []bat.OID{15}) {
+		t.Errorf("unmatched = %v", unmatched)
+	}
+}
+
+func TestMeetMultiExcludedSelfMeet(t *testing.T) {
+	s := fig1Store(t)
+	cdPath := s.PathOf(15)
+	// Plain exclusion: the self-meet is consumed silently.
+	opt := &Options{Exclude: map[pathsum.PathID]bool{cdPath: true}}
+	res, unmatched, err := MeetMulti(s, [][]bat.OID{{15}, {15}}, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 0 || len(unmatched) != 0 {
+		t.Errorf("excluded self-meet: results %+v unmatched %v", res, unmatched)
+	}
+	// SkipExcluded: the object keeps climbing as a single contribution
+	// and (being alone) ends unmatched.
+	opt.SkipExcluded = true
+	res, unmatched, err = MeetMulti(s, [][]bat.OID{{15}, {15}}, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 0 {
+		t.Errorf("results = %+v", res)
+	}
+	if !reflect.DeepEqual(unmatched, []bat.OID{15}) {
+		t.Errorf("unmatched = %v, want [15]", unmatched)
+	}
+	// SkipExcluded with a partner: o15 climbs and meets o17's hit at
+	// the second article.
+	res, _, err = MeetMulti(s, [][]bat.OID{{15}, {15}, {17}}, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1 || res[0].Meet != 13 {
+		t.Errorf("results = %+v, want the second article o13", res)
+	}
+}
+
+func TestMeetMultiErrors(t *testing.T) {
+	s := fig1Store(t)
+	if _, _, err := MeetMulti(s, [][]bat.OID{{0}}, nil); err == nil {
+		t.Error("invalid OID accepted")
+	}
+	if _, _, err := MeetMulti(s, [][]bat.OID{{99}, {1}}, nil); err == nil {
+		t.Error("out-of-range OID accepted")
+	}
+}
+
+func TestMeetMultiInvariantsRandom(t *testing.T) {
+	r := rand.New(rand.NewSource(71))
+	for i := 0; i < 40; i++ {
+		doc := xmltree.Random(r, 60)
+		s, err := monetx.Load(doc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := s.Len()
+		// Random number of sets with random overlapping members.
+		sets := make([][]bat.OID, 1+r.Intn(4))
+		inSets := map[bat.OID]int{}
+		all := bat.NewSet()
+		for k := range sets {
+			members := bat.NewSet()
+			for j, jn := 0, r.Intn(8); j < jn; j++ {
+				o := bat.OID(r.Intn(n) + 1)
+				if members.Add(o) {
+					inSets[o]++
+				}
+				all.Add(o)
+				sets[k] = append(sets[k], o)
+			}
+		}
+		results, unmatched, err := MeetMulti(s, sets, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		consumed := bat.NewSet()
+		for _, r0 := range results {
+			if len(r0.Witnesses) == 1 {
+				w := r0.Witnesses[0]
+				if r0.Meet != w || r0.Distance != 0 {
+					t.Fatalf("doc %d: singleton result not a self-meet: %+v", i, r0)
+				}
+				if inSets[w] < 2 {
+					t.Fatalf("doc %d: self-meet for %d present in %d set(s)", i, w, inSets[w])
+				}
+			}
+			for _, w := range r0.Witnesses {
+				if !consumed.Add(w) {
+					t.Fatalf("doc %d: witness %d consumed twice", i, w)
+				}
+				if !s.Contains(r0.Meet, w) {
+					t.Fatalf("doc %d: meet %d does not contain %d", i, r0.Meet, w)
+				}
+			}
+		}
+		for _, u := range unmatched {
+			if !consumed.Add(u) {
+				t.Fatalf("doc %d: OID %d both matched and unmatched", i, u)
+			}
+		}
+		if consumed.Len() != all.Len() {
+			t.Fatalf("doc %d: consumed %d of %d distinct inputs", i, consumed.Len(), all.Len())
+		}
+		// Order invariance: permute the sets and shuffle members.
+		perm := r.Perm(len(sets))
+		shuffled := make([][]bat.OID, len(sets))
+		for k, p := range perm {
+			cp := append([]bat.OID(nil), sets[p]...)
+			r.Shuffle(len(cp), func(a, b int) { cp[a], cp[b] = cp[b], cp[a] })
+			shuffled[k] = cp
+		}
+		again, againUn, err := MeetMulti(s, shuffled, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !resultsEqual(results, again) || !reflect.DeepEqual(unmatched, againUn) {
+			t.Fatalf("doc %d: MeetMulti depends on input order", i)
+		}
+	}
+}
+
+func TestMeetMultiEmpty(t *testing.T) {
+	s := fig1Store(t)
+	res, unmatched, err := MeetMulti(s, nil, nil)
+	if err != nil || len(res) != 0 || len(unmatched) != 0 {
+		t.Errorf("MeetMulti(nil) = (%v,%v,%v)", res, unmatched, err)
+	}
+}

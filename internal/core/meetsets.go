@@ -1,0 +1,169 @@
+package core
+
+import (
+	"fmt"
+
+	"ncq/internal/bat"
+	"ncq/internal/monetx"
+	"ncq/internal/pathsum"
+)
+
+// MeetSets computes the minimal meets of two homogeneous sets of
+// objects — the procedure meet_S of the paper's Figure 4. All objects
+// of o1 must share one path, all objects of o2 another (the shape a
+// full-text search delivers per relation). Duplicate inputs are
+// ignored.
+//
+// The deeper set is lifted with bulk parent steps until the two paths
+// coincide; the intersection of the current ancestor sets yields meets.
+// "As soon as the first meet is found subsequent meets are not
+// considered anymore because the elements are removed from the input
+// sets" — consumed inputs stop participating, so the result is minimal
+// and independent of input order. Only cross-set collisions count, per
+// the paper's D := O1 ∩ O2 (objects occurring in both input sets meet
+// at themselves at distance zero).
+//
+// Results are returned in document order of the meets.
+func MeetSets(s *monetx.Store, o1, o2 []bat.OID, opt *Options) ([]Result, error) {
+	a1, p1, err := newGroup(s, o1)
+	if err != nil {
+		return nil, fmt.Errorf("core: MeetSets: first set: %w", err)
+	}
+	a2, p2, err := newGroup(s, o2)
+	if err != nil {
+		return nil, fmt.Errorf("core: MeetSets: second set: %w", err)
+	}
+	if len(a1) == 0 || len(a2) == 0 {
+		return nil, nil
+	}
+	sum := s.Summary()
+	var (
+		results        []Result
+		lifts1, lifts2 int32
+	)
+	for len(a1) > 0 && len(a2) > 0 {
+		if p1 == p2 {
+			// D := O1 ∩ O2 over the current ancestors.
+			cur2 := make(map[bat.OID][]int, len(a2))
+			for i, a := range a2 {
+				cur2[a.cur] = append(cur2[a.cur], i)
+			}
+			consumed1 := make([]bool, len(a1))
+			consumed2 := make([]bool, len(a2))
+			matched := map[bat.OID][]contribution{}
+			for i, a := range a1 {
+				if idxs, ok := cur2[a.cur]; ok {
+					consumed1[i] = true
+					matched[a.cur] = append(matched[a.cur], contribution{a.orig, lifts1})
+					for _, j := range idxs {
+						if !consumed2[j] {
+							consumed2[j] = true
+							matched[a.cur] = append(matched[a.cur], contribution{a2[j].orig, lifts2})
+						}
+					}
+				}
+			}
+			for m, contribs := range matched {
+				if opt.skipExcluded() && opt.excluded(s.PathOf(m)) {
+					// Extension: let the contributions continue to lift.
+					for i, a := range a1 {
+						if a.cur == m {
+							consumed1[i] = false
+						}
+					}
+					for j, a := range a2 {
+						if a.cur == m {
+							consumed2[j] = false
+						}
+					}
+					continue
+				}
+				if opt.excluded(s.PathOf(m)) {
+					continue // meet_P: consumed but not reported
+				}
+				if d := opt.maxDistance(); d > 0 && int(lifts1+lifts2) > d {
+					continue // beyond the pairwise bound: consumed, not reported
+				}
+				results = append(results, emit(s, m, contribs))
+			}
+			a1 = compact(a1, consumed1)
+			a2 = compact(a2, consumed2)
+			if p1 == sum.Root() {
+				break
+			}
+		}
+		// Steer by the prefix order, exactly as in meet_2.
+		switch {
+		case p1 != p2 && sum.IsPrefix(p2, p1):
+			a1, p1 = liftGroup(s, a1, p1, opt, &lifts1)
+		case p1 != p2 && sum.IsPrefix(p1, p2):
+			a2, p2 = liftGroup(s, a2, p2, opt, &lifts2)
+		default:
+			a1, p1 = liftGroup(s, a1, p1, opt, &lifts1)
+			a2, p2 = liftGroup(s, a2, p2, opt, &lifts2)
+		}
+	}
+	return SortByDocOrder(results), nil
+}
+
+type assoc struct {
+	orig bat.OID
+	cur  bat.OID
+}
+
+// newGroup validates that all OIDs share one path and initialises the
+// association list (orig = cur), dropping duplicates.
+func newGroup(s *monetx.Store, oids []bat.OID) ([]assoc, pathsum.PathID, error) {
+	if len(oids) == 0 {
+		return nil, pathsum.Invalid, nil
+	}
+	seen := bat.NewSet()
+	out := make([]assoc, 0, len(oids))
+	var p pathsum.PathID = pathsum.Invalid
+	for _, o := range oids {
+		if err := checkOID(s, o); err != nil {
+			return nil, pathsum.Invalid, err
+		}
+		if p == pathsum.Invalid {
+			p = s.PathOf(o)
+		} else if s.PathOf(o) != p {
+			return nil, pathsum.Invalid, fmt.Errorf(
+				"core: set not homogeneous: OID %d has path %s, expected %s",
+				o, s.PathString(o), s.Summary().String(p))
+		}
+		if seen.Add(o) {
+			out = append(out, assoc{orig: o, cur: o})
+		}
+	}
+	return out, p, nil
+}
+
+// liftGroup replaces every current ancestor by its parent — the bulk
+// join(O, parent) of Figure 4 — and advances the group's path. A
+// contribution whose lift count would exceed MaxLift is dropped.
+func liftGroup(s *monetx.Store, as []assoc, p pathsum.PathID, opt *Options, lifts *int32) ([]assoc, pathsum.PathID) {
+	*lifts++
+	max := opt.maxLift()
+	out := as[:0]
+	for _, a := range as {
+		if max > 0 && int(*lifts) > max {
+			continue
+		}
+		parent := s.Parent(a.cur)
+		if parent == bat.Nil {
+			continue
+		}
+		out = append(out, assoc{orig: a.orig, cur: parent})
+	}
+	return out, s.Summary().Parent(p)
+}
+
+func compact(as []assoc, consumed []bool) []assoc {
+	out := as[:0]
+	for i, a := range as {
+		if !consumed[i] {
+			out = append(out, a)
+		}
+	}
+	return out
+}

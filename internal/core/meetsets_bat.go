@@ -1,0 +1,118 @@
+package core
+
+import (
+	"fmt"
+
+	"ncq/internal/bat"
+	"ncq/internal/monetx"
+)
+
+// MeetSetsBAT is MeetSets expressed purely with BAT primitives — the
+// relational execution the paper runs inside the Monet server ("the
+// function parent(O1,O2) is a shortcut for join(...), a binary join on
+// associations"). Each group is an association BAT (original OID →
+// current ancestor); lifting is a join with the reversed edge relation
+// of the group's path; intersection, consumption and filtering are BAT
+// algebra. Its results are identical to MeetSets; the ablation
+// benchmark compares the two execution styles.
+func MeetSetsBAT(s *monetx.Store, o1, o2 []bat.OID, opt *Options) ([]Result, error) {
+	a1, p1, err := newGroup(s, o1)
+	if err != nil {
+		return nil, fmt.Errorf("core: MeetSetsBAT: first set: %w", err)
+	}
+	a2, p2, err := newGroup(s, o2)
+	if err != nil {
+		return nil, fmt.Errorf("core: MeetSetsBAT: second set: %w", err)
+	}
+	if len(a1) == 0 || len(a2) == 0 {
+		return nil, nil
+	}
+	b1 := bat.New[bat.OID]("O1")
+	for _, a := range a1 {
+		b1.Append(a.orig, a.cur)
+	}
+	b2 := bat.New[bat.OID]("O2")
+	for _, a := range a2 {
+		b2.Append(a.orig, a.cur)
+	}
+	sum := s.Summary()
+	var (
+		results        []Result
+		lifts1, lifts2 int32
+	)
+	maxLift := int32(opt.maxLift())
+	for b1.Len() > 0 && b2.Len() > 0 {
+		if p1 == p2 {
+			d := bat.IntersectTails(b1, b2)
+			if !d.Empty() {
+				consume := bat.NewSet()
+				d.Each(func(m bat.OID) bool {
+					mp := s.PathOf(m)
+					excluded := opt.excluded(mp)
+					if excluded && opt.skipExcluded() {
+						return true // not consumed, keeps lifting
+					}
+					consume.Add(m)
+					if excluded {
+						return true // consumed, not reported
+					}
+					if md := opt.maxDistance(); md > 0 && int(lifts1+lifts2) > md {
+						return true // consumed, beyond the bound
+					}
+					var contribs []contribution
+					for i := 0; i < b1.Len(); i++ {
+						if b1.Tail(i) == m {
+							contribs = append(contribs, contribution{b1.Head(i), lifts1})
+						}
+					}
+					for i := 0; i < b2.Len(); i++ {
+						if b2.Tail(i) == m {
+							contribs = append(contribs, contribution{b2.Head(i), lifts2})
+						}
+					}
+					results = append(results, emit(s, m, contribs))
+					return true
+				})
+				b1 = bat.SelectTailNotIn(b1, consume)
+				b2 = bat.SelectTailNotIn(b2, consume)
+			}
+			if p1 == sum.Root() {
+				break
+			}
+		}
+		switch {
+		case p1 != p2 && sum.IsPrefix(p2, p1):
+			lifts1++
+			if maxLift > 0 && lifts1 > maxLift {
+				b1 = bat.New[bat.OID]("O1")
+			} else {
+				b1 = s.LiftBAT(b1, p1)
+			}
+			p1 = sum.Parent(p1)
+		case p1 != p2 && sum.IsPrefix(p1, p2):
+			lifts2++
+			if maxLift > 0 && lifts2 > maxLift {
+				b2 = bat.New[bat.OID]("O2")
+			} else {
+				b2 = s.LiftBAT(b2, p2)
+			}
+			p2 = sum.Parent(p2)
+		default:
+			lifts1++
+			lifts2++
+			if maxLift > 0 && lifts1 > maxLift {
+				b1 = bat.New[bat.OID]("O1")
+			} else {
+				b1 = s.LiftBAT(b1, p1)
+			}
+			if maxLift > 0 && lifts2 > maxLift {
+				b2 = bat.New[bat.OID]("O2")
+			} else {
+				b2 = s.LiftBAT(b2, p2)
+			}
+			p1 = sum.Parent(p1)
+			p2 = sum.Parent(p2)
+		}
+	}
+	return SortByDocOrder(results), nil
+}

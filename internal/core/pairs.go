@@ -1,0 +1,74 @@
+package core
+
+import (
+	"ncq/internal/bat"
+	"ncq/internal/monetx"
+)
+
+// MeetPairsBaseline computes the meet of every cross pair of the two
+// input sets — the naive semantics the paper rejects: "If we apply the
+// original motivation to such an input we will end up with a
+// combinatorial explosion of the result size" (Section 1). It exists as
+// the comparison point for the minimality of MeetSets: same inputs,
+// |O1|·|O2| meet_2 computations, and a result bag whose size is the
+// product rather than at most min(|O1|,|O2|).
+//
+// Results are deduplicated per meet node (witness lists merged) but
+// every pair is still computed and counted; PairsComputed reports the
+// work done. Duplicate inputs are ignored like in MeetSets.
+func MeetPairsBaseline(s *monetx.Store, o1, o2 []bat.OID) (results []Result, pairsComputed int, err error) {
+	d1 := dedupe(o1)
+	d2 := dedupe(o2)
+	byMeet := make(map[bat.OID]*Result)
+	for _, a := range d1 {
+		for _, b := range d2 {
+			m, joins, err := Meet2(s, a, b)
+			if err != nil {
+				return nil, pairsComputed, err
+			}
+			pairsComputed++
+			r := byMeet[m]
+			if r == nil {
+				r = &Result{Meet: m, Path: s.PathOf(m)}
+				byMeet[m] = r
+			}
+			r.Witnesses = appendUnique(r.Witnesses, a)
+			r.Witnesses = appendUnique(r.Witnesses, b)
+			r.Distance += joins
+		}
+	}
+	results = make([]Result, 0, len(byMeet))
+	for _, r := range byMeet {
+		sortOIDs(r.Witnesses)
+		results = append(results, *r)
+	}
+	return SortByDocOrder(results), pairsComputed, nil
+}
+
+func dedupe(oids []bat.OID) []bat.OID {
+	seen := bat.NewSet()
+	out := make([]bat.OID, 0, len(oids))
+	for _, o := range oids {
+		if seen.Add(o) {
+			out = append(out, o)
+		}
+	}
+	return out
+}
+
+func appendUnique(s []bat.OID, o bat.OID) []bat.OID {
+	for _, x := range s {
+		if x == o {
+			return s
+		}
+	}
+	return append(s, o)
+}
+
+func sortOIDs(s []bat.OID) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

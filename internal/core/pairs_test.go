@@ -1,0 +1,79 @@
+package core
+
+import (
+	"testing"
+
+	"ncq/internal/bat"
+)
+
+func TestMeetPairsBaselineExplodes(t *testing.T) {
+	s := fig1Store(t)
+	// Inputs: both years and both titles. The minimal MeetSets reports
+	// exactly the two articles; the pairwise baseline computes all four
+	// cross pairs and additionally surfaces the cross-article meets at
+	// the institute — the "not so interesting" implied answers.
+	o1 := []bat.OID{12, 19}
+	o2 := []bat.OID{10, 17}
+	minimal, err := MeetSets(s, o1, o2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseline, pairs, err := MeetPairsBaseline(s, o1, o2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pairs != 4 {
+		t.Errorf("pairs computed = %d, want 4", pairs)
+	}
+	if len(minimal) != 2 {
+		t.Fatalf("minimal = %+v", minimal)
+	}
+	if len(baseline) <= len(minimal) {
+		t.Errorf("baseline (%d results) should exceed minimal (%d)", len(baseline), len(minimal))
+	}
+	// The baseline contains the institute (cross-article pairs).
+	foundInstitute := false
+	for _, r := range baseline {
+		if r.Meet == 2 {
+			foundInstitute = true
+		}
+	}
+	if !foundInstitute {
+		t.Errorf("baseline missing the institute: %+v", baseline)
+	}
+	// Every minimal meet also appears in the baseline.
+	for _, m := range minimal {
+		found := false
+		for _, b := range baseline {
+			if b.Meet == m.Meet {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("minimal meet o%d missing from baseline", m.Meet)
+		}
+	}
+}
+
+func TestMeetPairsBaselineQuadraticWork(t *testing.T) {
+	s := fig1Store(t)
+	// Duplicates are ignored; work is |O1|·|O2| after dedupe.
+	_, pairs, err := MeetPairsBaseline(s, []bat.OID{12, 12, 19}, []bat.OID{10, 17, 17})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pairs != 4 {
+		t.Errorf("pairs = %d, want 4 (2x2 after dedupe)", pairs)
+	}
+	if _, _, err := MeetPairsBaseline(s, []bat.OID{0}, []bat.OID{1}); err == nil {
+		t.Error("invalid OID accepted")
+	}
+}
+
+func TestMeetPairsBaselineEmpty(t *testing.T) {
+	s := fig1Store(t)
+	res, pairs, err := MeetPairsBaseline(s, nil, []bat.OID{10})
+	if err != nil || len(res) != 0 || pairs != 0 {
+		t.Errorf("empty baseline = (%v,%d,%v)", res, pairs, err)
+	}
+}

@@ -1,0 +1,163 @@
+// Package datagen generates the two synthetic datasets the evaluation
+// needs, substituting for data the paper used but that is not
+// available offline:
+//
+//   - DBLP produces a bibliography shaped like the DBLP XML snapshot
+//     the paper bulk-loaded for its Figure 7 case study (flat records
+//     with author/title/pages/year/booktitle children). ICDE is absent
+//     in 1985 — "note that there was no ICDE in 1985, hence the small
+//     step" — and exactly two records carry page ranges that
+//     substring-match a year, the counterpart of the paper's "just two
+//     false positives".
+//   - Multimedia produces a document of multimedia item descriptions in
+//     the spirit of the paper's 200 MB feature-detector output [20],
+//     with probe node pairs planted at every edge distance 0..20 so
+//     that Figure 6's distance sweep has exact targets.
+//
+// Both generators are deterministic functions of their configuration,
+// including the seed.
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ncq/internal/xmltree"
+)
+
+// DBLPConfig parameterises the synthetic bibliography.
+type DBLPConfig struct {
+	Seed             int64
+	YearFrom, YearTo int // inclusive range, e.g. 1984..1999
+	PubsPerVenueYear int // records per venue and year
+}
+
+// DefaultDBLPConfig mirrors the paper's case-study scale: sweeping the
+// year interval 1999 back to 1984 accumulates on the order of 1100
+// ICDE publications (the x-axis of Figure 7 runs to about 1200).
+func DefaultDBLPConfig() DBLPConfig {
+	return DBLPConfig{Seed: 1, YearFrom: 1984, YearTo: 1999, PubsPerVenueYear: 75}
+}
+
+// ICDEYearMissing is the year in which no ICDE took place (see the
+// paper's Figure 7 discussion).
+const ICDEYearMissing = 1985
+
+// falsePositivePages are page ranges planted on two ICDE records whose
+// string representation contains a year they were not published in;
+// substring search for that year then hits the pages relation and the
+// meet reports the enclosing record — the two false positives of the
+// paper's case study. The keys are the years whose queries they
+// pollute.
+var falsePositivePages = map[int]string{
+	1993: "1993-2004", // planted on an ICDE 1989 record
+	1996: "996-1996",  // planted on an ICDE 1987 record
+}
+
+// DBLP generates the synthetic bibliography.
+func DBLP(cfg DBLPConfig) *xmltree.Document {
+	if cfg.YearTo < cfg.YearFrom {
+		cfg.YearFrom, cfg.YearTo = cfg.YearTo, cfg.YearFrom
+	}
+	if cfg.PubsPerVenueYear <= 0 {
+		cfg.PubsPerVenueYear = 1
+	}
+	r := rand.New(rand.NewSource(cfg.Seed))
+	b := xmltree.NewBuilder("dblp")
+	root := b.Root()
+	venues := append([]string{"ICDE"}, noiseVenues...)
+	plantedFP := map[int]bool{}
+	for year := cfg.YearFrom; year <= cfg.YearTo; year++ {
+		for _, venue := range venues {
+			if venue == "ICDE" && year == ICDEYearMissing {
+				continue
+			}
+			for i := 0; i < cfg.PubsPerVenueYear; i++ {
+				pages := randomPages(r)
+				// Plant the two false-positive page ranges on early
+				// ICDE records of other years.
+				if venue == "ICDE" {
+					for fpYear, fpPages := range falsePositivePages {
+						if !plantedFP[fpYear] && year != fpYear && i == 0 &&
+							year == fpHostYear(fpYear) {
+							pages = fpPages
+							plantedFP[fpYear] = true
+						}
+					}
+				}
+				emitRecord(b, r, root, venue, year, i, pages)
+			}
+		}
+	}
+	doc, err := b.Done()
+	if err != nil {
+		panic(fmt.Sprintf("datagen: DBLP: %v", err)) // generator bug
+	}
+	return doc
+}
+
+// fpHostYear returns the publication year of the record hosting the
+// false-positive pages for fpYear. It must differ from fpYear and lie
+// early in the range so small sweeps already include it.
+func fpHostYear(fpYear int) int {
+	switch fpYear {
+	case 1993:
+		return 1989
+	case 1996:
+		return 1987
+	}
+	return fpYear - 1
+}
+
+func emitRecord(b *xmltree.Builder, r *rand.Rand, root *xmltree.Node, venue string, year, i int, pages string) {
+	key := fmt.Sprintf("conf/%s/%s%d-%d", lower(venue), lastNames[r.Intn(len(lastNames))], year%100, i)
+	rec := b.Element(root, "inproceedings", xmltree.Attr{Name: "key", Value: key})
+	for a, an := 0, 1+r.Intn(3); a < an; a++ {
+		author := b.Element(rec, "author")
+		b.Text(author, firstNames[r.Intn(len(firstNames))]+" "+lastNames[r.Intn(len(lastNames))])
+	}
+	title := b.Element(rec, "title")
+	b.Text(title, randomTitle(r))
+	pg := b.Element(rec, "pages")
+	b.Text(pg, pages)
+	yr := b.Element(rec, "year")
+	b.Text(yr, fmt.Sprintf("%d", year))
+	bt := b.Element(rec, "booktitle")
+	b.Text(bt, venue)
+	// The electronic-edition URL deliberately contains neither the year
+	// nor the venue in its searchable capitalisation: otherwise every
+	// record of a queried year would produce a spurious ee+year meet.
+	ee := b.Element(rec, "ee")
+	b.Text(ee, fmt.Sprintf("db/conf/%s/p%d-%d.html", lower(venue), year%100, i))
+}
+
+// randomPages draws a page range that never contains a four-digit
+// number starting with 19 (so only the planted ranges can collide with
+// year searches).
+func randomPages(r *rand.Rand) string {
+	start := 1 + r.Intn(800) // max end stays below 850, no "19xx" possible
+	length := 9 + r.Intn(20)
+	return fmt.Sprintf("%d-%d", start, start+length)
+}
+
+func randomTitle(r *rand.Rand) string {
+	n := 3 + r.Intn(4)
+	out := ""
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			out += " "
+		}
+		out += titleWords[r.Intn(len(titleWords))]
+	}
+	return out
+}
+
+func lower(s string) string {
+	out := []byte(s)
+	for i, c := range out {
+		if c >= 'A' && c <= 'Z' {
+			out[i] = c + 'a' - 'A'
+		}
+	}
+	return string(out)
+}

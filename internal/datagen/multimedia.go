@@ -1,0 +1,115 @@
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ncq/internal/xmltree"
+)
+
+// MultimediaConfig parameterises the synthetic multimedia description
+// document (the stand-in for the paper's 200 MB feature-detector
+// output).
+type MultimediaConfig struct {
+	Seed  int64
+	Items int // number of multimedia items (each ~30 nodes of bulk)
+
+	// MaxProbeDistance is the largest edge distance for which a probe
+	// pair is planted; Figure 6 sweeps distances 0..20.
+	MaxProbeDistance int
+}
+
+// DefaultMultimediaConfig yields roughly 10^5 nodes, large enough for a
+// realistic full-text/meet cost ratio while loading in well under a
+// second.
+func DefaultMultimediaConfig() MultimediaConfig {
+	return MultimediaConfig{Seed: 2, Items: 3000, MaxProbeDistance: 20}
+}
+
+// ProbeTerms returns the two search terms whose (unique) full-text hits
+// lie exactly dist edges apart in the generated document. For dist 0
+// both terms hit the same cdata node.
+func ProbeTerms(dist int) (a, b string) {
+	return fmt.Sprintf("probeA%d", dist), fmt.Sprintf("probeB%d", dist)
+}
+
+// Multimedia generates the synthetic description document. Each item
+// holds media metadata and feature-detector output (histograms,
+// keywords); one dedicated probes subtree plants, for every distance
+// d in 0..MaxProbeDistance, a pair of unique marker strings exactly d
+// edges apart.
+func Multimedia(cfg MultimediaConfig) *xmltree.Document {
+	if cfg.Items < 0 {
+		cfg.Items = 0
+	}
+	if cfg.MaxProbeDistance < 0 {
+		cfg.MaxProbeDistance = 0
+	}
+	r := rand.New(rand.NewSource(cfg.Seed))
+	b := xmltree.NewBuilder("collection")
+	root := b.Root()
+
+	probes := b.Element(root, "probes")
+	for d := 0; d <= cfg.MaxProbeDistance; d++ {
+		plantProbe(b, probes, d)
+	}
+
+	for i := 0; i < cfg.Items; i++ {
+		emitItem(b, r, root, i)
+	}
+	doc, err := b.Done()
+	if err != nil {
+		panic(fmt.Sprintf("datagen: Multimedia: %v", err)) // generator bug
+	}
+	return doc
+}
+
+// plantProbe creates two full-text targets exactly dist edges apart
+// carrying the unique ProbeTerms(dist) markers.
+//
+//	dist 0:  one cdata node holding both terms (both hits own the same
+//	         node),
+//	dist d:  a fork element whose attribute holds term A (attribute
+//	         hits bind their owning element) and a descending chain of
+//	         d-1 elements ending in a cdata leaf holding term B — the
+//	         leaf is exactly d edges below the fork.
+func plantProbe(b *xmltree.Builder, probes *xmltree.Node, dist int) {
+	termA, termB := ProbeTerms(dist)
+	probe := b.Element(probes, "probe", xmltree.Attr{Name: "d", Value: fmt.Sprintf("%d", dist)})
+	if dist == 0 {
+		leaf := b.Element(probe, "mark")
+		b.Text(leaf, termA+" "+termB)
+		return
+	}
+	cur := b.Element(probe, "fork", xmltree.Attr{Name: "m", Value: termA})
+	for i := 0; i < dist-1; i++ {
+		cur = b.Element(cur, "n")
+	}
+	b.Text(cur, termB)
+}
+
+func emitItem(b *xmltree.Builder, r *rand.Rand, root *xmltree.Node, i int) {
+	item := b.Element(root, "item", xmltree.Attr{Name: "id", Value: fmt.Sprintf("m%06d", i)})
+	src := b.Element(item, "source")
+	u := b.Element(src, "url")
+	b.Text(u, fmt.Sprintf("media/archive/%04d/object%06d.mpg", r.Intn(10000), i))
+	fmtEl := b.Element(src, "format")
+	b.Text(fmtEl, []string{"jpeg", "mpeg", "wav", "png"}[r.Intn(4)])
+
+	features := b.Element(item, "features")
+	for f, fn := 0, 2+r.Intn(3); f < fn; f++ {
+		name := featureNames[r.Intn(len(featureNames))]
+		feat := b.Element(features, "feature", xmltree.Attr{Name: "detector", Value: name})
+		for v, vn := 0, 1+r.Intn(3); v < vn; v++ {
+			val := b.Element(feat, "value")
+			b.Text(val, fmt.Sprintf("%d.%03d", r.Intn(10), r.Intn(1000)))
+		}
+	}
+
+	annot := b.Element(item, "annotation")
+	kw := b.Element(annot, "keywords")
+	for k, kn := 0, 1+r.Intn(4); k < kn; k++ {
+		w := b.Element(kw, "keyword")
+		b.Text(w, keywordPool[r.Intn(len(keywordPool))])
+	}
+}

@@ -1,0 +1,102 @@
+package datagen
+
+import (
+	"testing"
+
+	"ncq/internal/core"
+	"ncq/internal/fulltext"
+	"ncq/internal/monetx"
+	"ncq/internal/xmltree"
+)
+
+func smallMM() MultimediaConfig {
+	return MultimediaConfig{Seed: 2, Items: 50, MaxProbeDistance: 20}
+}
+
+func TestMultimediaDeterministic(t *testing.T) {
+	a := Multimedia(smallMM())
+	b := Multimedia(smallMM())
+	if !xmltree.Equal(a, b) {
+		t.Error("same config produced different documents")
+	}
+}
+
+func TestMultimediaValid(t *testing.T) {
+	doc := Multimedia(smallMM())
+	if err := doc.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Root.Label != "collection" {
+		t.Errorf("root = %q", doc.Root.Label)
+	}
+	if len(doc.Root.Children) != 51 { // probes + 50 items
+		t.Errorf("root has %d children, want 51", len(doc.Root.Children))
+	}
+}
+
+// TestMultimediaProbeDistances is the load-bearing property for the
+// Figure 6 experiment: for every distance d the two probe terms have
+// unique full-text hits exactly d edges apart, and their meet's join
+// count equals d.
+func TestMultimediaProbeDistances(t *testing.T) {
+	doc := Multimedia(smallMM())
+	store, err := monetx.Load(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx := fulltext.New(store)
+	for d := 0; d <= 20; d++ {
+		termA, termB := ProbeTerms(d)
+		hitsA := idx.Search(termA)
+		hitsB := idx.Search(termB)
+		if len(hitsA) != 1 || len(hitsB) != 1 {
+			t.Fatalf("distance %d: probe hits = %d/%d, want 1/1", d, len(hitsA), len(hitsB))
+		}
+		_, joins, err := core.Meet2(store, hitsA[0].Owner, hitsB[0].Owner)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if joins != d {
+			t.Errorf("distance %d: Meet2 joins = %d", d, joins)
+		}
+	}
+}
+
+func TestMultimediaZeroItems(t *testing.T) {
+	doc := Multimedia(MultimediaConfig{Seed: 1, Items: 0, MaxProbeDistance: 3})
+	if err := doc.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Root.Children) != 1 {
+		t.Errorf("root children = %d, want just the probes subtree", len(doc.Root.Children))
+	}
+}
+
+func TestMultimediaNegativeConfigClamped(t *testing.T) {
+	doc := Multimedia(MultimediaConfig{Seed: 1, Items: -5, MaxProbeDistance: -1})
+	if err := doc.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMultimediaSerializationRoundTrip(t *testing.T) {
+	doc := Multimedia(MultimediaConfig{Seed: 2, Items: 10, MaxProbeDistance: 8})
+	back, err := xmltree.ParseString(doc.XMLString())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !xmltree.Equal(doc, back) {
+		t.Error("multimedia document does not round-trip through XML")
+	}
+}
+
+func TestDBLPSerializationRoundTrip(t *testing.T) {
+	doc := DBLP(DBLPConfig{Seed: 1, YearFrom: 1998, YearTo: 1999, PubsPerVenueYear: 2})
+	back, err := xmltree.ParseString(doc.XMLString())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !xmltree.Equal(doc, back) {
+		t.Error("DBLP document does not round-trip through XML")
+	}
+}

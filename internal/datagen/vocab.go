@@ -1,0 +1,46 @@
+package datagen
+
+// Vocabularies for the deterministic generators. The lists are fixed so
+// that the same seed always produces byte-identical documents.
+
+var firstNames = []string{
+	"Albrecht", "Martin", "Menzo", "Florian", "Peter", "Maria", "Sophie",
+	"Jan", "Wilhelm", "Anna", "Clara", "David", "Erik", "Frank", "Greta",
+	"Hanna", "Ivo", "Jurgen", "Karin", "Lars", "Mikkel", "Nina", "Otto",
+	"Paula", "Quentin", "Rosa", "Stefan", "Tilda", "Ulrich", "Vera",
+	"Walter", "Xenia", "Yara", "Zeno", "Ben", "Bob",
+}
+
+var lastNames = []string{
+	"Schmidt", "Kersten", "Windhouwer", "Waas", "Boncz", "Struzik",
+	"Meyer", "Fischer", "Weber", "Wagner", "Becker", "Schulz", "Hoffmann",
+	"Koch", "Bauer", "Richter", "Klein", "Wolf", "Schroeder", "Neumann",
+	"Schwarz", "Zimmermann", "Braun", "Krueger", "Hofmann", "Hartmann",
+	"Lange", "Schmitt", "Werner", "Krause", "Lehmann", "Maier", "Bit",
+	"Byte",
+}
+
+var titleWords = []string{
+	"Efficient", "Scalable", "Adaptive", "Incremental", "Distributed",
+	"Parallel", "Declarative", "Semistructured", "Relational", "Temporal",
+	"Spatial", "Approximate", "Optimal", "Robust", "Dynamic",
+	"Query", "Storage", "Indexing", "Retrieval", "Processing", "Mining",
+	"Integration", "Optimization", "Evaluation", "Compression", "Caching",
+	"Replication", "Recovery", "Clustering", "Partitioning",
+	"Databases", "Documents", "Streams", "Trees", "Graphs", "Views",
+	"Schemas", "Transactions", "Workloads", "Architectures", "Engines",
+	"Warehouses", "Repositories", "Hierarchies", "Collections",
+}
+
+var noiseVenues = []string{"VLDB", "SIGMOD", "EDBT", "PODS"}
+
+var featureNames = []string{
+	"colorhistogram", "texture", "shape", "luminance", "contrast",
+	"saturation", "edgemap", "motion", "audiopitch", "tempo",
+}
+
+var keywordPool = []string{
+	"landscape", "portrait", "indoor", "outdoor", "daylight", "night",
+	"urban", "nature", "water", "sky", "crowd", "vehicle", "animal",
+	"building", "texture", "closeup", "panorama", "silhouette",
+}

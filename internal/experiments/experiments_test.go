@@ -1,0 +1,190 @@
+package experiments
+
+import (
+	"testing"
+
+	"ncq/internal/datagen"
+)
+
+func smallSetups(t *testing.T) (mm, bib *Setup) {
+	t.Helper()
+	var err error
+	mm, err = LoadMultimedia(datagen.MultimediaConfig{Seed: 2, Items: 100, MaxProbeDistance: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bib, err = LoadDBLP(datagen.DBLPConfig{Seed: 1, YearFrom: 1984, YearTo: 1999, PubsPerVenueYear: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return mm, bib
+}
+
+func TestFig6Shape(t *testing.T) {
+	mm, _ := smallSetups(t)
+	rows, err := Fig6(mm, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 13 {
+		t.Fatalf("rows = %d, want 13 (distances 0..12)", len(rows))
+	}
+	for i, r := range rows {
+		if r.Distance != i {
+			t.Errorf("row %d distance = %d", i, r.Distance)
+		}
+		if r.CombinedMS < r.FulltextMS {
+			t.Errorf("distance %d: combined %.4f < fulltext %.4f", r.Distance, r.CombinedMS, r.FulltextMS)
+		}
+		if r.MeetPerOpNS < 0 {
+			t.Errorf("distance %d: negative meet time", r.Distance)
+		}
+	}
+	// The headline claim: the meet is negligible next to the full-text
+	// search. Allow generous slack — this is a shape, not a number.
+	last := rows[len(rows)-1]
+	if last.MeetUS*1000 > 50*last.FulltextMS*1e6 {
+		t.Errorf("meet (%f us) not small next to fulltext (%f ms)", last.MeetUS, last.FulltextMS)
+	}
+}
+
+func TestFig7Shape(t *testing.T) {
+	_, bib := smallSetups(t)
+	rows, err := Fig7(bib, 1999, 1984)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 16 {
+		t.Fatalf("rows = %d, want 16", len(rows))
+	}
+	// Output cardinality grows monotonically as the interval widens;
+	// the 1985 step contributes zero ICDE publications.
+	for i := 1; i < len(rows); i++ {
+		if rows[i].Output < rows[i-1].Output {
+			t.Errorf("output shrank when widening: %d -> %d at yearLow %d",
+				rows[i-1].Output, rows[i].Output, rows[i].YearLow)
+		}
+	}
+	// At yearLow = 1999: exactly the 4 ICDE-1999 records, no FPs.
+	if rows[0].Output != 4 || rows[0].FalsePositives != 0 {
+		t.Errorf("1999 row = %+v, want 4 true results", rows[0])
+	}
+	// The full interval: 15 ICDE years × 4 records + 2 false positives.
+	lastRow := rows[len(rows)-1]
+	wantTrue := 15 * 4
+	if lastRow.Output != wantTrue+lastRow.FalsePositives {
+		t.Errorf("full-interval output = %d with %d FPs, want %d true results",
+			lastRow.Output, lastRow.FalsePositives, wantTrue)
+	}
+	// The planted false positives appear once their year enters the
+	// interval and disappear again once the hosting record's own year
+	// enters (the record then is a true hit):
+	//   1996-FP hosted on ICDE-1987, 1993-FP hosted on ICDE-1989.
+	wantFPs := map[int]int{
+		1997: 0, // neither planted year in range
+		1996: 1, // 1996 in range, host 1987 not
+		1993: 2, // both planted years in range, neither host
+		1990: 2,
+		1989: 1, // 1989 host now in range: its record is a true hit
+		1987: 0, // both hosts in range
+		1984: 0,
+	}
+	for _, r := range rows {
+		if want, ok := wantFPs[r.YearLow]; ok && r.FalsePositives != want {
+			t.Errorf("yearLow %d: FPs = %d, want %d", r.YearLow, r.FalsePositives, want)
+		}
+	}
+}
+
+func TestFig7The1985Step(t *testing.T) {
+	_, bib := smallSetups(t)
+	rows, err := Fig7(bib, 1999, 1984)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byLow := map[int]Fig7Row{}
+	for _, r := range rows {
+		byLow[r.YearLow] = r
+	}
+	// Widening 1986->1985 adds no ICDE publications ("note that there
+	// was no ICDE in 1985, hence the small step").
+	d1985 := byLow[1985].Output - byLow[1986].Output
+	d1986 := byLow[1986].Output - byLow[1987].Output
+	if d1985 != 0 {
+		t.Errorf("1985 step adds %d results, want 0", d1985)
+	}
+	if d1986 <= 0 {
+		t.Errorf("1986 step adds %d results, want > 0", d1986)
+	}
+}
+
+func TestInputScalingShape(t *testing.T) {
+	_, bib := smallSetups(t)
+	rows, err := InputScaling(bib, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for i := 1; i < len(rows); i++ {
+		if rows[i].Inputs < rows[i-1].Inputs {
+			t.Errorf("inputs not growing: %+v", rows)
+		}
+	}
+	if rows[len(rows)-1].Output == 0 {
+		t.Error("full input produced no meets")
+	}
+}
+
+func TestAblationParent(t *testing.T) {
+	_, bib := smallSetups(t)
+	rows, err := AblationParent(bib, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %+v", rows)
+	}
+	for _, r := range rows {
+		if !r.CheckedOK {
+			t.Errorf("%s: strategies disagree", r.Name)
+		}
+		if r.PerOpNS <= 0 {
+			t.Errorf("%s: no time measured", r.Name)
+		}
+	}
+}
+
+func TestExplosion(t *testing.T) {
+	_, bib := smallSetups(t)
+	row, err := Explosion(bib, 1995)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.BaselinePairs != row.Inputs1*row.Inputs2 {
+		t.Errorf("pairs = %d, want %d", row.BaselinePairs, row.Inputs1*row.Inputs2)
+	}
+	if row.BaselineResults < row.MinimalResults {
+		t.Errorf("baseline results %d < minimal %d", row.BaselineResults, row.MinimalResults)
+	}
+	if row.MinimalResults == 0 {
+		t.Error("minimal meet found nothing")
+	}
+}
+
+func TestFig6RejectsBrokenProbes(t *testing.T) {
+	// A document without probes must fail loudly, not return garbage.
+	bibOnly, err := LoadDBLP(datagen.DBLPConfig{Seed: 1, YearFrom: 1999, YearTo: 1999, PubsPerVenueYear: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := Fig6(bibOnly, 1)
+	if err != nil {
+		t.Fatalf("Fig6 on probe-less doc: %v", err)
+	}
+	// No probes at all -> only distance 0 is absent too; expect zero rows.
+	if len(rows) != 0 {
+		t.Errorf("rows = %+v, want none", rows)
+	}
+}

@@ -1,0 +1,196 @@
+// Package fulltext provides the full-text search engine the paper
+// combines with the meet operator ("it can serve as a sensible and
+// valuable add-on to an already existing search engine for
+// semi-structured or XML data", Section 5).
+//
+// The engine indexes every string association of a Monet XML store —
+// the character data of cdata nodes and all attribute values — in an
+// inverted index keyed by lower-cased token. Substring search, the
+// semantics of the paper's `contains` predicate, is answered by a scan
+// over the path-partitioned string relations.
+//
+// A hit identifies the node carrying the string: the cdata node's OID
+// for character data, the owning element's OID for attribute values.
+// These owner OIDs are exactly the inputs the meet operator expects,
+// and Groups partitions them by element path — the R_1 … R_n relations
+// of the paper's Figure 5.
+package fulltext
+
+import (
+	"sort"
+	"strings"
+	"unicode"
+
+	"ncq/internal/bat"
+	"ncq/internal/monetx"
+	"ncq/internal/pathsum"
+)
+
+// Hit is one matched string association.
+type Hit struct {
+	Owner bat.OID        // node carrying the string (cdata node or attribute owner)
+	Path  pathsum.PathID // the attribute path of the string association
+	Value string         // the full stored string
+}
+
+// Index is an inverted index over all string associations of a store.
+type Index struct {
+	store *monetx.Store
+	post  map[string][]Hit // token -> hits, in index-build order
+}
+
+// Tokenize splits s into lower-cased maximal runs of letters and
+// digits. "Hacking & RSI" tokenizes to ["hacking", "rsi"].
+func Tokenize(s string) []string {
+	var out []string
+	var cur strings.Builder
+	flush := func() {
+		if cur.Len() > 0 {
+			out = append(out, cur.String())
+			cur.Reset()
+		}
+	}
+	for _, r := range s {
+		if unicode.IsLetter(r) || unicode.IsDigit(r) {
+			cur.WriteRune(unicode.ToLower(r))
+		} else {
+			flush()
+		}
+	}
+	flush()
+	return out
+}
+
+// New builds the inverted index for the store by scanning every string
+// relation in the path summary's catalogue.
+func New(store *monetx.Store) *Index {
+	idx := &Index{store: store, post: make(map[string][]Hit)}
+	sum := store.Summary()
+	for _, pid := range sum.AllPaths() {
+		if sum.Kind(pid) != pathsum.Attr {
+			continue
+		}
+		rel := store.Strings(pid)
+		if rel == nil {
+			continue
+		}
+		for i := 0; i < rel.Len(); i++ {
+			owner, value := rel.Head(i), rel.Tail(i)
+			seen := map[string]bool{}
+			for _, tok := range Tokenize(value) {
+				if seen[tok] {
+					continue
+				}
+				seen[tok] = true
+				idx.post[tok] = append(idx.post[tok], Hit{Owner: owner, Path: pid, Value: value})
+			}
+		}
+	}
+	return idx
+}
+
+// Store returns the store the index was built over.
+func (idx *Index) Store() *monetx.Store { return idx.store }
+
+// Terms returns the number of distinct tokens in the index.
+func (idx *Index) Terms() int { return len(idx.post) }
+
+// Search returns the associations containing term as a token,
+// case-insensitively. The result is ordered by owner OID.
+func (idx *Index) Search(term string) []Hit {
+	toks := Tokenize(term)
+	if len(toks) == 0 {
+		return nil
+	}
+	if len(toks) == 1 {
+		return sortHits(append([]Hit(nil), idx.post[toks[0]]...))
+	}
+	// Multi-token term: all tokens must occur in the same association;
+	// verify the full phrase by substring on the candidates.
+	cand := idx.post[toks[0]]
+	var out []Hit
+	for _, h := range cand {
+		if containsFold(h.Value, term) {
+			out = append(out, h)
+		}
+	}
+	return sortHits(out)
+}
+
+// SearchSubstring returns the associations whose value contains sub as
+// a case-sensitive substring — the semantics of the paper's
+// `contains` predicate ("o & contains 'Bit'"). It scans the string
+// relations directly.
+func (idx *Index) SearchSubstring(sub string) []Hit {
+	if sub == "" {
+		return nil
+	}
+	return idx.scan(func(v string) bool { return strings.Contains(v, sub) })
+}
+
+// SearchFunc returns the associations whose value satisfies pred.
+func (idx *Index) SearchFunc(pred func(string) bool) []Hit {
+	return idx.scan(pred)
+}
+
+func (idx *Index) scan(pred func(string) bool) []Hit {
+	sum := idx.store.Summary()
+	var out []Hit
+	for _, pid := range sum.AllPaths() {
+		if sum.Kind(pid) != pathsum.Attr {
+			continue
+		}
+		rel := idx.store.Strings(pid)
+		if rel == nil {
+			continue
+		}
+		for i := 0; i < rel.Len(); i++ {
+			if pred(rel.Tail(i)) {
+				out = append(out, Hit{Owner: rel.Head(i), Path: pid, Value: rel.Tail(i)})
+			}
+		}
+	}
+	return sortHits(out)
+}
+
+// Owners extracts the distinct owner OIDs of hits, in ascending order.
+func Owners(hits []Hit) []bat.OID {
+	seen := bat.NewSet()
+	for _, h := range hits {
+		seen.Add(h.Owner)
+	}
+	return seen.Slice()
+}
+
+// Groups partitions the distinct owner OIDs of hits by the owners'
+// element path: the R_1 … R_n input relations of the general meet
+// (Figure 5). OIDs within a group are in ascending order.
+func (idx *Index) Groups(hits []Hit) map[pathsum.PathID][]bat.OID {
+	perPath := make(map[pathsum.PathID]*bat.Set)
+	for _, h := range hits {
+		p := idx.store.PathOf(h.Owner)
+		if perPath[p] == nil {
+			perPath[p] = bat.NewSet()
+		}
+		perPath[p].Add(h.Owner)
+	}
+	out := make(map[pathsum.PathID][]bat.OID, len(perPath))
+	for p, s := range perPath {
+		out[p] = s.Slice()
+	}
+	return out
+}
+
+func sortHits(hits []Hit) []Hit {
+	sort.Slice(hits, func(i, j int) bool {
+		if hits[i].Owner != hits[j].Owner {
+			return hits[i].Owner < hits[j].Owner
+		}
+		return hits[i].Path < hits[j].Path
+	})
+	return hits
+}
+
+func containsFold(haystack, needle string) bool {
+	return strings.Contains(strings.ToLower(haystack), strings.ToLower(needle))
+}

@@ -1,0 +1,33 @@
+package fulltext
+
+import (
+	"testing"
+	"unicode"
+)
+
+// FuzzTokenize checks the tokenizer's postconditions on arbitrary
+// input: tokens are non-empty, lower-case, and consist of letters and
+// digits only.
+func FuzzTokenize(f *testing.F) {
+	for _, s := range []string{
+		"Hacking & RSI", "1999", "", "!!!", "a-b_c",
+		"Bob Byte", "ÄÖÜ straße", "日本語 text", "\x00\xff",
+	} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, in string) {
+		for _, tok := range Tokenize(in) {
+			if tok == "" {
+				t.Fatal("empty token")
+			}
+			for _, r := range tok {
+				if !unicode.IsLetter(r) && !unicode.IsDigit(r) {
+					t.Fatalf("token %q contains separator %q", tok, r)
+				}
+				if unicode.IsUpper(r) {
+					t.Fatalf("token %q not lower-cased", tok)
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,92 @@
+package fulltext
+
+import "sort"
+
+// Thesaurus holds synonym sets for query broadening. Section 4 of the
+// paper: "thesauri are a promising tool to help a user find interesting
+// results, especially to broaden a search that returned too few
+// answers."
+//
+// Synonymy is symmetric and transitive here: adding a→b and b→c puts
+// a, b and c into one synonym class (a union-find over lower-cased
+// tokens). The zero value is not usable; construct with NewThesaurus.
+type Thesaurus struct {
+	parent map[string]string
+}
+
+// NewThesaurus returns an empty thesaurus.
+func NewThesaurus() *Thesaurus {
+	return &Thesaurus{parent: make(map[string]string)}
+}
+
+func (t *Thesaurus) find(term string) string {
+	p, ok := t.parent[term]
+	if !ok || p == term {
+		return term
+	}
+	root := t.find(p)
+	t.parent[term] = root // path compression
+	return root
+}
+
+// Add declares the given terms synonymous with term. Terms are
+// tokenised, so "database system" contributes its tokens individually.
+func (t *Thesaurus) Add(term string, synonyms ...string) {
+	all := Tokenize(term)
+	for _, s := range synonyms {
+		all = append(all, Tokenize(s)...)
+	}
+	if len(all) == 0 {
+		return
+	}
+	root := t.find(all[0])
+	t.parent[root] = root
+	for _, s := range all[1:] {
+		t.parent[t.find(s)] = root
+	}
+}
+
+// Expand returns term's full synonym class including term itself,
+// sorted. Unknown terms expand to themselves.
+func (t *Thesaurus) Expand(term string) []string {
+	toks := Tokenize(term)
+	if len(toks) != 1 {
+		return []string{term}
+	}
+	tok := toks[0]
+	root := t.find(tok)
+	set := map[string]bool{tok: true}
+	for s := range t.parent {
+		if t.find(s) == root {
+			set[s] = true
+		}
+	}
+	out := make([]string, 0, len(set))
+	for s := range set {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Len returns the number of terms known to the thesaurus.
+func (t *Thesaurus) Len() int { return len(t.parent) }
+
+// SearchExpanded searches for term and all of its synonyms, merging the
+// hit lists (duplicates removed, ordered by owner).
+func (idx *Index) SearchExpanded(t *Thesaurus, term string) []Hit {
+	if t == nil {
+		return idx.Search(term)
+	}
+	seen := map[Hit]bool{}
+	var out []Hit
+	for _, syn := range t.Expand(term) {
+		for _, h := range idx.Search(syn) {
+			if !seen[h] {
+				seen[h] = true
+				out = append(out, h)
+			}
+		}
+	}
+	return sortHits(out)
+}

@@ -1,0 +1,87 @@
+package fulltext
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestThesaurusExpand(t *testing.T) {
+	th := NewThesaurus()
+	th.Add("car", "automobile", "vehicle")
+	got := th.Expand("car")
+	want := []string{"automobile", "car", "vehicle"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Expand(car) = %v, want %v", got, want)
+	}
+	// Symmetric: expanding a synonym yields the same class.
+	if got := th.Expand("vehicle"); !reflect.DeepEqual(got, want) {
+		t.Errorf("Expand(vehicle) = %v, want %v", got, want)
+	}
+	// Unknown terms expand to themselves.
+	if got := th.Expand("boat"); !reflect.DeepEqual(got, []string{"boat"}) {
+		t.Errorf("Expand(boat) = %v", got)
+	}
+}
+
+func TestThesaurusTransitive(t *testing.T) {
+	th := NewThesaurus()
+	th.Add("a", "b")
+	th.Add("b", "c")
+	th.Add("x", "y")
+	got := th.Expand("a")
+	if !reflect.DeepEqual(got, []string{"a", "b", "c"}) {
+		t.Errorf("Expand(a) = %v, want merged class", got)
+	}
+	if got := th.Expand("x"); !reflect.DeepEqual(got, []string{"x", "y"}) {
+		t.Errorf("Expand(x) = %v, classes leaked", got)
+	}
+}
+
+func TestThesaurusCaseFolding(t *testing.T) {
+	th := NewThesaurus()
+	th.Add("Car", "AUTOMOBILE")
+	if got := th.Expand("car"); len(got) != 2 {
+		t.Errorf("Expand(car) = %v, want 2 case-folded entries", got)
+	}
+}
+
+func TestThesaurusEmptyAdd(t *testing.T) {
+	th := NewThesaurus()
+	th.Add("", "")
+	th.Add("!!!")
+	if th.Len() != 0 {
+		t.Errorf("Len = %d after empty adds", th.Len())
+	}
+}
+
+func TestThesaurusMultiWordExpandsToItself(t *testing.T) {
+	th := NewThesaurus()
+	th.Add("a", "b")
+	if got := th.Expand("a b"); !reflect.DeepEqual(got, []string{"a b"}) {
+		t.Errorf("Expand(phrase) = %v, want the phrase itself", got)
+	}
+}
+
+func TestSearchExpanded(t *testing.T) {
+	idx := fig1Index(t)
+	th := NewThesaurus()
+	// 'Robert' is not in the document; broaden it to Bob and Ben.
+	th.Add("robert", "bob", "ben")
+	hits := idx.SearchExpanded(th, "Robert")
+	if len(hits) != 2 {
+		t.Fatalf("SearchExpanded = %v, want hits for Bob (o15) and Ben (o6)", hits)
+	}
+	if hits[0].Owner != 6 || hits[1].Owner != 15 {
+		t.Errorf("owners = %d,%d, want 6,15", hits[0].Owner, hits[1].Owner)
+	}
+	// Nil thesaurus behaves like plain search.
+	if got := idx.SearchExpanded(nil, "Ben"); len(got) != 1 {
+		t.Errorf("nil thesaurus search = %v", got)
+	}
+	// No duplicates when synonyms hit the same association.
+	th2 := NewThesaurus()
+	th2.Add("bob", "byte")
+	if got := idx.SearchExpanded(th2, "bob"); len(got) != 1 {
+		t.Errorf("duplicate hits not merged: %v", got)
+	}
+}

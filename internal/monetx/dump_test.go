@@ -1,0 +1,70 @@
+package monetx
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDumpTransformFig1(t *testing.T) {
+	s := fig1Store(t)
+	var sb strings.Builder
+	if err := s.DumpTransform(&sb, 0); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	// Spot-check against the paper's Figure 2.
+	wants := []string{
+		"/bibliography/institute = {⟨o1,o2⟩}",
+		"/bibliography/institute/article = {⟨o2,o3⟩, ⟨o2,o13⟩}",
+		`/bibliography/institute/article@key = {⟨o3,"BB99"⟩, ⟨o13,"BK99"⟩}`,
+		`/bibliography/institute/article/year/cdata@string = {⟨o12,"1999"⟩, ⟨o19,"1999"⟩}`,
+		`/bibliography/institute/article/author/lastname/cdata@string = {⟨o8,"Bit"⟩}`,
+	}
+	for _, w := range wants {
+		if !strings.Contains(out, w) {
+			t.Errorf("dump missing %q\n%s", w, out)
+		}
+	}
+	// Root line present.
+	if !strings.Contains(out, "/bibliography = {⟨root,o1⟩}") {
+		t.Errorf("dump missing root line:\n%s", out)
+	}
+}
+
+func TestDumpTransformLimit(t *testing.T) {
+	s := fig1Store(t)
+	var sb strings.Builder
+	if err := s.DumpTransform(&sb, 1); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "… (1 more)") {
+		t.Errorf("limit not applied:\n%s", sb.String())
+	}
+}
+
+func TestPathInfos(t *testing.T) {
+	s := fig1Store(t)
+	infos := s.PathInfos()
+	if len(infos) != s.Summary().Len() {
+		t.Fatalf("infos = %d, want %d", len(infos), s.Summary().Len())
+	}
+	byPath := map[string]PathInfo{}
+	total := 0
+	for _, pi := range infos {
+		byPath[pi.Path] = pi
+		if !pi.Attr {
+			total += pi.Count
+		}
+	}
+	if total != s.Len() {
+		t.Errorf("element counts sum to %d, want %d", total, s.Len())
+	}
+	art := byPath["/bibliography/institute/article"]
+	if art.Count != 2 || art.Attr {
+		t.Errorf("article info = %+v", art)
+	}
+	key := byPath["/bibliography/institute/article@key"]
+	if key.Count != 2 || !key.Attr {
+		t.Errorf("key info = %+v", key)
+	}
+}

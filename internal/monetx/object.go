@@ -1,0 +1,97 @@
+package monetx
+
+import (
+	"fmt"
+	"sort"
+
+	"ncq/internal/bat"
+	"ncq/internal/xmltree"
+)
+
+// Object is the object-oriented view of a node re-assembled from its
+// associations, as sketched in Section 2 of the paper ("an object can
+// be regarded as a set of associations"). It is a flat record: nested
+// structure is reached by re-assembling the child OIDs.
+type Object struct {
+	OID      bat.OID
+	Label    string
+	Path     string
+	Attrs    []xmltree.Attr // attribute associations, sorted by name
+	Text     string         // character data when the node is a cdata node
+	IsCData  bool
+	Children []bat.OID // child OIDs in document order
+}
+
+// Reassemble gathers all associations whose first component is o and
+// converts them into an Object.
+func (s *Store) Reassemble(o bat.OID) (*Object, error) {
+	if !s.ValidOID(o) {
+		return nil, fmt.Errorf("monetx: reassemble: invalid OID %d", o)
+	}
+	pid := s.pathOf[o]
+	obj := &Object{
+		OID:      o,
+		Label:    s.summary.Label(pid),
+		Path:     s.summary.String(pid),
+		Children: s.Children(o),
+	}
+	if obj.Label == xmltree.CDataLabel {
+		obj.IsCData = true
+		obj.Text, _ = s.Text(o)
+		return obj, nil
+	}
+	for _, apid := range s.summary.AttrPaths(pid) {
+		if v, ok := s.strs[apid].Find(o); ok {
+			obj.Attrs = append(obj.Attrs, xmltree.Attr{Name: s.summary.Label(apid), Value: v})
+		}
+	}
+	sort.Slice(obj.Attrs, func(i, j int) bool { return obj.Attrs[i].Name < obj.Attrs[j].Name })
+	return obj, nil
+}
+
+// ReassembleDocument rebuilds the complete syntax tree from the
+// relations alone. It exists to prove the Monet transform is lossless:
+// the result compares equal (xmltree.Equal) to the document that was
+// loaded. Attribute order within an element is not part of the model
+// and is restored sorted by name.
+func (s *Store) ReassembleDocument() (*xmltree.Document, error) {
+	return s.ReassembleSubtree(s.root)
+}
+
+// ReassembleSubtree rebuilds the subtree rooted at o as a standalone
+// document — the paper's "starting point for displaying and browsing"
+// once a meet has located an interesting node (Section 4). o must be an
+// element node; reassembling a bare cdata node has no XML form.
+func (s *Store) ReassembleSubtree(o bat.OID) (*xmltree.Document, error) {
+	rootObj, err := s.Reassemble(o)
+	if err != nil {
+		return nil, err
+	}
+	if rootObj.IsCData {
+		return nil, fmt.Errorf("monetx: reassemble subtree: OID %d is character data, not an element", o)
+	}
+	b := xmltree.NewBuilder(rootObj.Label)
+	b.Root().Attrs = rootObj.Attrs
+	var rec func(parent *xmltree.Node, children []bat.OID) error
+	rec = func(parent *xmltree.Node, children []bat.OID) error {
+		for _, c := range children {
+			obj, err := s.Reassemble(c)
+			if err != nil {
+				return err
+			}
+			if obj.IsCData {
+				b.Text(parent, obj.Text)
+				continue
+			}
+			n := b.Element(parent, obj.Label, obj.Attrs...)
+			if err := rec(n, obj.Children); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := rec(b.Root(), rootObj.Children); err != nil {
+		return nil, err
+	}
+	return b.Done()
+}

@@ -1,0 +1,176 @@
+package monetx
+
+import (
+	"bufio"
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"ncq/internal/bat"
+	"ncq/internal/pathsum"
+)
+
+// Snapshots persist a loaded store without the XML parse and shred: the
+// path summary, the per-OID arrays and the string relations are written
+// with encoding/gob; everything else (edge relations, rank relations,
+// the per-path OID lists) is derivable from those and rebuilt on read.
+// The snapshot of a store reloads into a store that answers every query
+// identically.
+
+// snapshotVersion guards against format drift.
+const snapshotVersion = 1
+
+type snapshotPath struct {
+	Parent int32 // PathID of the parent path; -1 for the root
+	Label  string
+	Kind   uint8
+}
+
+type snapshotStrings struct {
+	Path   int32
+	Owners []uint32
+	Values []string
+}
+
+type snapshot struct {
+	Version int
+	Root    uint32
+	Paths   []snapshotPath
+	Parent  []uint32
+	PathOf  []int32
+	Depth   []int32
+	Rank    []int32
+	End     []uint32
+	Strings []snapshotStrings
+}
+
+// WriteSnapshot serialises the store to w.
+func (s *Store) WriteSnapshot(w io.Writer) error {
+	snap := snapshot{
+		Version: snapshotVersion,
+		Root:    uint32(s.root),
+		Parent:  make([]uint32, len(s.parent)),
+		PathOf:  make([]int32, len(s.pathOf)),
+		Depth:   append([]int32(nil), s.depth...),
+		Rank:    append([]int32(nil), s.rank...),
+		End:     make([]uint32, len(s.end)),
+	}
+	for i := range s.parent {
+		snap.Parent[i] = uint32(s.parent[i])
+		snap.PathOf[i] = int32(s.pathOf[i])
+		snap.End[i] = uint32(s.end[i])
+	}
+	for _, pid := range s.summary.AllPaths() {
+		snap.Paths = append(snap.Paths, snapshotPath{
+			Parent: int32(s.summary.Parent(pid)),
+			Label:  s.summary.Label(pid),
+			Kind:   uint8(s.summary.Kind(pid)),
+		})
+		if s.summary.Kind(pid) != pathsum.Attr {
+			continue
+		}
+		rel := s.strs[pid]
+		if rel == nil {
+			continue
+		}
+		ss := snapshotStrings{Path: int32(pid)}
+		for i := 0; i < rel.Len(); i++ {
+			ss.Owners = append(ss.Owners, uint32(rel.Head(i)))
+			ss.Values = append(ss.Values, rel.Tail(i))
+		}
+		snap.Strings = append(snap.Strings, ss)
+	}
+	bw := bufio.NewWriter(w)
+	if err := gob.NewEncoder(bw).Encode(&snap); err != nil {
+		return fmt.Errorf("monetx: write snapshot: %w", err)
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("monetx: write snapshot: %w", err)
+	}
+	return nil
+}
+
+// ReadSnapshot deserialises a store written by WriteSnapshot.
+func ReadSnapshot(r io.Reader) (*Store, error) {
+	var snap snapshot
+	if err := gob.NewDecoder(bufio.NewReader(r)).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("monetx: read snapshot: %w", err)
+	}
+	if snap.Version != snapshotVersion {
+		return nil, fmt.Errorf("monetx: read snapshot: version %d, want %d", snap.Version, snapshotVersion)
+	}
+	n := len(snap.Parent)
+	if n < 2 || len(snap.PathOf) != n || len(snap.Depth) != n ||
+		len(snap.Rank) != n || len(snap.End) != n {
+		return nil, fmt.Errorf("monetx: read snapshot: inconsistent array lengths")
+	}
+	s := &Store{
+		summary: pathsum.New(),
+		parent:  make([]bat.OID, n),
+		pathOf:  make([]pathsum.PathID, n),
+		depth:   snap.Depth,
+		rank:    snap.Rank,
+		end:     make([]bat.OID, n),
+		edges:   make(map[pathsum.PathID]*bat.BAT[bat.OID]),
+		strs:    make(map[pathsum.PathID]*bat.BAT[string]),
+		ranks:   make(map[pathsum.PathID]*bat.BAT[int]),
+		revEdge: make(map[pathsum.PathID]*bat.BAT[bat.OID]),
+		oidsAt:  make(map[pathsum.PathID][]bat.OID),
+		root:    bat.OID(snap.Root),
+	}
+	// Replay the path summary; interning order guarantees parents come
+	// before children, which Intern re-checks.
+	for i, p := range snap.Paths {
+		id, err := s.summary.Intern(pathsum.PathID(p.Parent), p.Label, pathsum.Kind(p.Kind))
+		if err != nil {
+			return nil, fmt.Errorf("monetx: read snapshot: path %d: %w", i, err)
+		}
+		if int(id) != i {
+			return nil, fmt.Errorf("monetx: read snapshot: path %d re-interned as %d", i, id)
+		}
+	}
+	nPaths := s.summary.Len()
+	for i := 0; i < n; i++ {
+		s.parent[i] = bat.OID(snap.Parent[i])
+		if i > 0 && (snap.PathOf[i] < 0 || int(snap.PathOf[i]) >= nPaths) {
+			return nil, fmt.Errorf("monetx: read snapshot: OID %d has unknown path %d", i, snap.PathOf[i])
+		}
+		s.pathOf[i] = pathsum.PathID(snap.PathOf[i])
+		s.end[i] = bat.OID(snap.End[i])
+	}
+	// Rebuild the derived relations in OID (= document) order.
+	for oid := bat.OID(1); int(oid) < n; oid++ {
+		pid := s.pathOf[oid]
+		s.oidsAt[pid] = append(s.oidsAt[pid], oid)
+		if p := s.parent[oid]; p != bat.Nil {
+			e := s.edges[pid]
+			if e == nil {
+				e = bat.New[bat.OID](s.summary.String(pid))
+				s.edges[pid] = e
+			}
+			e.Append(p, oid)
+		}
+		rk := s.ranks[pid]
+		if rk == nil {
+			rk = bat.New[int](s.summary.String(pid) + "#rank")
+			s.ranks[pid] = rk
+		}
+		rk.Append(oid, int(s.rank[oid]))
+	}
+	for _, ss := range snap.Strings {
+		if len(ss.Owners) != len(ss.Values) {
+			return nil, fmt.Errorf("monetx: read snapshot: ragged string relation %d", ss.Path)
+		}
+		pid := pathsum.PathID(ss.Path)
+		if int(pid) < 0 || int(pid) >= nPaths || s.summary.Kind(pid) != pathsum.Attr {
+			return nil, fmt.Errorf("monetx: read snapshot: string relation on non-attribute path %d", ss.Path)
+		}
+		for i := range ss.Owners {
+			s.appendString(pid, bat.OID(ss.Owners[i]), ss.Values[i])
+		}
+	}
+	if !s.ValidOID(s.root) || s.root != 1 {
+		return nil, fmt.Errorf("monetx: read snapshot: bad root %d", s.root)
+	}
+	return s, nil
+}

@@ -1,0 +1,101 @@
+package monetx
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	batpkg "ncq/internal/bat"
+	"ncq/internal/xmltree"
+)
+
+func roundTripSnapshot(t *testing.T, s *Store) *Store {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := s.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadSnapshot(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return back
+}
+
+func TestSnapshotRoundTripFig1(t *testing.T) {
+	s := fig1Store(t)
+	back := roundTripSnapshot(t, s)
+	// The reloaded store must reassemble to the identical document.
+	a, err := s.ReassembleDocument()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := back.ReassembleDocument()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !xmltree.Equal(a, b) {
+		t.Error("snapshot round trip changed the document")
+	}
+	// Spot-check navigation equivalence.
+	if back.Len() != s.Len() || back.Root() != s.Root() {
+		t.Error("shape differs")
+	}
+	for oid := 1; oid <= s.Len(); oid++ {
+		o := batpkg.OID(oid)
+		if back.Parent(o) != s.Parent(o) || back.Depth(o) != s.Depth(o) ||
+			back.Rank(o) != s.Rank(o) || back.PathString(o) != s.PathString(o) {
+			t.Fatalf("per-OID data differs at %d", oid)
+		}
+	}
+	// String relations intact.
+	if txt, ok := back.Text(8); !ok || txt != "Bit" {
+		t.Errorf("Text(8) = (%q,%v)", txt, ok)
+	}
+	if v, ok := back.AttrValue(13, "key"); !ok || v != "BK99" {
+		t.Errorf("AttrValue = (%q,%v)", v, ok)
+	}
+	// Stats agree (same relations, same associations).
+	if s.Stats() != back.Stats() {
+		t.Errorf("stats differ: %+v vs %+v", s.Stats(), back.Stats())
+	}
+}
+
+func TestSnapshotRoundTripRandom(t *testing.T) {
+	r := rand.New(rand.NewSource(51))
+	for i := 0; i < 30; i++ {
+		doc := xmltree.Random(r, 80)
+		s, err := Load(doc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back := roundTripSnapshot(t, s)
+		rebuilt, err := back.ReassembleDocument()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !xmltree.Equal(doc, rebuilt) {
+			t.Fatalf("doc %d: snapshot round trip changed the document", i)
+		}
+	}
+}
+
+func TestSnapshotErrors(t *testing.T) {
+	if _, err := ReadSnapshot(strings.NewReader("")); err == nil {
+		t.Error("empty snapshot accepted")
+	}
+	if _, err := ReadSnapshot(strings.NewReader("garbage data, not gob")); err == nil {
+		t.Error("garbage snapshot accepted")
+	}
+	// A truncated snapshot must fail, not panic.
+	s := fig1Store(t)
+	var buf bytes.Buffer
+	if err := s.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	if _, err := ReadSnapshot(bytes.NewReader(raw[:len(raw)/2])); err == nil {
+		t.Error("truncated snapshot accepted")
+	}
+}

@@ -1,0 +1,43 @@
+package pathexpr
+
+import (
+	"testing"
+
+	"ncq/internal/monetx"
+	"ncq/internal/xmltree"
+)
+
+// FuzzCompile feeds arbitrary pattern strings to the compiler; accepted
+// patterns must evaluate against a summary without panicking.
+func FuzzCompile(f *testing.F) {
+	seeds := []string{
+		"/a/b/c",
+		"//cdata",
+		"/bibliography/%/year",
+		"/*/*",
+		"//article@key",
+		"//cdata@*",
+		"%", "@", "///", "/a@", "/a/%/%/b",
+		"/ü/日本",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	store, err := monetx.Load(xmltree.Fig1())
+	if err != nil {
+		f.Fatal(err)
+	}
+	sum := store.Summary()
+	f.Fuzz(func(t *testing.T, in string) {
+		p, err := Compile(in)
+		if err != nil {
+			return
+		}
+		matched := p.SelectPaths(sum)
+		for _, id := range matched {
+			if !p.Matches(sum, id) {
+				t.Fatalf("SelectPaths returned non-matching path for %q", in)
+			}
+		}
+	})
+}

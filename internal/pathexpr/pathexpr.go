@@ -1,0 +1,198 @@
+// Package pathexpr implements the regular path expressions that the
+// paper's introduction uses as the state-of-the-art baseline: "UNIX
+// command line-like regular expressions that are evaluated against the
+// actual database" (Section 1, citing Lorel, XML-QL, XQL and Quilt).
+//
+// A pattern is an absolute path whose steps may be
+//
+//	label   a literal element label,
+//	*       exactly one arbitrary label (schema wildcard for one step),
+//	%       any sequence of labels, including the empty one
+//	        (the paper's footnote-1 wildcard),
+//	//      shorthand separator equivalent to /%/,
+//
+// optionally followed by @name or @* to address attribute paths.
+// Patterns are compiled once and then evaluated against a path summary,
+// yielding the set of matching PathIDs — which is cheap, because the
+// summary is small compared to the database instance.
+package pathexpr
+
+import (
+	"fmt"
+	"strings"
+
+	"ncq/internal/pathsum"
+)
+
+type stepKind uint8
+
+const (
+	stepLabel stepKind = iota // match one specific label
+	stepOne                   // match exactly one arbitrary label (*)
+	stepAny                   // match any (possibly empty) label sequence (%)
+)
+
+type step struct {
+	kind  stepKind
+	label string
+}
+
+// Pattern is a compiled path expression.
+type Pattern struct {
+	src      string
+	steps    []step
+	attr     string // attribute name to match; "" = element pattern
+	attrAny  bool   // @* — any attribute of the matched element path
+	wantAttr bool   // pattern addresses attribute paths
+}
+
+// Compile parses a path expression. Patterns must be absolute (start
+// with "/" or "//").
+func Compile(src string) (*Pattern, error) {
+	s := strings.TrimSpace(src)
+	if s == "" {
+		return nil, fmt.Errorf("pathexpr: empty pattern")
+	}
+	p := &Pattern{src: src}
+	// Split off the attribute suffix first.
+	if i := strings.LastIndexByte(s, '@'); i >= 0 {
+		attr := s[i+1:]
+		s = s[:i]
+		if attr == "" {
+			return nil, fmt.Errorf("pathexpr: %q: empty attribute name after '@'", src)
+		}
+		p.wantAttr = true
+		if attr == "*" {
+			p.attrAny = true
+		} else if strings.ContainsAny(attr, "/*%@") {
+			return nil, fmt.Errorf("pathexpr: %q: invalid attribute name %q", src, attr)
+		} else {
+			p.attr = attr
+		}
+		if s == "" {
+			return nil, fmt.Errorf("pathexpr: %q: attribute without element path", src)
+		}
+	}
+	if !strings.HasPrefix(s, "/") {
+		return nil, fmt.Errorf("pathexpr: %q: pattern must be absolute (start with / or //)", src)
+	}
+	// "//" means "descendant": insert a % step.
+	s = strings.ReplaceAll(s, "//", "/%/")
+	s = strings.TrimPrefix(s, "/")
+	s = strings.TrimSuffix(s, "/") // tolerate trailing slash from "//" at the end
+	if s == "" {
+		return nil, fmt.Errorf("pathexpr: %q: no steps", src)
+	}
+	for _, part := range strings.Split(s, "/") {
+		switch part {
+		case "":
+			return nil, fmt.Errorf("pathexpr: %q: empty step", src)
+		case "*":
+			p.steps = append(p.steps, step{kind: stepOne})
+		case "%":
+			// Collapse adjacent % steps.
+			if n := len(p.steps); n > 0 && p.steps[n-1].kind == stepAny {
+				continue
+			}
+			p.steps = append(p.steps, step{kind: stepAny})
+		default:
+			if strings.ContainsAny(part, "*%@") {
+				return nil, fmt.Errorf("pathexpr: %q: wildcard must be a whole step in %q", src, part)
+			}
+			p.steps = append(p.steps, step{kind: stepLabel, label: part})
+		}
+	}
+	return p, nil
+}
+
+// MustCompile is Compile that panics on error, for fixed patterns.
+func MustCompile(src string) *Pattern {
+	p, err := Compile(src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// String returns the source text of the pattern.
+func (p *Pattern) String() string { return p.src }
+
+// IsAttr reports whether the pattern addresses attribute paths.
+func (p *Pattern) IsAttr() bool { return p.wantAttr }
+
+// Matches reports whether the pattern matches the given path of the
+// summary. Element patterns match only element paths; attribute
+// patterns match only attribute paths (with the element part matched
+// against the owner).
+func (p *Pattern) Matches(sum *pathsum.Summary, id pathsum.PathID) bool {
+	if id == pathsum.Invalid || int(id) >= sum.Len() {
+		return false
+	}
+	isAttr := sum.Kind(id) == pathsum.Attr
+	if isAttr != p.wantAttr {
+		return false
+	}
+	labels := sum.Labels(id)
+	if p.wantAttr {
+		name := labels[len(labels)-1]
+		labels = labels[:len(labels)-1]
+		if !p.attrAny && name != p.attr {
+			return false
+		}
+	}
+	return matchSteps(labels, p.steps)
+}
+
+// matchSteps matches a label sequence against the steps by simulating
+// the obvious NFA: state j means "steps[:j] have matched a prefix".
+// A % step contributes an epsilon move j→j+1 (empty match) and a
+// self-loop that consumes any label (the role of ".*").
+func matchSteps(labels []string, steps []step) bool {
+	ok := make([]bool, len(steps)+1)
+	next := make([]bool, len(steps)+1)
+	ok[0] = true
+	closure := func(set []bool) {
+		// Epsilon moves only go forward, so one pass suffices.
+		for j := range steps {
+			if set[j] && steps[j].kind == stepAny {
+				set[j+1] = true
+			}
+		}
+	}
+	closure(ok)
+	for _, l := range labels {
+		for j := range next {
+			next[j] = false
+		}
+		for j := range steps {
+			if !ok[j] {
+				continue
+			}
+			switch steps[j].kind {
+			case stepLabel:
+				if steps[j].label == l {
+					next[j+1] = true
+				}
+			case stepOne:
+				next[j+1] = true
+			case stepAny:
+				next[j] = true // consume l, stay inside %
+			}
+		}
+		closure(next)
+		ok, next = next, ok
+	}
+	return ok[len(steps)]
+}
+
+// SelectPaths returns all PathIDs of the summary matched by the
+// pattern, in ascending ID order.
+func (p *Pattern) SelectPaths(sum *pathsum.Summary) []pathsum.PathID {
+	var out []pathsum.PathID
+	for _, id := range sum.AllPaths() {
+		if p.Matches(sum, id) {
+			out = append(out, id)
+		}
+	}
+	return out
+}

@@ -1,0 +1,261 @@
+package pathexpr
+
+import (
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+
+	"ncq/internal/monetx"
+	"ncq/internal/pathsum"
+	"ncq/internal/xmltree"
+)
+
+func fig1Summary(t *testing.T) *pathsum.Summary {
+	t.Helper()
+	s, err := monetx.Load(xmltree.Fig1())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s.Summary()
+}
+
+// matchedStrings renders the matched paths for easy comparison.
+func matchedStrings(sum *pathsum.Summary, p *Pattern) []string {
+	var out []string
+	for _, id := range p.SelectPaths(sum) {
+		out = append(out, sum.String(id))
+	}
+	return out
+}
+
+func TestCompileErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"   ",
+		"relative/path",
+		"/a//",   // fine? trailing // is trimmed — see below
+		"/a/b@",  // empty attribute
+		"@key",   // attribute without element path
+		"/a/b*c", // wildcard inside a step
+		"/a/%x",  // wildcard inside a step
+		"/a@k@j", // invalid attribute name
+		"/a/@*x", // hmm
+	}
+	// "/a//" compiles (trailing // ≡ /%), so drop it from the error list.
+	for _, src := range cases {
+		if src == "/a//" {
+			continue
+		}
+		if _, err := Compile(src); err == nil {
+			t.Errorf("Compile(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestCompileTrailingDescendant(t *testing.T) {
+	p, err := Compile("/bibliography//")
+	if err != nil {
+		t.Fatalf("trailing // should compile: %v", err)
+	}
+	sum := fig1Summary(t)
+	// /bibliography// ≡ /bibliography/% — matches bibliography and all
+	// its element descendants.
+	got := p.SelectPaths(sum)
+	if len(got) != len(sum.ElemPaths()) {
+		t.Errorf("matched %d paths, want all %d element paths", len(got), len(sum.ElemPaths()))
+	}
+}
+
+func TestMustCompilePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustCompile on bad pattern did not panic")
+		}
+	}()
+	MustCompile("not absolute")
+}
+
+func TestExactPath(t *testing.T) {
+	sum := fig1Summary(t)
+	got := matchedStrings(sum, MustCompile("/bibliography/institute/article"))
+	want := []string{"/bibliography/institute/article"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("got %v, want %v", got, want)
+	}
+	if got := matchedStrings(sum, MustCompile("/bibliography/nosuch")); got != nil {
+		t.Errorf("nonexistent path matched %v", got)
+	}
+}
+
+func TestStarStep(t *testing.T) {
+	sum := fig1Summary(t)
+	// /bibliography/*/article: * matches exactly one step (institute).
+	got := matchedStrings(sum, MustCompile("/bibliography/*/article"))
+	if !reflect.DeepEqual(got, []string{"/bibliography/institute/article"}) {
+		t.Errorf("got %v", got)
+	}
+	// /*/institute matches with any root.
+	got = matchedStrings(sum, MustCompile("/*/institute"))
+	if !reflect.DeepEqual(got, []string{"/bibliography/institute"}) {
+		t.Errorf("got %v", got)
+	}
+	// * does not match two steps.
+	if got := matchedStrings(sum, MustCompile("/bibliography/*/author")); got != nil {
+		t.Errorf("single * matched two steps: %v", got)
+	}
+}
+
+func TestPercentWildcard(t *testing.T) {
+	sum := fig1Summary(t)
+	// The footnote-1 wildcard: any sequence of tags, including empty.
+	got := matchedStrings(sum, MustCompile("/bibliography/%/year"))
+	if !reflect.DeepEqual(got, []string{"/bibliography/institute/article/year"}) {
+		t.Errorf("got %v", got)
+	}
+	// Empty expansion: /bibliography/% includes /bibliography itself.
+	got = matchedStrings(sum, MustCompile("/bibliography/%"))
+	if len(got) != len(sum.ElemPaths()) {
+		t.Errorf("/bibliography/%% matched %d paths, want all %d", len(got), len(sum.ElemPaths()))
+	}
+}
+
+func TestDescendantShorthand(t *testing.T) {
+	sum := fig1Summary(t)
+	got := matchedStrings(sum, MustCompile("//cdata"))
+	want := []string{
+		"/bibliography/institute/article/author/cdata",
+		"/bibliography/institute/article/author/firstname/cdata",
+		"/bibliography/institute/article/author/lastname/cdata",
+		"/bibliography/institute/article/title/cdata",
+		"/bibliography/institute/article/year/cdata",
+	}
+	if len(got) != len(want) {
+		t.Fatalf("//cdata matched %v, want %v", got, want)
+	}
+	for _, w := range want {
+		found := false
+		for _, g := range got {
+			if g == w {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("//cdata missed %s", w)
+		}
+	}
+	// //author//cdata: descendant within descendant.
+	got = matchedStrings(sum, MustCompile("//author//cdata"))
+	if len(got) != 3 {
+		t.Errorf("//author//cdata matched %v, want 3 paths", got)
+	}
+}
+
+func TestRootOnlyDescendant(t *testing.T) {
+	sum := fig1Summary(t)
+	// //* matches every element path (any non-empty label sequence).
+	got := MustCompile("//*").SelectPaths(sum)
+	if len(got) != len(sum.ElemPaths()) {
+		t.Errorf("//* matched %d, want %d", len(got), len(sum.ElemPaths()))
+	}
+}
+
+func TestAttributePatterns(t *testing.T) {
+	sum := fig1Summary(t)
+	got := matchedStrings(sum, MustCompile("//article@key"))
+	if !reflect.DeepEqual(got, []string{"/bibliography/institute/article@key"}) {
+		t.Errorf("//article@key = %v", got)
+	}
+	// @* matches any attribute, including the reserved cdata string.
+	got = matchedStrings(sum, MustCompile("//cdata@*"))
+	if len(got) != 5 {
+		t.Errorf("//cdata@* matched %v, want the 5 cdata@string paths", got)
+	}
+	// Element pattern never matches attribute paths and vice versa.
+	p := MustCompile("//article")
+	for _, id := range p.SelectPaths(sum) {
+		if sum.Kind(id) != pathsum.Elem {
+			t.Error("element pattern matched an attribute path")
+		}
+	}
+	if MustCompile("//article@key").Matches(sum, sum.Root()) {
+		t.Error("attribute pattern matched the root element path")
+	}
+}
+
+func TestIsAttrAndString(t *testing.T) {
+	if !MustCompile("//a@k").IsAttr() || MustCompile("//a").IsAttr() {
+		t.Error("IsAttr wrong")
+	}
+	if MustCompile("//a@k").String() != "//a@k" {
+		t.Error("String should return source")
+	}
+}
+
+func TestMatchesInvalidPath(t *testing.T) {
+	sum := fig1Summary(t)
+	p := MustCompile("//*")
+	if p.Matches(sum, pathsum.Invalid) {
+		t.Error("matched Invalid")
+	}
+	if p.Matches(sum, pathsum.PathID(9999)) {
+		t.Error("matched out-of-range path")
+	}
+}
+
+// TestMatchAgainstRegexOracle cross-checks the step NFA against a
+// brute-force expansion on random label sequences.
+func TestMatchAgainstRegexOracle(t *testing.T) {
+	r := rand.New(rand.NewSource(77))
+	alphabet := []string{"a", "b", "c"}
+	randomPattern := func() string {
+		n := 1 + r.Intn(4)
+		var parts []string
+		for i := 0; i < n; i++ {
+			switch r.Intn(4) {
+			case 0:
+				parts = append(parts, "*")
+			case 1:
+				parts = append(parts, "%")
+			default:
+				parts = append(parts, alphabet[r.Intn(len(alphabet))])
+			}
+		}
+		return "/" + strings.Join(parts, "/")
+	}
+	// Oracle: recursive matcher.
+	var oracle func(labels []string, steps []step) bool
+	oracle = func(labels []string, steps []step) bool {
+		if len(steps) == 0 {
+			return len(labels) == 0
+		}
+		switch steps[0].kind {
+		case stepLabel:
+			return len(labels) > 0 && labels[0] == steps[0].label && oracle(labels[1:], steps[1:])
+		case stepOne:
+			return len(labels) > 0 && oracle(labels[1:], steps[1:])
+		default: // stepAny
+			if oracle(labels, steps[1:]) {
+				return true
+			}
+			return len(labels) > 0 && oracle(labels[1:], steps)
+		}
+	}
+	for trial := 0; trial < 3000; trial++ {
+		src := randomPattern()
+		p, err := Compile(src)
+		if err != nil {
+			t.Fatalf("Compile(%q): %v", src, err)
+		}
+		n := r.Intn(6)
+		labels := make([]string, n)
+		for i := range labels {
+			labels[i] = alphabet[r.Intn(len(alphabet))]
+		}
+		got := matchSteps(labels, p.steps)
+		want := oracle(labels, p.steps)
+		if got != want {
+			t.Fatalf("pattern %q vs labels %v: NFA %v, oracle %v", src, labels, got, want)
+		}
+	}
+}

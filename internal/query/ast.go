@@ -1,0 +1,109 @@
+package query
+
+import "ncq/internal/pathexpr"
+
+// projKind is the projection applied to a bound variable.
+type projKind uint8
+
+// Projections.
+const (
+	projVar   projKind = iota // the node itself (rendered as its tag, per the paper)
+	projTag                   // TAG(v): the element label
+	projPath                  // PATH(v): the full path string
+	projValue                 // VALUE(v): the node's character data
+	projXML                   // XML(v): the serialised subtree
+)
+
+func (k projKind) String() string {
+	switch k {
+	case projTag:
+		return "tag"
+	case projPath:
+		return "path"
+	case projValue:
+		return "value"
+	case projXML:
+		return "xml"
+	}
+	return "node"
+}
+
+// projItem is one non-meet select item.
+type projItem struct {
+	kind projKind
+	v    string // variable name
+	pos  int
+}
+
+// meetItem is the meet aggregation select item.
+type meetItem struct {
+	vars    []string
+	exclude []*pathexpr.Pattern
+	within  int  // MaxDistance; 0 = unbounded
+	maxLift int  // MaxLift; 0 = unbounded
+	nearest bool // NEAREST: SkipExcluded semantics
+	ranked  bool // RANKED: order results by distance, not document order
+	pos     int
+}
+
+// binding associates a path pattern with a variable name.
+type binding struct {
+	pattern *pathexpr.Pattern
+	v       string
+	pos     int
+}
+
+// condKind is the predicate applied to a variable.
+type condKind uint8
+
+const (
+	condContains condKind = iota // v CONTAINS 'str': substring in the subtree
+	condEquals                   // v = 'str': the node's own value equals str
+)
+
+type cond struct {
+	kind condKind
+	v    string
+	arg  string
+	pos  int
+}
+
+// condOp is a boolean connective in a WHERE expression tree.
+type condOp uint8
+
+const (
+	opLeaf condOp = iota
+	opAnd
+	opOr
+	opNot
+)
+
+// condExpr is a boolean expression over predicates. The top-level AND
+// chain may mix variables (each conjunct filters its own variable);
+// every other subtree must constrain exactly one variable, which
+// checkVars enforces.
+type condExpr struct {
+	op   condOp
+	leaf cond       // opLeaf only
+	kids []condExpr // operands for and/or; one operand for not
+	pos  int
+}
+
+// vars reports the distinct variable names referenced beneath e.
+func (e *condExpr) vars(out map[string]bool) {
+	if e.op == opLeaf {
+		out[e.leaf.v] = true
+		return
+	}
+	for i := range e.kids {
+		e.kids[i].vars(out)
+	}
+}
+
+// Query is a parsed query.
+type Query struct {
+	meet  *meetItem  // nil when the select list is projections
+	projs []projItem // empty when meet != nil
+	binds []binding
+	conds []condExpr // top-level conjuncts, one variable each
+}

@@ -1,0 +1,44 @@
+package query
+
+import (
+	"testing"
+
+	"ncq/internal/fulltext"
+	"ncq/internal/monetx"
+	"ncq/internal/xmltree"
+)
+
+// FuzzQuery feeds arbitrary strings to the compiler and, when they
+// compile, evaluates them against the Fig. 1 document: neither stage
+// may panic.
+func FuzzQuery(f *testing.F) {
+	seeds := []string{
+		"SELECT e FROM //a AS e",
+		"SELECT meet(e1, e2) FROM //cdata AS e1, //cdata AS e2 WHERE e1 CONTAINS 'Bit'",
+		"SELECT tag(e), path(e) FROM /bibliography/% AS e WHERE e = 'x'",
+		"SELECT meet(a; EXCLUDE /b, WITHIN 3, MAXLIFT 2, NEAREST) FROM //c AS a",
+		"select e from //'a' as e",
+		"SELECT",
+		"SELECT e FROM //a AS e WHERE e CONTAINS 'O''Brien'",
+		"ß SELECT ü FROM //€ AS æ",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	store, err := monetx.Load(xmltree.Fig1())
+	if err != nil {
+		f.Fatal(err)
+	}
+	engine := NewEngine(store, fulltext.New(store))
+	f.Fuzz(func(t *testing.T, in string) {
+		q, err := Parse(in)
+		if err != nil {
+			return
+		}
+		if _, err := engine.Eval(q); err != nil {
+			// Evaluation errors are fine; panics are not (the harness
+			// catches those itself).
+			return
+		}
+	})
+}

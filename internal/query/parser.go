@@ -1,0 +1,423 @@
+package query
+
+import (
+	"strconv"
+
+	"ncq/internal/pathexpr"
+)
+
+// Parse compiles a query string into a Query.
+func Parse(src string) (*Query, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	q, err := p.parseQuery()
+	if err != nil {
+		return nil, err
+	}
+	return q, nil
+}
+
+type parser struct {
+	toks []token
+	i    int
+}
+
+func (p *parser) cur() token  { return p.toks[p.i] }
+func (p *parser) next() token { t := p.toks[p.i]; p.i++; return t }
+
+func (p *parser) expect(kind tokenKind) (token, error) {
+	t := p.cur()
+	if t.kind != kind {
+		return t, errf(t.pos, "expected %s, found %s %q", kind, t.kind, t.text)
+	}
+	p.i++
+	return t, nil
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	t := p.cur()
+	if !t.keyword(kw) {
+		return errf(t.pos, "expected %s, found %q", kw, t.text)
+	}
+	p.i++
+	return nil
+}
+
+func (p *parser) parseQuery() (*Query, error) {
+	q := &Query{}
+	if err := p.expectKeyword("select"); err != nil {
+		return nil, err
+	}
+	if err := p.parseSelectList(q); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("from"); err != nil {
+		return nil, err
+	}
+	if err := p.parseBindings(q); err != nil {
+		return nil, err
+	}
+	if p.cur().keyword("where") {
+		p.i++
+		if err := p.parseConds(q); err != nil {
+			return nil, err
+		}
+	}
+	if t := p.cur(); t.kind != tkEOF {
+		return nil, errf(t.pos, "unexpected trailing input %q", t.text)
+	}
+	if err := checkVars(q); err != nil {
+		return nil, err
+	}
+	return q, nil
+}
+
+func (p *parser) parseSelectList(q *Query) error {
+	if p.cur().keyword("meet") {
+		m, err := p.parseMeetItem()
+		if err != nil {
+			return err
+		}
+		q.meet = m
+		if p.cur().kind == tkComma {
+			return errf(p.cur().pos, "meet(...) must be the only select item")
+		}
+		return nil
+	}
+	for {
+		item, err := p.parseProjItem()
+		if err != nil {
+			return err
+		}
+		q.projs = append(q.projs, item)
+		if p.cur().kind != tkComma {
+			return nil
+		}
+		p.i++
+	}
+}
+
+func (p *parser) parseProjItem() (projItem, error) {
+	t := p.cur()
+	var kind projKind
+	switch {
+	case t.keyword("tag"):
+		kind = projTag
+	case t.keyword("path"):
+		kind = projPath
+	case t.keyword("value"):
+		kind = projValue
+	case t.keyword("xml"):
+		kind = projXML
+	case t.kind == tkIdent:
+		p.i++
+		return projItem{kind: projVar, v: t.text, pos: t.pos}, nil
+	default:
+		return projItem{}, errf(t.pos, "expected select item, found %q", t.text)
+	}
+	p.i++
+	if _, err := p.expect(tkLParen); err != nil {
+		return projItem{}, err
+	}
+	v, err := p.expect(tkIdent)
+	if err != nil {
+		return projItem{}, err
+	}
+	if _, err := p.expect(tkRParen); err != nil {
+		return projItem{}, err
+	}
+	return projItem{kind: kind, v: v.text, pos: t.pos}, nil
+}
+
+func (p *parser) parseMeetItem() (*meetItem, error) {
+	m := &meetItem{pos: p.cur().pos}
+	p.i++ // MEET
+	if _, err := p.expect(tkLParen); err != nil {
+		return nil, err
+	}
+	for {
+		v, err := p.expect(tkIdent)
+		if err != nil {
+			return nil, err
+		}
+		m.vars = append(m.vars, v.text)
+		if p.cur().kind == tkComma {
+			p.i++
+			continue
+		}
+		break
+	}
+	if p.cur().kind == tkSemi {
+		p.i++
+		if err := p.parseMeetOptions(m); err != nil {
+			return nil, err
+		}
+	}
+	if _, err := p.expect(tkRParen); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+func (p *parser) parseMeetOptions(m *meetItem) error {
+	for {
+		t := p.cur()
+		switch {
+		case t.keyword("exclude"):
+			p.i++
+			for {
+				pt, err := p.expect(tkPath)
+				if err != nil {
+					return err
+				}
+				pat, err := pathexpr.Compile(pt.text)
+				if err != nil {
+					return errf(pt.pos, "%v", err)
+				}
+				m.exclude = append(m.exclude, pat)
+				// Further paths belong to EXCLUDE only if the next-next
+				// token is another path.
+				if p.cur().kind == tkComma && p.toks[p.i+1].kind == tkPath {
+					p.i++
+					continue
+				}
+				break
+			}
+		case t.keyword("within"):
+			p.i++
+			n, err := p.expect(tkNumber)
+			if err != nil {
+				return err
+			}
+			v, err := strconv.Atoi(n.text)
+			if err != nil || v <= 0 {
+				return errf(n.pos, "WITHIN needs a positive integer, got %q", n.text)
+			}
+			m.within = v
+		case t.keyword("maxlift"):
+			p.i++
+			n, err := p.expect(tkNumber)
+			if err != nil {
+				return err
+			}
+			v, err := strconv.Atoi(n.text)
+			if err != nil || v <= 0 {
+				return errf(n.pos, "MAXLIFT needs a positive integer, got %q", n.text)
+			}
+			m.maxLift = v
+		case t.keyword("nearest"):
+			p.i++
+			m.nearest = true
+		case t.keyword("ranked"):
+			p.i++
+			m.ranked = true
+		default:
+			return errf(t.pos, "expected meet option (EXCLUDE, WITHIN, MAXLIFT, NEAREST, RANKED), found %q", t.text)
+		}
+		if p.cur().kind == tkComma {
+			p.i++
+			continue
+		}
+		return nil
+	}
+}
+
+func (p *parser) parseBindings(q *Query) error {
+	for {
+		pt, err := p.expect(tkPath)
+		if err != nil {
+			return err
+		}
+		pat, err := pathexpr.Compile(pt.text)
+		if err != nil {
+			return errf(pt.pos, "%v", err)
+		}
+		if err := p.expectKeyword("as"); err != nil {
+			return err
+		}
+		v, err := p.expect(tkIdent)
+		if err != nil {
+			return err
+		}
+		for _, b := range q.binds {
+			if b.v == v.text {
+				return errf(v.pos, "variable %q bound twice", v.text)
+			}
+		}
+		q.binds = append(q.binds, binding{pattern: pat, v: v.text, pos: pt.pos})
+		if p.cur().kind != tkComma {
+			return nil
+		}
+		p.i++
+	}
+}
+
+// parseConds parses the WHERE clause. The top level is a conjunction
+// whose conjuncts each constrain one variable; within a conjunct, OR,
+// AND, NOT and parentheses combine predicates freely.
+func (p *parser) parseConds(q *Query) error {
+	for {
+		e, err := p.parseOrExpr()
+		if err != nil {
+			return err
+		}
+		q.conds = append(q.conds, e)
+		if !p.cur().keyword("and") {
+			return nil
+		}
+		p.i++
+	}
+}
+
+func (p *parser) parseOrExpr() (condExpr, error) {
+	left, err := p.parseAndExpr()
+	if err != nil {
+		return condExpr{}, err
+	}
+	for p.cur().keyword("or") {
+		pos := p.cur().pos
+		p.i++
+		right, err := p.parseAndExpr()
+		if err != nil {
+			return condExpr{}, err
+		}
+		left = condExpr{op: opOr, kids: []condExpr{left, right}, pos: pos}
+	}
+	return left, nil
+}
+
+// parseAndExpr parses AND chains *inside parentheses or after NOT*;
+// a bare top-level AND belongs to parseConds, so this level only binds
+// tighter than OR when the next operand clearly continues the same
+// group — which is exactly when we are nested, handled by recursion
+// through parseUnary's parenthesis case. At the top level an AND ends
+// the current OR-expression, letting parseConds take over; the
+// grammar's factoring achieves both with one rule because parseConds
+// re-enters here for each conjunct.
+func (p *parser) parseAndExpr() (condExpr, error) {
+	return p.parseUnary()
+}
+
+func (p *parser) parseUnary() (condExpr, error) {
+	t := p.cur()
+	if t.keyword("not") {
+		p.i++
+		kid, err := p.parseUnary()
+		if err != nil {
+			return condExpr{}, err
+		}
+		return condExpr{op: opNot, kids: []condExpr{kid}, pos: t.pos}, nil
+	}
+	if t.kind == tkLParen {
+		p.i++
+		inner, err := p.parseParenGroup()
+		if err != nil {
+			return condExpr{}, err
+		}
+		if _, err := p.expect(tkRParen); err != nil {
+			return condExpr{}, err
+		}
+		return inner, nil
+	}
+	return p.parsePredicate()
+}
+
+// parseParenGroup parses a full boolean expression (with AND allowed)
+// inside parentheses.
+func (p *parser) parseParenGroup() (condExpr, error) {
+	left, err := p.parseOrExpr()
+	if err != nil {
+		return condExpr{}, err
+	}
+	for p.cur().keyword("and") {
+		pos := p.cur().pos
+		p.i++
+		right, err := p.parseOrExpr()
+		if err != nil {
+			return condExpr{}, err
+		}
+		left = condExpr{op: opAnd, kids: []condExpr{left, right}, pos: pos}
+	}
+	return left, nil
+}
+
+func (p *parser) parsePredicate() (condExpr, error) {
+	v, err := p.expect(tkIdent)
+	if err != nil {
+		return condExpr{}, err
+	}
+	t := p.cur()
+	var c cond
+	switch {
+	case t.keyword("contains"):
+		p.i++
+		s, err := p.expect(tkString)
+		if err != nil {
+			return condExpr{}, err
+		}
+		c = cond{kind: condContains, v: v.text, arg: s.text, pos: v.pos}
+	case t.kind == tkEq:
+		p.i++
+		s, err := p.expect(tkString)
+		if err != nil {
+			return condExpr{}, err
+		}
+		c = cond{kind: condEquals, v: v.text, arg: s.text, pos: v.pos}
+	default:
+		return condExpr{}, errf(t.pos, "expected CONTAINS or '=', found %q", t.text)
+	}
+	return condExpr{op: opLeaf, leaf: c, pos: v.pos}, nil
+}
+
+// checkVars verifies that every referenced variable is bound and that
+// the select list shape is supported.
+func checkVars(q *Query) error {
+	bound := map[string]bool{}
+	for _, b := range q.binds {
+		bound[b.v] = true
+	}
+	use := func(v string, pos int) error {
+		if !bound[v] {
+			return errf(pos, "variable %q is not bound in FROM", v)
+		}
+		return nil
+	}
+	if q.meet != nil {
+		for _, v := range q.meet.vars {
+			if err := use(v, q.meet.pos); err != nil {
+				return err
+			}
+		}
+	}
+	var projVarName string
+	for _, it := range q.projs {
+		if err := use(it.v, it.pos); err != nil {
+			return err
+		}
+		if projVarName == "" {
+			projVarName = it.v
+		} else if projVarName != it.v {
+			return errf(it.pos,
+				"all select items must project the same variable (found %q and %q); use meet(...) to combine variables",
+				projVarName, it.v)
+		}
+	}
+	for i := range q.conds {
+		vs := map[string]bool{}
+		q.conds[i].vars(vs)
+		if len(vs) != 1 {
+			return errf(q.conds[i].pos,
+				"a WHERE conjunct must constrain exactly one variable (found %d); combine variables with AND at the top level or with meet(...)",
+				len(vs))
+		}
+		for v := range vs {
+			if err := use(v, q.conds[i].pos); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

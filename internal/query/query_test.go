@@ -1,0 +1,488 @@
+package query
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"ncq/internal/bat"
+	"ncq/internal/fulltext"
+	"ncq/internal/monetx"
+	"ncq/internal/xmltree"
+)
+
+func fig1Engine(t *testing.T) *Engine {
+	t.Helper()
+	s, err := monetx.Load(xmltree.Fig1())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewEngine(s, fulltext.New(s))
+}
+
+// TestPaperExamplesIntroBaseline reproduces the introduction's regular
+// path expression query: nodes whose offspring contains 'Bit' and
+// '1999'. The answer includes the ancestors implied by the deepest
+// match — the drawback the meet operator removes.
+func TestPaperExamplesIntroBaseline(t *testing.T) {
+	e := fig1Engine(t)
+	ans, err := e.Query(`
+		SELECT tag(e)
+		FROM //* AS e
+		WHERE e CONTAINS 'Bit' AND e CONTAINS '1999'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// article (o3) plus its implied ancestors institute (o2) and
+	// bibliography (o1). (The paper's listing shows the bibliography
+	// twice because its query binds the tag variable through two
+	// separate path variables; with a single binding each node appears
+	// once — the answer set is the same.)
+	got := ans.Tags()
+	want := []string{"bibliography", "institute", "article"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("baseline tags = %v, want %v", got, want)
+	}
+}
+
+// TestPaperExamplesMeetQuery reproduces the reformulated query of
+// Section 3.2, whose answer is "a true subset of what the solution in
+// the introduction with regular path expressions returned":
+// exactly the article.
+func TestPaperExamplesMeetQuery(t *testing.T) {
+	e := fig1Engine(t)
+	ans, err := e.Query(`
+		SELECT meet(e1, e2)
+		FROM //cdata AS e1, //cdata AS e2
+		WHERE e1 CONTAINS 'Bit' AND e2 CONTAINS '1999'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ans.IsMeet {
+		t.Error("IsMeet not set")
+	}
+	if got := ans.Tags(); !reflect.DeepEqual(got, []string{"article"}) {
+		t.Fatalf("meet tags = %v, want [article]", got)
+	}
+	r := ans.Rows[0]
+	if r.OID != 3 {
+		t.Errorf("meet OID = %d, want 3", r.OID)
+	}
+	if !reflect.DeepEqual(r.Witnesses, []bat.OID{8, 12}) {
+		t.Errorf("witnesses = %v, want [8 12]", r.Witnesses)
+	}
+	if r.Distance != 5 {
+		t.Errorf("distance = %d, want 5", r.Distance)
+	}
+	// The paper prints: <answer> <result> article </result> </answer>.
+	xml := ans.XML()
+	if !strings.Contains(xml, "<result> article </result>") {
+		t.Errorf("XML = %s", xml)
+	}
+	if !reflect.DeepEqual(ans.Unmatched, []bat.OID{19}) {
+		t.Errorf("unmatched = %v, want [19]", ans.Unmatched)
+	}
+}
+
+func TestMeetQueryWithExclude(t *testing.T) {
+	e := fig1Engine(t)
+	// Exclude article results; with NEAREST the match climbs to the
+	// institute instead of being swallowed.
+	ans, err := e.Query(`
+		SELECT meet(e1, e2; EXCLUDE //article, NEAREST)
+		FROM //cdata AS e1, //cdata AS e2
+		WHERE e1 CONTAINS 'Bit' AND e2 CONTAINS '1999'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ans.Tags(); !reflect.DeepEqual(got, []string{"institute"}) {
+		t.Fatalf("tags = %v, want [institute]", got)
+	}
+	// Without NEAREST the excluded meet is consumed silently.
+	ans, err = e.Query(`
+		SELECT meet(e1, e2; EXCLUDE //article)
+		FROM //cdata AS e1, //cdata AS e2
+		WHERE e1 CONTAINS 'Bit' AND e2 CONTAINS '1999'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ans.Rows) != 0 {
+		t.Errorf("rows = %v, want none", ans.Tags())
+	}
+}
+
+func TestMeetQueryWithin(t *testing.T) {
+	e := fig1Engine(t)
+	ans, err := e.Query(`
+		SELECT meet(e1, e2; WITHIN 4)
+		FROM //cdata AS e1, //cdata AS e2
+		WHERE e1 CONTAINS 'Bit' AND e2 CONTAINS '1999'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ans.Rows) != 0 {
+		t.Errorf("WITHIN 4 rows = %v, want none (distance is 5)", ans.Tags())
+	}
+	ans, err = e.Query(`
+		SELECT meet(e1, e2; WITHIN 5)
+		FROM //cdata AS e1, //cdata AS e2
+		WHERE e1 CONTAINS 'Bit' AND e2 CONTAINS '1999'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ans.Rows) != 1 {
+		t.Errorf("WITHIN 5 rows = %v, want the article", ans.Tags())
+	}
+}
+
+func TestMeetQueryMaxLift(t *testing.T) {
+	e := fig1Engine(t)
+	ans, err := e.Query(`
+		SELECT meet(e1, e2; MAXLIFT 2)
+		FROM //cdata AS e1, //cdata AS e2
+		WHERE e1 CONTAINS 'Bit' AND e2 CONTAINS '1999'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ans.Rows) != 0 {
+		t.Errorf("MAXLIFT 2 rows = %v", ans.Tags())
+	}
+}
+
+func TestProjectionQueries(t *testing.T) {
+	e := fig1Engine(t)
+	ans, err := e.Query(`SELECT path(e) FROM //year AS e`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ans.Rows) != 2 || ans.Rows[0].Path != "/bibliography/institute/article/year" {
+		t.Errorf("path rows = %+v", ans.Rows)
+	}
+	ans, err = e.Query(`SELECT value(t) FROM //title AS t`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ans.Rows) != 2 || ans.Rows[0].Value != "How to Hack" || ans.Rows[1].Value != "Hacking & RSI" {
+		t.Errorf("value rows = %+v", ans.Rows)
+	}
+	// Multi-column projection of the same variable.
+	ans, err = e.Query(`SELECT tag(t), path(t), value(t) FROM //title AS t`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ans.Columns, []string{"tag", "path", "value"}) {
+		t.Errorf("columns = %v", ans.Columns)
+	}
+	xml := ans.XML()
+	if !strings.Contains(xml, "<value>Hacking &amp; RSI</value>") {
+		t.Errorf("XML escaping: %s", xml)
+	}
+}
+
+func TestBooleanWhere(t *testing.T) {
+	e := fig1Engine(t)
+	cases := []struct {
+		name, q string
+		want    []bat.OID
+	}{
+		{
+			"or",
+			`SELECT e FROM //title AS e WHERE e CONTAINS 'Hack' OR e CONTAINS 'RSI'`,
+			[]bat.OID{9, 16},
+		},
+		{
+			"not",
+			`SELECT e FROM //title AS e WHERE NOT e CONTAINS 'RSI'`,
+			[]bat.OID{9},
+		},
+		{
+			"or of equals",
+			`SELECT e FROM //title AS e WHERE e = 'How to Hack' OR e = 'Hacking & RSI'`,
+			[]bat.OID{9, 16},
+		},
+		{
+			"parenthesised and inside or",
+			`SELECT e FROM //article AS e WHERE (e CONTAINS 'Ben' AND e CONTAINS 'Bit') OR e CONTAINS 'Byte'`,
+			[]bat.OID{3, 13},
+		},
+		{
+			"not of parenthesised or",
+			`SELECT e FROM //article AS e WHERE NOT (e CONTAINS 'Ben' OR e CONTAINS 'Byte')`,
+			nil,
+		},
+		{
+			"double negation",
+			`SELECT e FROM //article AS e WHERE NOT NOT e CONTAINS 'Ben'`,
+			[]bat.OID{3},
+		},
+		{
+			"top-level and still splits variables",
+			`SELECT meet(e1, e2) FROM //cdata AS e1, //cdata AS e2
+			 WHERE (e1 CONTAINS 'Bit' OR e1 CONTAINS 'Ben') AND e2 CONTAINS '1999'`,
+			// e1 = {o6, o8}: Ben and Bit collide at the author (o4)
+			// before any year can join them; the two 1999s then meet at
+			// the institute (o2). Document order: o2, o4.
+			[]bat.OID{2, 4},
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			ans, err := e.Query(c.q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var got []bat.OID
+			for _, r := range ans.Rows {
+				got = append(got, r.OID)
+			}
+			if !reflect.DeepEqual(got, c.want) {
+				t.Errorf("rows = %v, want %v", got, c.want)
+			}
+		})
+	}
+}
+
+func TestBooleanWhereErrors(t *testing.T) {
+	e := fig1Engine(t)
+	cases := []string{
+		// OR across variables is not a per-variable filter.
+		`SELECT e1 FROM //a AS e1, //b AS e2 WHERE e1 CONTAINS 'x' OR e2 CONTAINS 'y'`,
+		// NOT spanning two variables via parens.
+		`SELECT e1 FROM //a AS e1, //b AS e2 WHERE NOT (e1 CONTAINS 'x' AND e2 CONTAINS 'y')`,
+		// Unbalanced parenthesis.
+		`SELECT e FROM //a AS e WHERE (e CONTAINS 'x'`,
+		// Dangling OR.
+		`SELECT e FROM //a AS e WHERE e CONTAINS 'x' OR`,
+	}
+	for _, q := range cases {
+		if _, err := e.Query(q); err == nil {
+			t.Errorf("Query(%q) succeeded, want error", q)
+		}
+	}
+}
+
+func TestXMLProjection(t *testing.T) {
+	e := fig1Engine(t)
+	ans, err := e.Query(`SELECT xml(e) FROM //year AS e`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ans.Rows) != 2 || ans.Rows[0].XML != "<year>1999</year>" {
+		t.Errorf("rows = %+v", ans.Rows)
+	}
+	// cdata nodes render as bare text.
+	ans, err = e.Query(`SELECT xml(e) FROM //year/cdata AS e`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ans.Rows) != 2 || ans.Rows[0].XML != "1999" {
+		t.Errorf("cdata rows = %+v", ans.Rows)
+	}
+	// The answer XML escapes the nested markup.
+	ans, err = e.Query(`SELECT xml(e) FROM //author AS e WHERE e CONTAINS 'Ben'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if xml := ans.XML(); !strings.Contains(xml, "&lt;firstname&gt;") {
+		t.Errorf("answer XML = %s", xml)
+	}
+}
+
+func TestEqualsCondition(t *testing.T) {
+	e := fig1Engine(t)
+	ans, err := e.Query(`SELECT e FROM //title AS e WHERE e = 'How to Hack'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ans.Rows) != 1 || ans.Rows[0].OID != 9 {
+		t.Errorf("rows = %+v, want title o9", ans.Rows)
+	}
+	// Equality on the cdata node itself.
+	ans, err = e.Query(`SELECT e FROM //title/cdata AS e WHERE e = 'How to Hack'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ans.Rows) != 1 || ans.Rows[0].OID != 10 {
+		t.Errorf("rows = %+v, want cdata o10", ans.Rows)
+	}
+}
+
+func TestAttributeBinding(t *testing.T) {
+	e := fig1Engine(t)
+	// Attribute patterns bind the owning elements.
+	ans, err := e.Query(`SELECT tag(a) FROM //article@key AS a`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ans.Tags(); !reflect.DeepEqual(got, []string{"article", "article"}) {
+		t.Errorf("tags = %v", got)
+	}
+}
+
+func TestContainsMatchesAttributeStrings(t *testing.T) {
+	e := fig1Engine(t)
+	ans, err := e.Query(`SELECT tag(e) FROM //article AS e WHERE e CONTAINS 'BK99'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ans.Rows) != 1 || ans.Rows[0].OID != 13 {
+		t.Errorf("rows = %+v, want the second article", ans.Rows)
+	}
+}
+
+func TestContainsNoMatch(t *testing.T) {
+	e := fig1Engine(t)
+	ans, err := e.Query(`SELECT e FROM //* AS e WHERE e CONTAINS 'absent'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ans.Rows) != 0 {
+		t.Errorf("rows = %+v", ans.Rows)
+	}
+	if xml := ans.XML(); !strings.Contains(xml, "<answer>") {
+		t.Errorf("empty answer XML = %s", xml)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct{ name, src string }{
+		{"empty", ""},
+		{"no select", "FROM //a AS e"},
+		{"no from", "SELECT e"},
+		{"unbound select var", "SELECT x FROM //a AS e"},
+		{"unbound cond var", "SELECT e FROM //a AS e WHERE x CONTAINS 'y'"},
+		{"unbound meet var", "SELECT meet(e, x) FROM //a AS e"},
+		{"double binding", "SELECT e FROM //a AS e, //b AS e"},
+		{"bad pattern", "SELECT e FROM //a* AS e"},
+		{"meet plus item", "SELECT meet(e1, e2), e1 FROM //a AS e1, //b AS e2"},
+		{"mixed projection vars", "SELECT e1, e2 FROM //a AS e1, //b AS e2"},
+		{"unterminated string", "SELECT e FROM //a AS e WHERE e CONTAINS 'x"},
+		{"trailing garbage", "SELECT e FROM //a AS e WHERE e CONTAINS 'x' nonsense"},
+		{"bad meet option", "SELECT meet(e1, e2; FOO) FROM //a AS e1, //b AS e2"},
+		{"within not number", "SELECT meet(e1, e2; WITHIN x) FROM //a AS e1, //b AS e2"},
+		{"bad char", "SELECT e FROM //a AS e WHERE e ? 'x'"},
+		{"missing as", "SELECT e FROM //a e"},
+	}
+	e := fig1Engine(t)
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if _, err := e.Query(c.src); err == nil {
+				t.Errorf("Query(%q) succeeded, want error", c.src)
+			}
+		})
+	}
+}
+
+func TestErrorPositions(t *testing.T) {
+	_, err := Parse("SELECT e FROM //a AS e WHERE e NOPE 'x'")
+	if err == nil {
+		t.Fatal("want error")
+	}
+	var qe *Error
+	ok := false
+	if e2, isQE := err.(*Error); isQE {
+		qe, ok = e2, true
+	}
+	if !ok {
+		t.Fatalf("error type = %T", err)
+	}
+	if qe.Pos <= 0 {
+		t.Errorf("error position = %d, want > 0", qe.Pos)
+	}
+	if !strings.Contains(qe.Error(), "offset") {
+		t.Errorf("error text = %q", qe.Error())
+	}
+}
+
+func TestStringLiteralEscapes(t *testing.T) {
+	e := fig1Engine(t)
+	// '' escapes a quote inside the literal; no node contains it.
+	ans, err := e.Query(`SELECT e FROM //* AS e WHERE e CONTAINS 'O''Brien'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ans.Rows) != 0 {
+		t.Errorf("rows = %+v", ans.Rows)
+	}
+}
+
+func TestKeywordsCaseInsensitive(t *testing.T) {
+	e := fig1Engine(t)
+	ans, err := e.Query(`select TAG(e) from //year as e`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ans.Rows) != 2 {
+		t.Errorf("rows = %+v", ans.Rows)
+	}
+}
+
+func TestMeetQueryRanked(t *testing.T) {
+	e := fig1Engine(t)
+	// e1 binds the "Ben" cdata node (o6); e2 binds the three cdata
+	// nodes containing a capital B (o6, o8, o15). o6 self-meets at
+	// distance 0; the Bit and Bob hits climb to the institute (o2) at
+	// distance 7. Document order is o2, o6; ranked order is o6, o2.
+	const base = `FROM //cdata AS e1, //cdata AS e2
+		WHERE e1 CONTAINS 'Ben' AND e2 CONTAINS 'B'`
+	plain, err := e.Query(`SELECT meet(e1, e2) ` + base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ranked, err := e.Query(`SELECT meet(e1, e2; RANKED) ` + base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantPlain := []bat.OID{2, 6}
+	wantRanked := []bat.OID{6, 2}
+	if len(plain.Rows) != 2 || len(ranked.Rows) != 2 {
+		t.Fatalf("rows = %d/%d, want 2/2\nplain: %+v\nranked: %+v",
+			len(plain.Rows), len(ranked.Rows), plain.Rows, ranked.Rows)
+	}
+	for i := range wantPlain {
+		if plain.Rows[i].OID != wantPlain[i] {
+			t.Errorf("plain order = %+v, want %v", plain.Rows, wantPlain)
+			break
+		}
+	}
+	for i := range wantRanked {
+		if ranked.Rows[i].OID != wantRanked[i] {
+			t.Errorf("ranked order = %+v, want %v", ranked.Rows, wantRanked)
+			break
+		}
+	}
+}
+
+// TestMeetQueryBobByte covers the paper's second Section 3.1 example
+// through the query language: both variables bind the same cdata node,
+// which is therefore its own nearest concept.
+func TestMeetQueryBobByte(t *testing.T) {
+	e := fig1Engine(t)
+	ans, err := e.Query(`
+		SELECT meet(e1, e2)
+		FROM //cdata AS e1, //cdata AS e2
+		WHERE e1 CONTAINS 'Bob' AND e2 CONTAINS 'Byte'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ans.Rows) != 1 {
+		t.Fatalf("rows = %+v", ans.Rows)
+	}
+	r := ans.Rows[0]
+	if r.OID != 15 || r.Tag != "cdata" || r.Distance != 0 {
+		t.Errorf("row = %+v, want the cdata node o15 at distance 0", r)
+	}
+}
+
+func TestMeetQuerySingleVar(t *testing.T) {
+	e := fig1Engine(t)
+	// A single variable with two hits: the within-group collision at
+	// the institute (Section 3.2's extended definition).
+	ans, err := e.Query(`SELECT meet(e) FROM //year/cdata AS e WHERE e CONTAINS '1999'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ans.Tags(); !reflect.DeepEqual(got, []string{"institute"}) {
+		t.Errorf("tags = %v, want [institute]", got)
+	}
+}

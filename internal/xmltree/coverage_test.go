@@ -1,0 +1,194 @@
+package xmltree
+
+import (
+	"errors"
+	"io"
+	"strings"
+	"testing"
+
+	"ncq/internal/bat"
+)
+
+func TestIsRoot(t *testing.T) {
+	d := Fig1()
+	if !d.Root.IsRoot() {
+		t.Error("root is not IsRoot")
+	}
+	if d.Node(2).IsRoot() {
+		t.Error("non-root reports IsRoot")
+	}
+}
+
+// brokenDoc builds a structurally valid document and then corrupts one
+// invariant, checking that Validate catches each corruption.
+func TestValidateCatchesCorruption(t *testing.T) {
+	fresh := func() *Document { return Fig1() }
+	cases := []struct {
+		name  string
+		wreck func(d *Document)
+	}{
+		{"no root", func(d *Document) { d.Root = nil }},
+		{"root OID", func(d *Document) { d.Root.OID = 5 }},
+		{"preorder broken", func(d *Document) { d.Node(5).OID = 99 }},
+		{"cdata with children", func(d *Document) {
+			cd := d.Node(6)
+			cd.Children = append(cd.Children, d.Node(7))
+		}},
+		{"cdata with attrs", func(d *Document) {
+			d.Node(6).Attrs = []Attr{{"x", "y"}}
+		}},
+		{"reserved element label", func(d *Document) {
+			d.Node(5).Label = CDataLabel
+			d.Node(5).Kind = Element
+		}},
+		{"wrong parent pointer", func(d *Document) { d.Node(4).Parent = d.Node(13) }},
+		{"wrong rank", func(d *Document) { d.Node(9).Rank = 7 }},
+		{"wrong depth", func(d *Document) { d.Node(9).Depth = 0 }},
+		{"interval not contained", func(d *Document) { d.Node(3).End = 99 }},
+		{"leaf with wrong End", func(d *Document) { d.Node(6).End = 7 }},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			d := fresh()
+			c.wreck(d)
+			if err := d.Validate(); err == nil {
+				t.Errorf("corruption %q not caught", c.name)
+			}
+		})
+	}
+	// Sanity: the uncorrupted document validates.
+	if err := fresh().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEqualDetectsEveryDifference(t *testing.T) {
+	base := Fig1()
+	cases := []struct {
+		name  string
+		wreck func(d *Document)
+	}{
+		{"label", func(d *Document) { d.Node(3).Label = "paper" }},
+		{"text", func(d *Document) { d.Node(6).Text = "Len" }},
+		{"attr value", func(d *Document) { d.Node(3).Attrs[0].Value = "X" }},
+		{"attr added", func(d *Document) {
+			d.Node(4).Attrs = append(d.Node(4).Attrs, Attr{"n", "v"})
+		}},
+		{"child dropped", func(d *Document) {
+			n := d.Node(4)
+			n.Children = n.Children[:1]
+		}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			d := Fig1()
+			c.wreck(d)
+			if Equal(base, d) {
+				t.Errorf("difference %q not detected", c.name)
+			}
+		})
+	}
+}
+
+// failingWriter errors after n bytes, driving the serializer's error
+// paths.
+type failingWriter struct{ n int }
+
+func (w *failingWriter) Write(p []byte) (int, error) {
+	if w.n <= 0 {
+		return 0, errors.New("writer full")
+	}
+	if len(p) > w.n {
+		p = p[:w.n]
+	}
+	w.n -= len(p)
+	return len(p), nil
+}
+
+func TestWriteXMLPropagatesWriterErrors(t *testing.T) {
+	d := Fig1()
+	full := d.XMLString()
+	for budget := 0; budget < len(full); budget += 7 {
+		w := &failingWriter{n: budget}
+		if err := d.WriteXML(w, false); err == nil {
+			t.Fatalf("budget %d: no error from failing writer", budget)
+		}
+		w = &failingWriter{n: budget}
+		if err := d.WriteXML(w, true); err == nil {
+			t.Fatalf("budget %d (indent): no error from failing writer", budget)
+		}
+	}
+	// A writer with exactly enough budget succeeds.
+	w := &failingWriter{n: len(full) + 1}
+	if err := d.WriteXML(w, false); err != nil {
+		t.Fatalf("exact budget failed: %v", err)
+	}
+}
+
+func TestWriteXMLToDiscard(t *testing.T) {
+	// io.Discard exercises the success path without buffering quirks.
+	if err := Fig1().WriteXML(io.Discard, true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMustDocumentPanicsOnBuilderError(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustDocument did not panic on builder error")
+		}
+	}()
+	MustDocument("r", func(b *Builder) {
+		b.Element(b.Root(), CDataLabel) // reserved label
+	})
+}
+
+func TestSelfClosedAndEmptyElements(t *testing.T) {
+	d, err := ParseString(`<a><b/><c></c></a>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both render self-closed.
+	if got := d.XMLString(); got != "<a><b/><c/></a>" {
+		t.Errorf("XMLString = %q", got)
+	}
+}
+
+func TestAttrEscapingEdgeCases(t *testing.T) {
+	d := MustDocument("r", func(b *Builder) {
+		b.Element(b.Root(), "e", Attr{"a", `<>&"`})
+	})
+	s := d.XMLString()
+	if !strings.Contains(s, `a="&lt;>&amp;&quot;"`) {
+		t.Errorf("attr escaping = %q", s)
+	}
+	back, err := ParseString(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := back.Root.Children[0].Attr("a"); v != `<>&"` {
+		t.Errorf("round-tripped attr = %q", v)
+	}
+}
+
+func TestNodeContainsAcrossDocumentBoundaries(t *testing.T) {
+	d := Fig1()
+	// Contains is purely interval-based; OIDs from another document
+	// with the same numbers behave consistently (documented behaviour:
+	// the caller must not mix documents, but it must not panic).
+	other := Fig1()
+	if !d.Node(3).Contains(other.Node(8)) {
+		t.Skip("interval semantics only; nothing to assert beyond no-panic")
+	}
+}
+
+func TestDistSymmetry(t *testing.T) {
+	d := Fig1()
+	for a := bat.OID(1); a <= d.MaxOID(); a++ {
+		for b := bat.OID(1); b <= d.MaxOID(); b++ {
+			if d.Dist(d.Node(a), d.Node(b)) != d.Dist(d.Node(b), d.Node(a)) {
+				t.Fatalf("Dist not symmetric for (%d,%d)", a, b)
+			}
+		}
+	}
+}

@@ -1,0 +1,43 @@
+package xmltree
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse feeds arbitrary bytes to the parser. Accepted inputs must
+// produce valid documents that survive a serialise/re-parse round trip.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"<a/>",
+		"<a><b>hi</b></a>",
+		`<a x="1">t<b/>u</a>`,
+		"<a>Hacking &amp; RSI</a>",
+		"<a><!-- c --><?pi?><b/></a>",
+		"<a><b></a>",
+		"",
+		"<cdata>x</cdata>",
+		"<a>\xff\xfe</a>",
+		strings.Repeat("<n>", 50) + "x" + strings.Repeat("</n>", 50),
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, in string) {
+		doc, err := ParseString(in)
+		if err != nil {
+			return // rejected input is fine
+		}
+		if err := doc.Validate(); err != nil {
+			t.Fatalf("accepted document is invalid: %v\ninput: %q", err, in)
+		}
+		again, err := ParseString(doc.XMLString())
+		if err != nil {
+			t.Fatalf("serialised form does not re-parse: %v\ninput: %q\nxml: %q",
+				err, in, doc.XMLString())
+		}
+		if !Equal(doc, again) {
+			t.Fatalf("round trip changed document\ninput: %q", in)
+		}
+	})
+}

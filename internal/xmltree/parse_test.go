@@ -1,0 +1,177 @@
+package xmltree
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestParseSimple(t *testing.T) {
+	d, err := ParseString(`<a x="1"><b>hi</b><c/></a>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if d.Root.Label != "a" {
+		t.Errorf("root = %q, want a", d.Root.Label)
+	}
+	if v, ok := d.Root.Attr("x"); !ok || v != "1" {
+		t.Errorf("attr x = (%q,%v)", v, ok)
+	}
+	if d.Len() != 4 { // a, b, cdata(hi), c
+		t.Errorf("Len = %d, want 4", d.Len())
+	}
+	b := d.Root.Children[0]
+	if b.Label != "b" || len(b.Children) != 1 || b.Children[0].Text != "hi" {
+		t.Errorf("unexpected b subtree: %+v", b)
+	}
+}
+
+func TestParseSkipsWhitespaceComments(t *testing.T) {
+	d, err := ParseString("<a>\n  <!-- note -->\n  <?pi data?>\n  <b>x</b>\n</a>")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 3 { // a, b, cdata(x)
+		t.Errorf("Len = %d, want 3 (whitespace/comments must not create nodes)", d.Len())
+	}
+}
+
+func TestParseMergesEntitySplitText(t *testing.T) {
+	d, err := ParseString(`<a>Hacking &amp; RSI</a>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 2 {
+		t.Fatalf("Len = %d, want 2 (entity must not split the cdata node)", d.Len())
+	}
+	if got := d.Root.Children[0].Text; got != "Hacking & RSI" {
+		t.Errorf("text = %q, want %q", got, "Hacking & RSI")
+	}
+}
+
+func TestParsePreservesInternalWhitespace(t *testing.T) {
+	d, err := ParseString(`<a>How to Hack</a>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := d.Root.Children[0].Text; got != "How to Hack" {
+		t.Errorf("text = %q", got)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name, in string
+	}{
+		{"empty", ""},
+		{"unclosed", "<a><b></a>"},
+		{"garbage", "not xml at all <<<"},
+		{"reserved cdata element", "<a><cdata>x</cdata></a>"},
+		{"truncated", "<a><b>text"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if _, err := ParseString(c.in); err == nil {
+				t.Errorf("ParseString(%q) succeeded, want error", c.in)
+			}
+		})
+	}
+}
+
+func TestParseErrorsCarryOffsets(t *testing.T) {
+	_, err := ParseString("<a><b>text</b><cdata>x</cdata></a>")
+	if err == nil {
+		t.Fatal("want error")
+	}
+	if !strings.Contains(err.Error(), "byte") {
+		t.Errorf("error %q does not mention the input offset", err)
+	}
+}
+
+func TestParseDeepNesting(t *testing.T) {
+	var sb strings.Builder
+	const depth = 500
+	for i := 0; i < depth; i++ {
+		sb.WriteString("<n>")
+	}
+	sb.WriteString("leaf")
+	for i := 0; i < depth; i++ {
+		sb.WriteString("</n>")
+	}
+	d, err := ParseString(sb.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != depth+1 {
+		t.Errorf("Len = %d, want %d", d.Len(), depth+1)
+	}
+	leaf := d.Node(d.MaxOID())
+	if leaf.Depth != depth {
+		t.Errorf("leaf depth = %d, want %d", leaf.Depth, depth)
+	}
+}
+
+func TestRoundTripFig1(t *testing.T) {
+	d := Fig1()
+	s := d.XMLString()
+	d2, err := ParseString(s)
+	if err != nil {
+		t.Fatalf("re-parse: %v\nserialised: %s", err, s)
+	}
+	if !Equal(d, d2) {
+		t.Errorf("round trip changed the document:\n%s\nvs\n%s", s, d2.XMLString())
+	}
+}
+
+func TestRoundTripEscaping(t *testing.T) {
+	d := MustDocument("r", func(b *Builder) {
+		e := b.Element(b.Root(), "e", Attr{"a", `va&l"ue<`})
+		b.Text(e, `x < y && y > "z"`)
+	})
+	d2, err := ParseString(d.XMLString())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Equal(d, d2) {
+		t.Errorf("escaping round trip failed:\n%s", d.XMLString())
+	}
+}
+
+func TestRoundTripRandomProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	for i := 0; i < 150; i++ {
+		d := Random(r, 80)
+		d2, err := ParseString(d.XMLString())
+		if err != nil {
+			t.Fatalf("doc %d: re-parse: %v\n%s", i, err, d.XMLString())
+		}
+		if !Equal(d, d2) {
+			t.Fatalf("doc %d: round trip changed document\n%s\nvs\n%s",
+				i, d.XMLString(), d2.XMLString())
+		}
+		if err := d2.Validate(); err != nil {
+			t.Fatalf("doc %d: reparsed invalid: %v", i, err)
+		}
+	}
+}
+
+func TestIndentedOutputParses(t *testing.T) {
+	d := Fig1()
+	var sb strings.Builder
+	if err := d.WriteXML(&sb, true); err != nil {
+		t.Fatal(err)
+	}
+	d2, err := ParseString(sb.String())
+	if err != nil {
+		t.Fatalf("indented output does not re-parse: %v\n%s", err, sb.String())
+	}
+	if !Equal(d, d2) {
+		t.Error("indented round trip changed the document")
+	}
+	if !strings.Contains(sb.String(), "\n") {
+		t.Error("indented output has no newlines")
+	}
+}

@@ -1,0 +1,48 @@
+package xmltree
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Random generates a pseudo-random document for property-based tests.
+// The tree has at most maxNodes nodes (at least one), element labels
+// drawn from a small alphabet so that many nodes share a schema path
+// (exercising the path-partitioned store), and cdata leaves with short
+// numeric texts. The same *rand.Rand state yields the same document.
+func Random(r *rand.Rand, maxNodes int) *Document {
+	if maxNodes < 1 {
+		maxNodes = 1
+	}
+	labels := []string{"a", "b", "c", "d", "e"}
+	budget := 1 + r.Intn(maxNodes)
+	b := NewBuilder("root")
+	open := []*Node{b.Root()}
+	for n := 1; n < budget && len(open) > 0; n++ {
+		parent := open[r.Intn(len(open))]
+		if r.Intn(4) == 0 {
+			// Avoid adjacent cdata siblings: they would merge into one
+			// node on a serialise/parse round trip.
+			if k := len(parent.Children); k == 0 || parent.Children[k-1].Kind != CData {
+				b.Text(parent, fmt.Sprintf("t%d", r.Intn(8)))
+			}
+			continue
+		}
+		label := labels[r.Intn(len(labels))]
+		var attrs []Attr
+		if r.Intn(5) == 0 {
+			attrs = []Attr{{"k", fmt.Sprintf("v%d", r.Intn(4))}}
+		}
+		child := b.Element(parent, label, attrs...)
+		open = append(open, child)
+		// Occasionally close a subtree so depth varies.
+		if r.Intn(3) == 0 {
+			open = append(open[:0], open[1:]...)
+		}
+	}
+	d, err := b.Done()
+	if err != nil {
+		panic(err) // generator bug, not input-dependent
+	}
+	return d
+}

@@ -1,0 +1,129 @@
+package xmltree
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteXML serialises the document as XML to w. When indent is true the
+// output is pretty-printed with two-space indentation and cdata content
+// on its own line; when false the output is compact and round-trips
+// exactly through Parse (whitespace-free).
+func (d *Document) WriteXML(w io.Writer, indent bool) error {
+	bw := bufio.NewWriter(w)
+	if err := writeNode(bw, d.Root, 0, indent); err != nil {
+		return fmt.Errorf("xmltree: write: %w", err)
+	}
+	if indent {
+		if _, err := bw.WriteString("\n"); err != nil {
+			return fmt.Errorf("xmltree: write: %w", err)
+		}
+	}
+	return bw.Flush()
+}
+
+// XMLString returns the compact XML serialisation of the document.
+func (d *Document) XMLString() string {
+	var sb strings.Builder
+	_ = d.WriteXML(&sb, false) // strings.Builder never errors
+	return sb.String()
+}
+
+func writeNode(w *bufio.Writer, n *Node, depth int, indent bool) error {
+	pad := func() error {
+		if !indent {
+			return nil
+		}
+		if depth > 0 || n.Rank > 1 {
+			if _, err := w.WriteString("\n"); err != nil {
+				return err
+			}
+		}
+		_, err := w.WriteString(strings.Repeat("  ", depth))
+		return err
+	}
+	if n.Kind == CData {
+		if err := pad(); err != nil {
+			return err
+		}
+		return escapeText(w, n.Text)
+	}
+	if err := pad(); err != nil {
+		return err
+	}
+	if _, err := w.WriteString("<" + n.Label); err != nil {
+		return err
+	}
+	for _, a := range n.Attrs {
+		if _, err := w.WriteString(" " + a.Name + `="`); err != nil {
+			return err
+		}
+		if err := escapeAttr(w, a.Value); err != nil {
+			return err
+		}
+		if _, err := w.WriteString(`"`); err != nil {
+			return err
+		}
+	}
+	if len(n.Children) == 0 {
+		_, err := w.WriteString("/>")
+		return err
+	}
+	if _, err := w.WriteString(">"); err != nil {
+		return err
+	}
+	for _, c := range n.Children {
+		if err := writeNode(w, c, depth+1, indent); err != nil {
+			return err
+		}
+	}
+	if indent {
+		if _, err := w.WriteString("\n" + strings.Repeat("  ", depth)); err != nil {
+			return err
+		}
+	}
+	_, err := w.WriteString("</" + n.Label + ">")
+	return err
+}
+
+func escapeText(w *bufio.Writer, s string) error {
+	for _, r := range s {
+		var err error
+		switch r {
+		case '&':
+			_, err = w.WriteString("&amp;")
+		case '<':
+			_, err = w.WriteString("&lt;")
+		case '>':
+			_, err = w.WriteString("&gt;")
+		default:
+			_, err = w.WriteRune(r)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func escapeAttr(w *bufio.Writer, s string) error {
+	for _, r := range s {
+		var err error
+		switch r {
+		case '&':
+			_, err = w.WriteString("&amp;")
+		case '<':
+			_, err = w.WriteString("&lt;")
+		case '"':
+			_, err = w.WriteString("&quot;")
+		default:
+			_, err = w.WriteRune(r)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

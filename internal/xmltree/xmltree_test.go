@@ -1,0 +1,266 @@
+package xmltree
+
+import (
+	"math/rand"
+	"testing"
+
+	"ncq/internal/bat"
+)
+
+func TestFig1OIDNumbering(t *testing.T) {
+	d := Fig1()
+	if err := d.Validate(); err != nil {
+		t.Fatalf("Fig1 invalid: %v", err)
+	}
+	// The paper's Figure 1 assigns o1..o19 in depth-first order.
+	want := []struct {
+		oid   bat.OID
+		label string
+		text  string
+	}{
+		{1, "bibliography", ""},
+		{2, "institute", ""},
+		{3, "article", ""},
+		{4, "author", ""},
+		{5, "firstname", ""},
+		{6, CDataLabel, "Ben"},
+		{7, "lastname", ""},
+		{8, CDataLabel, "Bit"},
+		{9, "title", ""},
+		{10, CDataLabel, "How to Hack"},
+		{11, "year", ""},
+		{12, CDataLabel, "1999"},
+		{13, "article", ""},
+		{14, "author", ""},
+		{15, CDataLabel, "Bob Byte"},
+		{16, "title", ""},
+		{17, CDataLabel, "Hacking & RSI"},
+		{18, "year", ""},
+		{19, CDataLabel, "1999"},
+	}
+	if d.Len() != len(want) {
+		t.Fatalf("Fig1 has %d nodes, want %d", d.Len(), len(want))
+	}
+	for _, w := range want {
+		n := d.Node(w.oid)
+		if n == nil {
+			t.Fatalf("no node with OID %d", w.oid)
+		}
+		if n.Label != w.label || n.Text != w.text {
+			t.Errorf("o%d = (%q,%q), want (%q,%q)", w.oid, n.Label, n.Text, w.label, w.text)
+		}
+	}
+	if v, ok := d.Node(3).Attr("key"); !ok || v != "BB99" {
+		t.Errorf("o3 key attr = (%q,%v), want (BB99,true)", v, ok)
+	}
+	if v, ok := d.Node(13).Attr("key"); !ok || v != "BK99" {
+		t.Errorf("o13 key attr = (%q,%v), want (BK99,true)", v, ok)
+	}
+	if _, ok := d.Node(3).Attr("missing"); ok {
+		t.Error("absent attribute reported present")
+	}
+}
+
+func TestFig1LCAExamples(t *testing.T) {
+	// The worked examples of paper Section 3.1.
+	d := Fig1()
+	cases := []struct {
+		name string
+		a, b bat.OID
+		want bat.OID
+	}{
+		{"Ben+Bit is the author", 6, 8, 4},
+		{"BobByte with itself is the cdata node", 15, 15, 15},
+		{"Bit+1999(first) is the article", 8, 12, 3},
+		{"1999+1999 across articles is the institute", 12, 19, 2},
+		{"order does not matter", 12, 8, 3},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			got := d.LCA(d.Node(c.a), d.Node(c.b))
+			if got.OID != c.want {
+				t.Errorf("LCA(o%d,o%d) = o%d, want o%d", c.a, c.b, got.OID, c.want)
+			}
+		})
+	}
+}
+
+func TestDist(t *testing.T) {
+	d := Fig1()
+	cases := []struct {
+		a, b bat.OID
+		want int
+	}{
+		{6, 8, 4},  // Ben↑firstname↑author↓lastname↓Bit
+		{8, 12, 5}, // Bit↑↑↑article↓year↓1999
+		{1, 1, 0},
+		{1, 2, 1},
+		{12, 19, 6}, // across the two articles via the institute
+	}
+	for _, c := range cases {
+		if got := d.Dist(d.Node(c.a), d.Node(c.b)); got != c.want {
+			t.Errorf("Dist(o%d,o%d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestPathLabels(t *testing.T) {
+	d := Fig1()
+	n := d.Node(8) // cdata "Bit"
+	want := "/bibliography/institute/article/author/lastname/cdata"
+	if got := n.PathString(); got != want {
+		t.Errorf("PathString = %q, want %q", got, want)
+	}
+	if got := d.Root.PathString(); got != "/bibliography" {
+		t.Errorf("root PathString = %q", got)
+	}
+}
+
+func TestContainsInterval(t *testing.T) {
+	d := Fig1()
+	art := d.Node(3) // first article, subtree o3..o12
+	if !art.Contains(d.Node(8)) || !art.Contains(art) {
+		t.Error("Contains should include descendants and self")
+	}
+	if art.Contains(d.Node(13)) || art.Contains(d.Node(2)) {
+		t.Error("Contains should exclude siblings and ancestors")
+	}
+	if !d.Root.Contains(d.Node(19)) {
+		t.Error("root should contain every node")
+	}
+}
+
+func TestWalkOrderAndEarlyStop(t *testing.T) {
+	d := Fig1()
+	var oids []bat.OID
+	d.Walk(func(n *Node) bool {
+		oids = append(oids, n.OID)
+		return true
+	})
+	for i, o := range oids {
+		if int(o) != i+1 {
+			t.Fatalf("walk order broken at %d: got OID %d", i, o)
+		}
+	}
+	var count int
+	d.Walk(func(n *Node) bool {
+		count++
+		return n.OID < 5
+	})
+	if count != 5 {
+		t.Errorf("early-stopped walk visited %d, want 5", count)
+	}
+}
+
+func TestBuilderErrors(t *testing.T) {
+	t.Run("reserved root label", func(t *testing.T) {
+		if _, err := NewBuilder(CDataLabel).Done(); err == nil {
+			t.Error("want error for cdata root label")
+		}
+	})
+	t.Run("empty root label", func(t *testing.T) {
+		if _, err := NewBuilder("").Done(); err == nil {
+			t.Error("want error for empty root label")
+		}
+	})
+	t.Run("reserved element label", func(t *testing.T) {
+		b := NewBuilder("r")
+		b.Element(b.Root(), CDataLabel)
+		if _, err := b.Done(); err == nil {
+			t.Error("want error for cdata element label")
+		}
+	})
+	t.Run("element under text", func(t *testing.T) {
+		b := NewBuilder("r")
+		txt := b.Text(b.Root(), "hello")
+		b.Element(txt, "x")
+		if _, err := b.Done(); err == nil {
+			t.Error("want error for element under cdata")
+		}
+	})
+	t.Run("text under text", func(t *testing.T) {
+		b := NewBuilder("r")
+		txt := b.Text(b.Root(), "hello")
+		b.Text(txt, "nested")
+		if _, err := b.Done(); err == nil {
+			t.Error("want error for text under cdata")
+		}
+	})
+	t.Run("empty text dropped", func(t *testing.T) {
+		b := NewBuilder("r")
+		if n := b.Text(b.Root(), ""); n != nil {
+			t.Error("empty text should return nil")
+		}
+		d, err := b.Done()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d.Len() != 1 {
+			t.Errorf("document has %d nodes, want 1", d.Len())
+		}
+	})
+}
+
+func TestNodeLookupOutOfRange(t *testing.T) {
+	d := Fig1()
+	if d.Node(0) != nil {
+		t.Error("Node(0) should be nil")
+	}
+	if d.Node(d.MaxOID()+1) != nil {
+		t.Error("Node(max+1) should be nil")
+	}
+	if d.Node(d.MaxOID()) == nil {
+		t.Error("Node(max) should exist")
+	}
+}
+
+func TestLabels(t *testing.T) {
+	d := Fig1()
+	want := []string{"article", "author", "bibliography", "firstname", "institute", "lastname", "title", "year"}
+	got := d.Labels()
+	if len(got) != len(want) {
+		t.Fatalf("Labels = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Labels = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestEqual(t *testing.T) {
+	a, b := Fig1(), Fig1()
+	if !Equal(a, b) {
+		t.Error("identical documents reported unequal")
+	}
+	c := MustDocument("bibliography", func(b *Builder) {
+		b.Element(b.Root(), "institute")
+	})
+	if Equal(a, c) {
+		t.Error("different documents reported equal")
+	}
+}
+
+func TestRandomDocumentsValid(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	for i := 0; i < 200; i++ {
+		d := Random(r, 60)
+		if err := d.Validate(); err != nil {
+			t.Fatalf("random document %d invalid: %v", i, err)
+		}
+	}
+}
+
+func TestRandomDeterministic(t *testing.T) {
+	a := Random(rand.New(rand.NewSource(7)), 50)
+	b := Random(rand.New(rand.NewSource(7)), 50)
+	if !Equal(a, b) {
+		t.Error("Random with equal seeds produced different documents")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if Element.String() != "element" || CData.String() != "cdata" {
+		t.Error("Kind.String wrong")
+	}
+}

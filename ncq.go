@@ -1,0 +1,514 @@
+// Package ncq is a Go implementation of nearest concept queries over
+// XML documents — a reproduction of A. Schmidt, M. Kersten and
+// M. Windhouwer, "Querying XML Documents Made Easy: Nearest Concept
+// Queries", ICDE 2001.
+//
+// The library lets applications query XML documents whose content they
+// know but whose mark-up they do not: full-text search locates strings,
+// and the meet operator returns the lowest common ancestors of the hits
+// — the "nearest concepts" that relate them. The result type is not
+// specified in the query; it emerges from the database instance.
+//
+// # Quick start
+//
+//	db, err := ncq.OpenString(`<bib><book><author>Bit</author>` +
+//	    `<year>1999</year></book></bib>`)
+//	if err != nil { ... }
+//	meets, _, err := db.MeetOfTerms(nil, "Bit", "1999")
+//	// meets[0].Tag == "book": Bit published something in 1999.
+//
+// Underneath, documents are shredded into the path-partitioned binary
+// relations of the Monet XML storage scheme; the meet algorithms of the
+// paper's Figures 3-5 run directly on those relations.
+package ncq
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"ncq/internal/bat"
+	"ncq/internal/core"
+	"ncq/internal/fulltext"
+	"ncq/internal/idref"
+	"ncq/internal/monetx"
+	"ncq/internal/pathexpr"
+	"ncq/internal/pathsum"
+	"ncq/internal/query"
+	"ncq/internal/xmltree"
+)
+
+// NodeID identifies a node of a loaded document. IDs are assigned in
+// depth-first document order starting at 1; 0 is never a valid node.
+type NodeID = bat.OID
+
+// Database is a loaded XML document ready for nearest concept queries.
+type Database struct {
+	doc    *xmltree.Document
+	store  *monetx.Store
+	index  *fulltext.Index
+	engine *query.Engine
+}
+
+// Open parses an XML document from r and loads it.
+func Open(r io.Reader) (*Database, error) {
+	doc, err := xmltree.Parse(r)
+	if err != nil {
+		return nil, fmt.Errorf("ncq: %w", err)
+	}
+	return FromDocument(doc)
+}
+
+// OpenString is Open on a string.
+func OpenString(s string) (*Database, error) {
+	return Open(strings.NewReader(s))
+}
+
+// FromDocument loads an already parsed syntax tree.
+func FromDocument(doc *xmltree.Document) (*Database, error) {
+	if doc == nil {
+		return nil, fmt.Errorf("ncq: nil document")
+	}
+	store, err := monetx.Load(doc)
+	if err != nil {
+		return nil, fmt.Errorf("ncq: %w", err)
+	}
+	idx := fulltext.New(store)
+	return &Database{
+		doc:    doc,
+		store:  store,
+		index:  idx,
+		engine: query.NewEngine(store, idx),
+	}, nil
+}
+
+// Len returns the number of nodes (elements plus character data).
+func (db *Database) Len() int { return db.store.Len() }
+
+// Root returns the NodeID of the document root.
+func (db *Database) Root() NodeID { return db.store.Root() }
+
+// Tag returns the element label of n ("cdata" for character data).
+func (db *Database) Tag(n NodeID) string { return db.store.Label(n) }
+
+// Path returns the full label path of n, e.g. "/bib/book/year".
+func (db *Database) Path(n NodeID) string { return db.store.PathString(n) }
+
+// Parent returns the parent of n, or 0 for the root.
+func (db *Database) Parent(n NodeID) NodeID { return db.store.Parent(n) }
+
+// Children returns the children of n in document order.
+func (db *Database) Children(n NodeID) []NodeID { return db.store.Children(n) }
+
+// Value returns the character data of n: its text if n is a cdata
+// node, otherwise the concatenated direct cdata children.
+func (db *Database) Value(n NodeID) string {
+	if t, ok := db.store.Text(n); ok {
+		return t
+	}
+	var parts []string
+	for _, c := range db.store.Children(n) {
+		if t, ok := db.store.Text(c); ok {
+			parts = append(parts, t)
+		}
+	}
+	return strings.Join(parts, " ")
+}
+
+// Attr returns the value of the named attribute of element n.
+func (db *Database) Attr(n NodeID, name string) (string, bool) {
+	return db.store.AttrValue(n, name)
+}
+
+// Before reports whether a starts before b in document order.
+func (db *Database) Before(a, b NodeID) bool { return db.store.DocBefore(a, b) }
+
+// NextSibling returns the sibling immediately following n, or 0.
+func (db *Database) NextSibling(n NodeID) NodeID { return db.store.NextSibling(n) }
+
+// PrevSibling returns the sibling immediately preceding n, or 0.
+func (db *Database) PrevSibling(n NodeID) NodeID { return db.store.PrevSibling(n) }
+
+// Subtree renders the subtree rooted at element n as an XML string —
+// the "starting point for displaying and browsing" of Section 4 of the
+// paper.
+func (db *Database) Subtree(n NodeID) (string, error) {
+	sub, err := db.store.ReassembleSubtree(n)
+	if err != nil {
+		return "", fmt.Errorf("ncq: %w", err)
+	}
+	return sub.XMLString(), nil
+}
+
+// Hit is one full-text match.
+type Hit struct {
+	Node  NodeID // the node carrying the string (cdata node or attribute owner)
+	Value string // the complete stored string
+	Path  string // the string relation's path, e.g. "/bib/book/year/cdata@string"
+}
+
+// Search returns the nodes whose strings contain term as a word,
+// case-insensitively (multi-word terms match as a phrase).
+func (db *Database) Search(term string) []Hit {
+	return db.wrapHits(db.index.Search(term))
+}
+
+// SearchSubstring returns the nodes whose strings contain sub as a
+// case-sensitive substring — the paper's `contains` semantics.
+func (db *Database) SearchSubstring(sub string) []Hit {
+	return db.wrapHits(db.index.SearchSubstring(sub))
+}
+
+func (db *Database) wrapHits(hits []fulltext.Hit) []Hit {
+	out := make([]Hit, len(hits))
+	for i, h := range hits {
+		out[i] = Hit{Node: h.Owner, Value: h.Value, Path: db.store.Summary().String(h.Path)}
+	}
+	return out
+}
+
+// Meet is one nearest concept: the lowest common ancestor of its
+// witnesses.
+type Meet struct {
+	Node      NodeID
+	Tag       string   // the concept's element label — the paper's result type
+	Path      string   // its full path
+	Witnesses []NodeID // the inputs this concept connects, ascending
+	Distance  int      // total parent joins spent; the ranking key
+}
+
+// Options tunes the meet operator (the Section 4 extensions of the
+// paper). The zero value is the plain operator. Use the helper
+// functions (ExcludeRoot, ExcludePattern, ...) to build one fluently.
+type Options struct {
+	excludePatterns  []string
+	restrictPatterns []string
+	excludeRoot      bool
+	skipExcluded     bool
+	maxLift          int
+	maxDistance      int
+}
+
+// ExcludeRoot discards meets at the document root — almost always
+// wanted on large databases (used in the paper's DBLP case study).
+func ExcludeRoot() *Options { return (&Options{}).ExcludeRoot() }
+
+// ExcludeRoot marks the document root as an inadmissible result type.
+func (o *Options) ExcludeRoot() *Options {
+	o.excludeRoot = true
+	return o
+}
+
+// ExcludePattern marks every path matching the pattern (pathexpr
+// syntax, e.g. "//article") as inadmissible.
+func ExcludePattern(pattern string) *Options { return (&Options{}).ExcludePattern(pattern) }
+
+// ExcludePattern adds an inadmissible path pattern.
+func (o *Options) ExcludePattern(pattern string) *Options {
+	o.excludePatterns = append(o.excludePatterns, pattern)
+	return o
+}
+
+// Nearest switches exclusion to "find the nearest admissible concept":
+// inadmissible meets do not swallow their witnesses, the search
+// continues upward (an extension beyond the paper).
+func (o *Options) Nearest() *Options {
+	o.skipExcluded = true
+	return o
+}
+
+// Restrict keeps only meets whose path matches the pattern; matches at
+// other paths climb until they reach an admissible node. This is how
+// "by restricting the result types, the operator can be used to
+// implement keyword search as a special case" (Section 6 of the
+// paper): restricting to "//inproceedings" turns the meet into keyword
+// search over bibliography records.
+func Restrict(pattern string) *Options { return (&Options{}).Restrict(pattern) }
+
+// Restrict adds an admissible result-path pattern.
+func (o *Options) Restrict(pattern string) *Options {
+	o.restrictPatterns = append(o.restrictPatterns, pattern)
+	return o
+}
+
+// Within keeps only meets whose two closest witnesses are at most d
+// edges apart — the paper's distance-restricted meet.
+func Within(d int) *Options { return (&Options{}).Within(d) }
+
+// Within sets the pairwise distance bound.
+func (o *Options) Within(d int) *Options {
+	o.maxDistance = d
+	return o
+}
+
+// MaxLift bounds how many parent steps any single input may take.
+func (o *Options) MaxLift(n int) *Options {
+	o.maxLift = n
+	return o
+}
+
+// compile lowers the public Options into core.Options.
+func (o *Options) compile(db *Database) (*core.Options, error) {
+	if o == nil {
+		return nil, nil
+	}
+	opt := &core.Options{
+		MaxLift:      o.maxLift,
+		MaxDistance:  o.maxDistance,
+		SkipExcluded: o.skipExcluded,
+	}
+	if o.excludeRoot || len(o.excludePatterns) > 0 {
+		opt.Exclude = map[pathsum.PathID]bool{}
+		if o.excludeRoot {
+			opt.Exclude[db.store.Summary().Root()] = true
+		}
+		for _, src := range o.excludePatterns {
+			pat, err := pathexpr.Compile(src)
+			if err != nil {
+				return nil, fmt.Errorf("ncq: exclude pattern: %w", err)
+			}
+			for _, pid := range pat.SelectPaths(db.store.Summary()) {
+				opt.Exclude[pid] = true
+			}
+		}
+	}
+	if len(o.restrictPatterns) > 0 {
+		// A whitelist is the complement blacklist with climbing
+		// semantics: inadmissible meets pass their witnesses upward
+		// until an admissible path is reached.
+		sum := db.store.Summary()
+		admissible := map[pathsum.PathID]bool{}
+		for _, src := range o.restrictPatterns {
+			pat, err := pathexpr.Compile(src)
+			if err != nil {
+				return nil, fmt.Errorf("ncq: restrict pattern: %w", err)
+			}
+			for _, pid := range pat.SelectPaths(sum) {
+				admissible[pid] = true
+			}
+		}
+		if opt.Exclude == nil {
+			opt.Exclude = map[pathsum.PathID]bool{}
+		}
+		for _, pid := range sum.ElemPaths() {
+			if !admissible[pid] {
+				opt.Exclude[pid] = true
+			}
+		}
+		opt.SkipExcluded = true
+	}
+	return opt, nil
+}
+
+// MeetOf computes the nearest concepts of an arbitrary set of nodes
+// (the general meet of the paper's Figure 5). It returns the meets in
+// document order plus the inputs that found no partner.
+func (db *Database) MeetOf(nodes []NodeID, opt *Options) ([]Meet, []NodeID, error) {
+	copt, err := opt.compile(db)
+	if err != nil {
+		return nil, nil, err
+	}
+	results, unmatched, err := core.MeetOIDs(db.store, nodes, copt)
+	if err != nil {
+		return nil, nil, fmt.Errorf("ncq: %w", err)
+	}
+	return db.wrapResults(results), unmatched, nil
+}
+
+// MeetOfTerms runs the paper's flagship interaction in one call: a
+// full-text search per term (substring semantics) followed by the meet
+// of all hits. This answers questions like "what connects 'Bit' and
+// '1999' in this document?" without any schema knowledge.
+//
+// Each term contributes its own input set, so a node matched by two
+// different terms is reported as its own nearest concept at distance
+// zero (the paper's "Bob"/"Byte" example).
+func (db *Database) MeetOfTerms(opt *Options, terms ...string) ([]Meet, []NodeID, error) {
+	sets := make([][]NodeID, 0, len(terms))
+	for _, t := range terms {
+		sets = append(sets, fulltext.Owners(db.index.SearchSubstring(t)))
+	}
+	return db.meetOfSets(sets, opt)
+}
+
+// meetOfSets lowers per-term input sets into core.MeetMulti.
+func (db *Database) meetOfSets(sets [][]NodeID, opt *Options) ([]Meet, []NodeID, error) {
+	copt, err := opt.compile(db)
+	if err != nil {
+		return nil, nil, err
+	}
+	results, unmatched, err := core.MeetMulti(db.store, sets, copt)
+	if err != nil {
+		return nil, nil, fmt.Errorf("ncq: %w", err)
+	}
+	return db.wrapResults(results), unmatched, nil
+}
+
+// Meet2 returns the nearest concept of exactly two nodes together with
+// their distance in edges (the pairwise meet of Figure 3).
+func (db *Database) Meet2(a, b NodeID) (Meet, error) {
+	m, joins, err := core.Meet2(db.store, a, b)
+	if err != nil {
+		return Meet{}, fmt.Errorf("ncq: %w", err)
+	}
+	return Meet{
+		Node:      m,
+		Tag:       db.store.Label(m),
+		Path:      db.store.PathString(m),
+		Witnesses: []NodeID{a, b},
+		Distance:  joins,
+	}, nil
+}
+
+// Dist returns the number of edges between two nodes.
+func (db *Database) Dist(a, b NodeID) (int, error) {
+	d, err := core.Dist(db.store, a, b)
+	if err != nil {
+		return 0, fmt.Errorf("ncq: %w", err)
+	}
+	return d, nil
+}
+
+// RankMeets orders meets by ascending distance (the paper's join-count
+// ranking heuristic), breaking ties by document order, in place, and
+// returns its argument.
+func RankMeets(meets []Meet) []Meet {
+	sort.SliceStable(meets, func(i, j int) bool {
+		if meets[i].Distance != meets[j].Distance {
+			return meets[i].Distance < meets[j].Distance
+		}
+		return meets[i].Node < meets[j].Node
+	})
+	return meets
+}
+
+// RankMeetsBySourceProximity orders meets by how close together their
+// witnesses appear in the document (smallest witness OID span first) —
+// the "distances in the source file" heuristic of Section 4. Ties break
+// by join distance, then document order. In place; returns its argument.
+func RankMeetsBySourceProximity(meets []Meet) []Meet {
+	span := func(m Meet) NodeID {
+		if len(m.Witnesses) == 0 {
+			return 0
+		}
+		return m.Witnesses[len(m.Witnesses)-1] - m.Witnesses[0]
+	}
+	sort.SliceStable(meets, func(i, j int) bool {
+		si, sj := span(meets[i]), span(meets[j])
+		if si != sj {
+			return si < sj
+		}
+		if meets[i].Distance != meets[j].Distance {
+			return meets[i].Distance < meets[j].Distance
+		}
+		return meets[i].Node < meets[j].Node
+	})
+	return meets
+}
+
+func (db *Database) wrapResults(results []core.Result) []Meet {
+	out := make([]Meet, len(results))
+	for i, r := range results {
+		out[i] = Meet{
+			Node:      r.Meet,
+			Tag:       db.store.Label(r.Meet),
+			Path:      db.store.PathString(r.Meet),
+			Witnesses: r.Witnesses,
+			Distance:  r.Distance,
+		}
+	}
+	return out
+}
+
+// Answer re-exports the query engine's answer type.
+type Answer = query.Answer
+
+// Query evaluates a query in the paper's SQL variant, e.g.
+//
+//	SELECT meet(e1, e2)
+//	FROM //cdata AS e1, //cdata AS e2
+//	WHERE e1 CONTAINS 'Bit' AND e2 CONTAINS '1999'
+func (db *Database) Query(src string) (*Answer, error) {
+	return db.engine.Query(src)
+}
+
+// References builds the ID/IDREF reference graph of the document (the
+// paper's future-work extension) using the given attribute names,
+// typically "id" and "idref".
+func (db *Database) References(idAttr, refAttr string) (*RefGraph, error) {
+	g, err := idref.New(db.store, idAttr, refAttr)
+	if err != nil {
+		return nil, fmt.Errorf("ncq: %w", err)
+	}
+	return &RefGraph{g: g, db: db}, nil
+}
+
+// RefGraph is the reference-augmented view of a database.
+type RefGraph struct {
+	g  *idref.Graph
+	db *Database
+}
+
+// Meet returns the nearest concept of two nodes on the reference-
+// augmented graph together with their shortest-path distance.
+func (rg *RefGraph) Meet(a, b NodeID) (Meet, error) {
+	m, dist, err := rg.g.Meet(a, b)
+	if err != nil {
+		return Meet{}, fmt.Errorf("ncq: %w", err)
+	}
+	return Meet{
+		Node:      m,
+		Tag:       rg.db.store.Label(m),
+		Path:      rg.db.store.PathString(m),
+		Witnesses: []NodeID{a, b},
+		Distance:  dist,
+	}, nil
+}
+
+// Refs returns the number of reference edges.
+func (rg *RefGraph) Refs() int { return rg.g.Refs() }
+
+// Lookup resolves an ID attribute value to its declaring element.
+func (rg *RefGraph) Lookup(id string) (NodeID, bool) { return rg.g.Lookup(id) }
+
+// Stats summarises the loaded store.
+type Stats struct {
+	Nodes        int // tree nodes
+	Paths        int // distinct paths (relations in the catalogue)
+	Associations int // stored binary associations
+	MemBytes     int // estimated column memory
+	Terms        int // distinct full-text tokens
+}
+
+// Stats reports storage and index statistics.
+func (db *Database) Stats() Stats {
+	st := db.store.Stats()
+	return Stats{
+		Nodes:        st.Nodes,
+		Paths:        st.Paths,
+		Associations: st.Associations,
+		MemBytes:     st.MemBytes,
+		Terms:        db.index.Terms(),
+	}
+}
+
+// WriteXML serialises the loaded document back to XML.
+func (db *Database) WriteXML(w io.Writer, indent bool) error {
+	return db.doc.WriteXML(w, indent)
+}
+
+// PathInfo describes one relation of the storage catalogue.
+type PathInfo = monetx.PathInfo
+
+// Paths lists the storage catalogue: every path with its association
+// count — the schema a nearest-concept user never has to know, made
+// inspectable.
+func (db *Database) Paths() []PathInfo { return db.store.PathInfos() }
+
+// DumpTransform writes the path-partitioned storage representation in
+// the style of the paper's Figure 2, truncating each relation to limit
+// pairs when limit > 0.
+func (db *Database) DumpTransform(w io.Writer, limit int) error {
+	return db.store.DumpTransform(w, limit)
+}

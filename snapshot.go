@@ -1,0 +1,41 @@
+package ncq
+
+import (
+	"fmt"
+	"io"
+
+	"ncq/internal/fulltext"
+	"ncq/internal/monetx"
+	"ncq/internal/query"
+)
+
+// SaveSnapshot persists the loaded database in a compact binary form
+// that OpenSnapshot reloads without re-parsing or re-shredding the XML.
+// The full-text index is rebuilt on load (it is derived data).
+func (db *Database) SaveSnapshot(w io.Writer) error {
+	if err := db.store.WriteSnapshot(w); err != nil {
+		return fmt.Errorf("ncq: %w", err)
+	}
+	return nil
+}
+
+// OpenSnapshot loads a database from a snapshot written by
+// SaveSnapshot. The result answers every query identically to the
+// database that was saved.
+func OpenSnapshot(r io.Reader) (*Database, error) {
+	store, err := monetx.ReadSnapshot(r)
+	if err != nil {
+		return nil, fmt.Errorf("ncq: %w", err)
+	}
+	doc, err := store.ReassembleDocument()
+	if err != nil {
+		return nil, fmt.Errorf("ncq: %w", err)
+	}
+	idx := fulltext.New(store)
+	return &Database{
+		doc:    doc,
+		store:  store,
+		index:  idx,
+		engine: query.NewEngine(store, idx),
+	}, nil
+}

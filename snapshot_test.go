@@ -1,0 +1,63 @@
+package ncq
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestSnapshotFacadeRoundTrip(t *testing.T) {
+	db := fig1DB(t)
+	var buf bytes.Buffer
+	if err := db.SaveSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := OpenSnapshot(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every query behaves identically.
+	a, _, err := db.MeetOfTerms(nil, "Bit", "1999")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := back.MeetOfTerms(nil, "Bit", "1999")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("meets differ after snapshot: %+v vs %+v", a, b)
+	}
+	ansA, err := db.Query(`SELECT value(e) FROM //title AS e`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ansB, err := back.Query(`SELECT value(e) FROM //title AS e`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ansA.XML() != ansB.XML() {
+		t.Errorf("query answers differ:\n%s\nvs\n%s", ansA.XML(), ansB.XML())
+	}
+	// The reloaded database serialises to equivalent XML.
+	var xa, xb strings.Builder
+	if err := db.WriteXML(&xa, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := back.WriteXML(&xb, false); err != nil {
+		t.Fatal(err)
+	}
+	if xa.String() != xb.String() {
+		t.Errorf("XML differs:\n%s\nvs\n%s", xa.String(), xb.String())
+	}
+	if db.Stats() != back.Stats() {
+		t.Errorf("stats differ: %+v vs %+v", db.Stats(), back.Stats())
+	}
+}
+
+func TestOpenSnapshotErrors(t *testing.T) {
+	if _, err := OpenSnapshot(strings.NewReader("not a snapshot")); err == nil {
+		t.Error("garbage snapshot accepted")
+	}
+}

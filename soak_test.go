@@ -1,0 +1,92 @@
+package ncq
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+
+	"ncq/internal/datagen"
+	"ncq/internal/xmltree"
+)
+
+// TestSoakLargeBibliography pushes a Figure 7-scale document (~90k
+// nodes) through every layer: generate, serialise, parse, shred,
+// validate, query, snapshot, reload, re-verify. Skipped with -short.
+func TestSoakLargeBibliography(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test skipped in -short mode")
+	}
+	cfg := datagen.DefaultDBLPConfig() // 75 pubs per venue and year
+	doc := datagen.DBLP(cfg)
+	if err := doc.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	var xml strings.Builder
+	if err := doc.WriteXML(&xml, false); err != nil {
+		t.Fatal(err)
+	}
+	db, err := OpenString(xml.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := db.Stats()
+	if st.Nodes < 80000 {
+		t.Fatalf("unexpectedly small soak document: %+v", st)
+	}
+
+	// Reassembly is lossless at scale.
+	var back strings.Builder
+	if err := db.WriteXML(&back, false); err != nil {
+		t.Fatal(err)
+	}
+	doc2, err := xmltree.ParseString(back.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !xmltree.Equal(doc, doc2) {
+		t.Fatal("document changed across load/serialise at scale")
+	}
+
+	// Every year's query returns exactly the expected cardinality.
+	for year := 1984; year <= 1999; year++ {
+		meets, _, err := db.MeetOfTerms(ExcludeRoot(), "ICDE", fmt.Sprintf("%d", year))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := cfg.PubsPerVenueYear
+		if year == datagen.ICDEYearMissing {
+			want = 0
+		}
+		// The two planted false-positive page ranges may add one hit
+		// for their target year.
+		extra := 0
+		if year == 1993 || year == 1996 {
+			extra = 1
+		}
+		if len(meets) != want+extra {
+			t.Errorf("ICDE %d: %d results, want %d", year, len(meets), want+extra)
+		}
+	}
+
+	// Snapshot round trip preserves behaviour at scale.
+	var snap bytes.Buffer
+	if err := db.SaveSnapshot(&snap); err != nil {
+		t.Fatal(err)
+	}
+	db2, err := OpenSnapshot(&snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _, err := db.MeetOfTerms(ExcludeRoot(), "ICDE", "1999")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := db2.MeetOfTerms(ExcludeRoot(), "ICDE", "1999")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("snapshot changed answers: %d vs %d", len(a), len(b))
+	}
+}

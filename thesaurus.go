@@ -1,0 +1,49 @@
+package ncq
+
+import (
+	"ncq/internal/fulltext"
+)
+
+// Thesaurus holds synonym classes used to broaden searches — the
+// Section 4 suggestion for queries that return too few answers.
+// Synonymy is symmetric and transitive; terms are case-folded.
+type Thesaurus struct {
+	t *fulltext.Thesaurus
+}
+
+// NewThesaurus returns an empty thesaurus.
+func NewThesaurus() *Thesaurus {
+	return &Thesaurus{t: fulltext.NewThesaurus()}
+}
+
+// Add declares the terms synonymous.
+func (t *Thesaurus) Add(term string, synonyms ...string) *Thesaurus {
+	t.t.Add(term, synonyms...)
+	return t
+}
+
+// Expand returns the full synonym class of term, including the term.
+func (t *Thesaurus) Expand(term string) []string { return t.t.Expand(term) }
+
+// SearchExpanded searches for term and all of its synonyms.
+func (db *Database) SearchExpanded(t *Thesaurus, term string) []Hit {
+	if t == nil {
+		return db.Search(term)
+	}
+	return db.wrapHits(db.index.SearchExpanded(t.t, term))
+}
+
+// MeetOfTermsExpanded is MeetOfTerms with every term broadened through
+// the thesaurus first (token search on each synonym). A nil thesaurus
+// degrades to substring search on the literal terms. Each original term
+// still contributes one input set: its synonyms' hits merged.
+func (db *Database) MeetOfTermsExpanded(t *Thesaurus, opt *Options, terms ...string) ([]Meet, []NodeID, error) {
+	if t == nil {
+		return db.MeetOfTerms(opt, terms...)
+	}
+	sets := make([][]NodeID, 0, len(terms))
+	for _, term := range terms {
+		sets = append(sets, fulltext.Owners(db.index.SearchExpanded(t.t, term)))
+	}
+	return db.meetOfSets(sets, opt)
+}
