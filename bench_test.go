@@ -1,16 +1,22 @@
-package ncq
+package ncq_test
 
 // The benchmark suite regenerates the paper's evaluation (one bench per
 // figure plus the Section 5 scaling claim) and adds ablations for the
 // design choices DESIGN.md calls out. cmd/ncqbench prints the same
 // series as TSV tables; EXPERIMENTS.md records the measured shapes.
+// The suite lives in the external test package so the server-level
+// benchmarks can import ncq/internal/server (which itself imports ncq).
 
 import (
 	"bytes"
 	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
 	"sync"
 	"testing"
 
+	"ncq"
 	"ncq/internal/bat"
 	"ncq/internal/core"
 	"ncq/internal/datagen"
@@ -18,6 +24,7 @@ import (
 	"ncq/internal/fulltext"
 	"ncq/internal/monetx"
 	"ncq/internal/query"
+	"ncq/internal/server"
 )
 
 var (
@@ -326,6 +333,92 @@ func BenchmarkExplosionBaseline(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			if _, _, err := core.MeetPairsBaseline(setup.Store, icde, year); err != nil {
 				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// benchCorpus builds a corpus of shards — distinct synthetic DBLP
+// fragments — as the ncqd server would hold after preloading.
+func benchCorpus(b *testing.B, shards int) *ncq.Corpus {
+	b.Helper()
+	c := ncq.NewCorpus()
+	for i := 0; i < shards; i++ {
+		doc := datagen.DBLP(datagen.DBLPConfig{
+			Seed: int64(i + 1), YearFrom: 1995, YearTo: 1999, PubsPerVenueYear: 10,
+		})
+		db, err := ncq.FromDocument(doc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := c.Add(fmt.Sprintf("shard-%d", i), db); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return c
+}
+
+// BenchmarkCorpusMeetParallel measures the corpus-wide meet fan-out:
+// the same query over the same membership, executed serially versus
+// with the bounded worker pool. On a multi-core host the parallel
+// series should approach a shards/cores speed-up; on one core the two
+// series coincide (the pool then only adds scheduling noise).
+func BenchmarkCorpusMeetParallel(b *testing.B) {
+	c := benchCorpus(b, 8)
+	widths := []int{1, runtime.GOMAXPROCS(0), 8}
+	seen := map[int]bool{}
+	for _, w := range widths {
+		if seen[w] {
+			continue
+		}
+		seen[w] = true
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			c.SetParallelism(w)
+			for i := 0; i < b.N; i++ {
+				meets, err := c.MeetOfTerms(ncq.ExcludeRoot(), "ICDE", "1999")
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(meets) == 0 {
+					b.Fatal("no meets")
+				}
+			}
+		})
+	}
+	c.SetParallelism(0)
+}
+
+// BenchmarkServerQuery measures the full HTTP query path of ncqd: JSON
+// decode, cache lookup, corpus meet, JSON encode. The cold series
+// disables the cache so every request recomputes; the cached series
+// must be served entirely from the LRU (verified per request).
+func BenchmarkServerQuery(b *testing.B) {
+	corpus := benchCorpus(b, 4)
+	body := []byte(`{"terms":["ICDE","1999"],"exclude_root":true}`)
+	post := func(b *testing.B, h http.Handler) string {
+		req := httptest.NewRequest("POST", "/v1/query", bytes.NewReader(body))
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK {
+			b.Fatalf("status %d: %s", rec.Code, rec.Body)
+		}
+		return rec.Header().Get("X-NCQ-Cache")
+	}
+	b.Run("cold", func(b *testing.B) {
+		h := server.New(corpus, server.WithCacheCapacity(0)).Handler()
+		for i := 0; i < b.N; i++ {
+			if post(b, h) != "miss" {
+				b.Fatal("cold request hit the cache")
+			}
+		}
+	})
+	b.Run("cached", func(b *testing.B) {
+		h := server.New(corpus).Handler()
+		post(b, h) // warm the cache
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if post(b, h) != "hit" {
+				b.Fatal("cached request missed")
 			}
 		}
 	})

@@ -1,0 +1,16 @@
+package main
+
+import (
+	"net"
+	"net/http"
+)
+
+// newListener opens the server's TCP listener separately from Serve so
+// run can report the bound address (and tests can use ":0").
+func newListener(srv *http.Server) (net.Listener, error) {
+	addr := srv.Addr
+	if addr == "" {
+		addr = ":http"
+	}
+	return net.Listen("tcp", addr)
+}

@@ -1,0 +1,145 @@
+// Command ncqd serves nearest concept queries over HTTP/JSON: a
+// long-running daemon around a shared document corpus with a result
+// cache — the paper's "power of querying with the simplicity of
+// searching" as a service.
+//
+// Usage:
+//
+//	ncqd -addr :8334 -load 'docs/*.xml'
+//
+// Endpoints:
+//
+//	POST   /v1/query       {"terms":["Bit","1999"],"exclude_root":true}
+//	                       or {"doc":"bib","query":"SELECT meet(e1,e2) FROM ..."}
+//	PUT    /v1/docs/{name} load/replace a document (body = XML)
+//	GET    /v1/docs/{name} inspect a document
+//	DELETE /v1/docs/{name} evict a document
+//	GET    /v1/docs        list documents
+//	GET    /v1/healthz     liveness
+//	GET    /v1/stats       corpus, cache and traffic counters
+//
+// Flags tune the cache capacity, the per-document upload limit and the
+// corpus fan-out width; -load preloads XML files at start-up, each
+// registered under its base name without the extension.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"time"
+
+	"ncq"
+	"ncq/internal/server"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stderr, nil))
+}
+
+// run is the testable entry point. When ready is non-nil it receives
+// the daemon's base URL once the listener is accepting connections.
+func run(argv []string, stderr io.Writer, ready chan<- string) int {
+	fs := flag.NewFlagSet("ncqd", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		addr      = fs.String("addr", ":8334", "listen address")
+		cacheCap  = fs.Int("cache", 256, "query result cache capacity (0 disables)")
+		maxBody   = fs.Int64("max-body", 32<<20, "maximum document upload size in bytes")
+		workers   = fs.Int("workers", 0, "corpus query fan-out width (0 = GOMAXPROCS)")
+		load      = fs.String("load", "", "glob of XML files to preload")
+		gracePeri = fs.Duration("grace", 5*time.Second, "shutdown grace period")
+	)
+	if err := fs.Parse(argv); err != nil {
+		return 2
+	}
+	if fs.NArg() != 0 {
+		fmt.Fprintln(stderr, "usage: ncqd [-addr :8334] [-cache N] [-max-body N] [-workers N] [-load GLOB]")
+		return 2
+	}
+
+	corpus := ncq.NewCorpus()
+	corpus.SetParallelism(*workers)
+	if *load != "" {
+		n, err := preload(corpus, *load)
+		if err != nil {
+			fmt.Fprintf(stderr, "ncqd: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(stderr, "ncqd: preloaded %d document(s)\n", n)
+	}
+
+	srv := server.New(corpus,
+		server.WithCacheCapacity(*cacheCap),
+		server.WithMaxBody(*maxBody))
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	ln, err := newListener(httpSrv)
+	if err != nil {
+		fmt.Fprintf(stderr, "ncqd: %v\n", err)
+		return 1
+	}
+	fmt.Fprintf(stderr, "ncqd: listening on %s\n", ln.Addr())
+	if ready != nil {
+		ready <- "http://" + ln.Addr().String()
+	}
+	go func() { errCh <- httpSrv.Serve(ln) }()
+
+	select {
+	case err := <-errCh:
+		fmt.Fprintf(stderr, "ncqd: %v\n", err)
+		return 1
+	case <-ctx.Done():
+	}
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *gracePeri)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		fmt.Fprintf(stderr, "ncqd: shutdown: %v\n", err)
+		return 1
+	}
+	fmt.Fprintln(stderr, "ncqd: bye")
+	return 0
+}
+
+// preload loads every file matching the glob into the corpus, each
+// under its base name without the extension (docs/dblp.xml -> dblp).
+func preload(corpus *ncq.Corpus, glob string) (int, error) {
+	files, err := filepath.Glob(glob)
+	if err != nil {
+		return 0, fmt.Errorf("bad -load glob: %w", err)
+	}
+	if len(files) == 0 {
+		return 0, fmt.Errorf("-load %q matched no files", glob)
+	}
+	for _, file := range files {
+		f, err := os.Open(file)
+		if err != nil {
+			return 0, err
+		}
+		db, err := ncq.Open(f)
+		f.Close()
+		if err != nil {
+			return 0, fmt.Errorf("%s: %w", file, err)
+		}
+		name := strings.TrimSuffix(filepath.Base(file), filepath.Ext(file))
+		if err := corpus.Add(name, db); err != nil {
+			return 0, err
+		}
+	}
+	return len(files), nil
+}

@@ -1,0 +1,121 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"ncq"
+)
+
+func TestBadFlags(t *testing.T) {
+	var stderr bytes.Buffer
+	if code := run([]string{"-no-such-flag"}, &stderr, nil); code != 2 {
+		t.Errorf("exit = %d", code)
+	}
+	if code := run([]string{"positional"}, &stderr, nil); code != 2 {
+		t.Errorf("positional args: exit = %d", code)
+	}
+}
+
+func TestBadLoadGlob(t *testing.T) {
+	var stderr bytes.Buffer
+	if code := run([]string{"-load", filepath.Join(t.TempDir(), "*.xml")}, &stderr, nil); code != 1 {
+		t.Errorf("exit = %d", code)
+	}
+	if !strings.Contains(stderr.String(), "matched no files") {
+		t.Errorf("stderr = %q", stderr.String())
+	}
+}
+
+func TestPreload(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "bib.xml"),
+		[]byte(`<bib><book><author>Bit</author><year>1999</year></book></bib>`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "refs.xml"),
+		[]byte(`<refs><entry><who>Bit</who></entry></refs>`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	corpus := ncq.NewCorpus()
+	n, err := preload(corpus, filepath.Join(dir, "*.xml"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 || corpus.Len() != 2 {
+		t.Fatalf("preloaded %d, corpus len %d", n, corpus.Len())
+	}
+	if _, ok := corpus.Get("bib"); !ok {
+		t.Error("doc not registered under its base name")
+	}
+	// A malformed member fails the whole preload.
+	if err := os.WriteFile(filepath.Join(dir, "bad.xml"), []byte("<unclosed>"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := preload(ncq.NewCorpus(), filepath.Join(dir, "*.xml")); err == nil {
+		t.Error("malformed file accepted")
+	}
+}
+
+// TestServeAndShutdown boots the daemon on an ephemeral port with a
+// preloaded document, queries it over real HTTP, and stops it with
+// SIGTERM — the full service lifecycle.
+func TestServeAndShutdown(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "bib.xml"),
+		[]byte(`<bib><book><author>Bit</author><year>1999</year></book></bib>`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var stderr bytes.Buffer
+	ready := make(chan string, 1)
+	done := make(chan int, 1)
+	go func() {
+		done <- run([]string{"-addr", "127.0.0.1:0", "-load", filepath.Join(dir, "*.xml")},
+			&stderr, ready)
+	}()
+	var base string
+	select {
+	case base = <-ready:
+	case <-time.After(10 * time.Second):
+		t.Fatalf("daemon never became ready; stderr: %s", stderr.String())
+	}
+
+	resp, err := http.Get(base + "/v1/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("healthz: %d", resp.StatusCode)
+	}
+
+	resp, err = http.Post(base+"/v1/query", "application/json",
+		strings.NewReader(`{"doc":"bib","terms":["Bit","1999"],"exclude_root":true}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), `"tag":"book"`) {
+		t.Errorf("query: %d %s", resp.StatusCode, body)
+	}
+
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case code := <-done:
+		if code != 0 {
+			t.Errorf("exit = %d; stderr: %s", code, stderr.String())
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatalf("daemon never shut down; stderr: %s", stderr.String())
+	}
+}

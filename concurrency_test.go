@@ -8,6 +8,94 @@ import (
 	"ncq/internal/xmltree"
 )
 
+// TestCorpusConcurrentMixed hammers one corpus with mixed traffic —
+// Add, Remove, Get, Names, corpus-wide meets and query-language queries
+// — to validate the documented guarantee that a Corpus is safe for
+// concurrent readers and writers (run with -race to verify). Queries
+// must always see a consistent membership snapshot: every answer's
+// source must be a name that was registered at some point.
+func TestCorpusConcurrentMixed(t *testing.T) {
+	base, err := FromDocument(xmltree.Fig1())
+	if err != nil {
+		t.Fatal(err)
+	}
+	other, err := OpenString(otherMarkup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewCorpus()
+	if err := c.Add("seed", base); err != nil {
+		t.Fatal(err)
+	}
+	const goroutines = 12
+	const iters = 40
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			name := fmt.Sprintf("doc-%d", g)
+			for i := 0; i < iters; i++ {
+				switch (g + i) % 5 {
+				case 0: // writer: add / replace
+					db := base
+					if g%2 == 0 {
+						db = other
+					}
+					if err := c.Add(name, db); err != nil {
+						errs <- fmt.Errorf("Add: %v", err)
+						return
+					}
+				case 1: // writer: remove
+					c.Remove(name)
+				case 2: // reader: corpus meet
+					meets, err := c.MeetOfTerms(ExcludeRoot(), "Bit", "1999")
+					if err != nil {
+						errs <- fmt.Errorf("MeetOfTerms: %v", err)
+						return
+					}
+					for _, m := range meets {
+						if m.Source == "" {
+							errs <- fmt.Errorf("meet with empty source")
+							return
+						}
+					}
+				case 3: // reader: corpus query
+					if _, err := c.Query(`SELECT tag(e) FROM //year AS e`); err != nil {
+						errs <- fmt.Errorf("Query: %v", err)
+						return
+					}
+				case 4: // reader: metadata
+					if _, ok := c.Get("seed"); !ok {
+						errs <- fmt.Errorf("seed disappeared")
+						return
+					}
+					if c.Len() != len(c.Names()) {
+						// Len and Names each take the lock; both are
+						// point-in-time reads so they may legitimately
+						// disagree under churn — just exercise them.
+						_ = c.Generation()
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	// After the dust settles "seed" must still be resolvable and the
+	// generation must reflect that mutations happened.
+	if c.Generation() == 0 {
+		t.Error("generation never advanced")
+	}
+	if _, ok := c.Get("seed"); !ok {
+		t.Error("seed lost")
+	}
+}
+
 // TestConcurrentReads hammers one loaded database from many goroutines
 // exercising every read path — full-text, meets, queries, navigation,
 // reassembly — to validate the documented guarantee that a loaded

@@ -2,7 +2,11 @@ package ncq
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
+	"sync"
+
+	"ncq/internal/query"
 )
 
 // Corpus is a named collection of databases queried together. It
@@ -11,9 +15,17 @@ import (
 // lives in another bibliography; however, we have no idea how the
 // relevant information is marked up" — the meet runs per document, so
 // each answer carries the result type of its own instance.
+//
+// A Corpus is safe for concurrent use: any number of readers and
+// queries may run while documents are added, replaced or removed.
+// Queries observe a consistent snapshot of the membership taken when
+// they start; a concurrent Add or Remove affects later queries only.
 type Corpus struct {
-	names []string
-	dbs   map[string]*Database
+	mu      sync.RWMutex
+	names   []string
+	dbs     map[string]*Database
+	gen     uint64
+	workers int // fan-out width for corpus-wide queries; 0 = GOMAXPROCS
 }
 
 // NewCorpus returns an empty corpus.
@@ -24,18 +36,52 @@ func NewCorpus() *Corpus {
 // Add registers a database under a name. Re-adding a name replaces the
 // previous database but keeps its position.
 func (c *Corpus) Add(name string, db *Database) error {
+	_, err := c.Put(name, db)
+	return err
+}
+
+// Put is Add reporting whether an existing database was replaced. The
+// check happens under the write lock, so concurrent Puts of the same
+// name agree on which one created the entry.
+func (c *Corpus) Put(name string, db *Database) (replaced bool, err error) {
 	if db == nil {
-		return fmt.Errorf("ncq: corpus: nil database for %q", name)
+		return false, fmt.Errorf("ncq: corpus: nil database for %q", name)
 	}
-	if _, exists := c.dbs[name]; !exists {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, exists := c.dbs[name]; exists {
+		replaced = true
+	} else {
 		c.names = append(c.names, name)
 	}
 	c.dbs[name] = db
-	return nil
+	c.gen++
+	return replaced, nil
+}
+
+// Remove evicts the database registered under name and reports whether
+// it was present.
+func (c *Corpus) Remove(name string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.dbs[name]; !ok {
+		return false
+	}
+	delete(c.dbs, name)
+	for i, n := range c.names {
+		if n == name {
+			c.names = append(c.names[:i], c.names[i+1:]...)
+			break
+		}
+	}
+	c.gen++
+	return true
 }
 
 // Names returns the registered names in insertion order.
 func (c *Corpus) Names() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	out := make([]string, len(c.names))
 	copy(out, c.names)
 	return out
@@ -43,32 +89,126 @@ func (c *Corpus) Names() []string {
 
 // Get returns the database registered under name.
 func (c *Corpus) Get(name string) (*Database, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	db, ok := c.dbs[name]
 	return db, ok
 }
 
 // Len returns the number of registered databases.
-func (c *Corpus) Len() int { return len(c.names) }
+func (c *Corpus) Len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.names)
+}
+
+// Generation returns a counter that increments on every membership
+// mutation (Add, Remove, replace). Cached query results keyed by the
+// generation are implicitly invalidated by any corpus change.
+func (c *Corpus) Generation() uint64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.gen
+}
+
+// SetParallelism sets how many member documents a corpus-wide query
+// processes concurrently. n <= 0 restores the default (GOMAXPROCS);
+// n == 1 forces serial execution.
+func (c *Corpus) SetParallelism(n int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if n < 0 {
+		n = 0
+	}
+	c.workers = n
+}
+
+// snapshot captures the membership under the read lock so queries run
+// against a consistent view without blocking writers.
+func (c *Corpus) snapshot() (names []string, dbs []*Database, workers int) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	names = make([]string, len(c.names))
+	copy(names, c.names)
+	dbs = make([]*Database, len(names))
+	for i, n := range names {
+		dbs[i] = c.dbs[n]
+	}
+	workers = c.workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return names, dbs, workers
+}
+
+// forEachDoc runs fn(i) for every document index with at most workers
+// goroutines in flight and returns the first error (by document order).
+func forEachDoc(n, workers int, fn func(i int) error) error {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				errs[i] = fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
 
 // CorpusMeet is one nearest concept found in one member document.
 type CorpusMeet struct {
-	Source string // the database's registered name
+	Source string `json:"source"` // the database's registered name
 	Meet
 }
 
 // MeetOfTerms runs the nearest-concept query against every member and
 // returns all answers, ranked by distance (ties by source name, then
 // document order). Documents in which the terms do not meet simply
-// contribute nothing.
+// contribute nothing. Members are searched concurrently, bounded by
+// SetParallelism.
 func (c *Corpus) MeetOfTerms(opt *Options, terms ...string) ([]CorpusMeet, error) {
-	var out []CorpusMeet
-	for _, name := range c.names {
-		meets, _, err := c.dbs[name].MeetOfTerms(opt, terms...)
+	names, dbs, workers := c.snapshot()
+	perDoc := make([][]Meet, len(names))
+	err := forEachDoc(len(names), workers, func(i int) error {
+		meets, _, err := dbs[i].MeetOfTerms(opt, terms...)
 		if err != nil {
-			return nil, fmt.Errorf("ncq: corpus %q: %w", name, err)
+			return fmt.Errorf("ncq: corpus %q: %w", names[i], err)
 		}
+		perDoc[i] = meets
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var out []CorpusMeet
+	for i, meets := range perDoc {
 		for _, m := range meets {
-			out = append(out, CorpusMeet{Source: name, Meet: m})
+			out = append(out, CorpusMeet{Source: names[i], Meet: m})
 		}
 	}
 	sort.SliceStable(out, func(i, j int) bool {
@@ -80,5 +220,43 @@ func (c *Corpus) MeetOfTerms(opt *Options, terms ...string) ([]CorpusMeet, error
 		}
 		return out[i].Node < out[j].Node
 	})
+	return out, nil
+}
+
+// CorpusAnswer is one member document's answer to a corpus-wide query.
+type CorpusAnswer struct {
+	Source string  `json:"source"`
+	Answer *Answer `json:"answer"`
+}
+
+// Query evaluates a query in the paper's SQL variant against every
+// member document (parsed once, evaluated per member, concurrently) and
+// returns the per-source answers in membership order. Members whose
+// answer has no rows are omitted — with nearest concept queries the
+// interesting outcome is where the terms meet, not where they do not.
+func (c *Corpus) Query(src string) ([]CorpusAnswer, error) {
+	q, err := query.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	names, dbs, workers := c.snapshot()
+	answers := make([]*Answer, len(names))
+	err = forEachDoc(len(names), workers, func(i int) error {
+		ans, err := dbs[i].engine.Eval(q)
+		if err != nil {
+			return fmt.Errorf("ncq: corpus %q: %w", names[i], err)
+		}
+		answers[i] = ans
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var out []CorpusAnswer
+	for i, ans := range answers {
+		if ans != nil && len(ans.Rows) > 0 {
+			out = append(out, CorpusAnswer{Source: names[i], Answer: ans})
+		}
+	}
 	return out, nil
 }

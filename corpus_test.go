@@ -60,13 +60,26 @@ func TestCorpusBasics(t *testing.T) {
 	if err := c.Add("x", nil); err == nil {
 		t.Error("nil database accepted")
 	}
-	// Replacing keeps the position and count.
+	// Replacing keeps the position and count, and Put reports it.
 	db, _ := c.Get("cwi")
-	if err := c.Add("cwi", db); err != nil {
-		t.Fatal(err)
+	replaced, err := c.Put("cwi", db)
+	if err != nil || !replaced {
+		t.Errorf("Put(cwi) = %t, %v; want replaced", replaced, err)
 	}
 	if c.Len() != 2 {
 		t.Errorf("Len after replace = %d", c.Len())
+	}
+	if replaced, err := c.Put("fresh", db); err != nil || replaced {
+		t.Errorf("Put(fresh) = %t, %v; want created", replaced, err)
+	}
+	if !c.Remove("fresh") {
+		t.Error("Remove(fresh) failed")
+	}
+	if c.Remove("fresh") {
+		t.Error("Remove(fresh) succeeded twice")
+	}
+	if gen := c.Generation(); gen != 5 {
+		t.Errorf("Generation = %d, want 5 (2 adds + replace + put + remove)", gen)
 	}
 }
 

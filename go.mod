@@ -1,0 +1,3 @@
+module ncq
+
+go 1.24.0

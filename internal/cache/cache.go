@@ -1,0 +1,125 @@
+// Package cache provides the query-result cache of the ncqd server: a
+// mutex-guarded LRU keyed by (corpus generation, normalized query).
+//
+// The generation is part of the key, so any corpus mutation — which
+// bumps the generation — implicitly invalidates every cached result:
+// lookups for the new generation cannot match entries computed under
+// the old one, and the stale entries age out at the cold end of the
+// LRU list (or are dropped eagerly via Purge). Including the
+// generation also makes a slow query racing a mutation harmless: its
+// insert lands under the generation it was computed against and can
+// never be served to a post-mutation client.
+package cache
+
+import (
+	"container/list"
+	"sync"
+)
+
+// Key identifies one cached result.
+type Key struct {
+	Gen   uint64 // corpus generation the result was computed against
+	Query string // normalized request (doc, mode, terms/query, options)
+}
+
+// Stats is a point-in-time snapshot of cache effectiveness counters.
+type Stats struct {
+	Size      int    `json:"size"`
+	Cap       int    `json:"cap"`
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Evictions uint64 `json:"evictions"`
+	Purges    uint64 `json:"purges"` // entries dropped by Purge
+}
+
+type entry struct {
+	key Key
+	val any
+}
+
+// LRU is a fixed-capacity least-recently-used cache, safe for
+// concurrent use. A capacity of zero (or negative) disables caching:
+// every Get misses and Put is a no-op.
+type LRU struct {
+	mu    sync.Mutex
+	cap   int
+	ll    *list.List // front = most recently used
+	items map[Key]*list.Element
+	stats Stats
+}
+
+// New returns an LRU holding at most capacity entries.
+func New(capacity int) *LRU {
+	if capacity < 0 {
+		capacity = 0
+	}
+	return &LRU{
+		cap:   capacity,
+		ll:    list.New(),
+		items: make(map[Key]*list.Element),
+	}
+}
+
+// Get returns the value cached under k and marks it most recently used.
+func (c *LRU) Get(k Key) (any, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[k]
+	if !ok {
+		c.stats.Misses++
+		return nil, false
+	}
+	c.stats.Hits++
+	c.ll.MoveToFront(el)
+	return el.Value.(*entry).val, true
+}
+
+// Put caches v under k, evicting the least recently used entry when
+// the cache is full.
+func (c *LRU) Put(k Key, v any) {
+	if c.cap == 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[k]; ok {
+		el.Value.(*entry).val = v
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[k] = c.ll.PushFront(&entry{key: k, val: v})
+	if c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*entry).key)
+		c.stats.Evictions++
+	}
+}
+
+// Purge drops every entry. The server calls it on corpus mutations to
+// free memory immediately rather than waiting for stale generations to
+// age out.
+func (c *LRU) Purge() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.stats.Purges += uint64(c.ll.Len())
+	c.ll.Init()
+	clear(c.items)
+}
+
+// Len returns the number of cached entries.
+func (c *LRU) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Stats returns a snapshot of the counters.
+func (c *LRU) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := c.stats
+	st.Size = c.ll.Len()
+	st.Cap = c.cap
+	return st
+}

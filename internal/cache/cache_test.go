@@ -1,0 +1,128 @@
+package cache
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestHitMiss(t *testing.T) {
+	c := New(4)
+	k := Key{Gen: 1, Query: "q"}
+	if _, ok := c.Get(k); ok {
+		t.Fatal("hit on empty cache")
+	}
+	c.Put(k, "answer")
+	v, ok := c.Get(k)
+	if !ok || v.(string) != "answer" {
+		t.Fatalf("Get = %v, %v", v, ok)
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Size != 1 || st.Cap != 4 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+// TestGenerationInvalidates is the invalidation contract: the same
+// normalized query under a bumped generation must miss.
+func TestGenerationInvalidates(t *testing.T) {
+	c := New(4)
+	c.Put(Key{Gen: 1, Query: "q"}, "old")
+	if _, ok := c.Get(Key{Gen: 2, Query: "q"}); ok {
+		t.Fatal("stale generation served")
+	}
+	if _, ok := c.Get(Key{Gen: 1, Query: "q"}); !ok {
+		t.Fatal("old generation entry should still resolve under its own key")
+	}
+}
+
+func TestEvictionOrder(t *testing.T) {
+	c := New(2)
+	c.Put(Key{Query: "a"}, 1)
+	c.Put(Key{Query: "b"}, 2)
+	c.Get(Key{Query: "a"}) // a is now most recently used
+	c.Put(Key{Query: "c"}, 3)
+	if _, ok := c.Get(Key{Query: "b"}); ok {
+		t.Error("LRU entry b survived eviction")
+	}
+	if _, ok := c.Get(Key{Query: "a"}); !ok {
+		t.Error("recently used entry a was evicted")
+	}
+	if st := c.Stats(); st.Evictions != 1 {
+		t.Errorf("evictions = %d", st.Evictions)
+	}
+}
+
+func TestPutReplaces(t *testing.T) {
+	c := New(2)
+	k := Key{Query: "a"}
+	c.Put(k, 1)
+	c.Put(k, 2)
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d", c.Len())
+	}
+	if v, _ := c.Get(k); v.(int) != 2 {
+		t.Errorf("Get = %v", v)
+	}
+}
+
+func TestPurge(t *testing.T) {
+	c := New(8)
+	for i := 0; i < 5; i++ {
+		c.Put(Key{Query: fmt.Sprint(i)}, i)
+	}
+	c.Purge()
+	if c.Len() != 0 {
+		t.Fatalf("Len after purge = %d", c.Len())
+	}
+	if st := c.Stats(); st.Purges != 5 {
+		t.Errorf("purges = %d", st.Purges)
+	}
+	if _, ok := c.Get(Key{Query: "3"}); ok {
+		t.Error("purged entry served")
+	}
+}
+
+// TestDisabled: capacity zero means a pass-through cache.
+func TestDisabled(t *testing.T) {
+	c := New(0)
+	c.Put(Key{Query: "a"}, 1)
+	if _, ok := c.Get(Key{Query: "a"}); ok {
+		t.Error("disabled cache stored an entry")
+	}
+	c = New(-3)
+	c.Put(Key{Query: "a"}, 1)
+	if c.Len() != 0 {
+		t.Error("negative capacity stored an entry")
+	}
+}
+
+// TestConcurrent hammers the cache from many goroutines (run with
+// -race): overlapping key space forces hit, miss, replace and eviction
+// paths to interleave.
+func TestConcurrent(t *testing.T) {
+	c := New(16)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				k := Key{Gen: uint64(i % 3), Query: fmt.Sprint(i % 24)}
+				if i%2 == 0 {
+					c.Put(k, i)
+				} else {
+					c.Get(k)
+				}
+				if i%50 == 0 && g == 0 {
+					c.Purge()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	st := c.Stats()
+	if st.Size > 16 {
+		t.Errorf("size %d exceeds cap", st.Size)
+	}
+}

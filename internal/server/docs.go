@@ -1,0 +1,96 @@
+package server
+
+import (
+	"errors"
+	"net/http"
+	"strings"
+
+	"ncq"
+)
+
+// docInfo is the document metadata returned by the docs endpoints.
+type docInfo struct {
+	Name  string    `json:"name"`
+	Stats ncq.Stats `json:"stats"`
+}
+
+// validDocName rejects names that would be ambiguous in URLs or
+// unreasonable as identifiers. The ServeMux wildcard already excludes
+// empty segments and slashes; this guards length and control bytes.
+func validDocName(name string) bool {
+	if name == "" || len(name) > maxDocNameLen {
+		return false
+	}
+	for _, r := range name {
+		if r < 0x20 || r == 0x7f {
+			return false
+		}
+	}
+	return !strings.ContainsAny(name, "/\\")
+}
+
+// handlePutDoc loads the XML request body as a document and registers
+// it under the path name, replacing any previous document of that name.
+func (s *Server) handlePutDoc(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if !validDocName(name) {
+		writeError(w, http.StatusBadRequest, "invalid document name %q", name)
+		return
+	}
+	body := http.MaxBytesReader(w, r.Body, s.maxBody)
+	db, err := ncq.Open(body)
+	if err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				"document exceeds the %d byte limit", tooLarge.Limit)
+			return
+		}
+		writeError(w, http.StatusBadRequest, "parse document: %v", err)
+		return
+	}
+	replaced, err := s.corpus.Put(name, db)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "register document: %v", err)
+		return
+	}
+	s.invalidate()
+	status := http.StatusCreated
+	if replaced {
+		status = http.StatusOK
+	}
+	writeJSON(w, status, docInfo{Name: name, Stats: db.Stats()})
+}
+
+func (s *Server) handleGetDoc(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	db, ok := s.corpus.Get(name)
+	if !ok {
+		writeError(w, http.StatusNotFound, "no document %q", name)
+		return
+	}
+	writeJSON(w, http.StatusOK, docInfo{Name: name, Stats: db.Stats()})
+}
+
+func (s *Server) handleDeleteDoc(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if !s.corpus.Remove(name) {
+		writeError(w, http.StatusNotFound, "no document %q", name)
+		return
+	}
+	s.invalidate()
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handleListDocs(w http.ResponseWriter, r *http.Request) {
+	docs := []docInfo{}
+	for _, name := range s.corpus.Names() {
+		if db, ok := s.corpus.Get(name); ok {
+			docs = append(docs, docInfo{Name: name, Stats: db.Stats()})
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"docs":       docs,
+		"generation": s.corpus.Generation(),
+	})
+}

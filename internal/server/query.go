@@ -1,0 +1,274 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+
+	"encoding/json"
+
+	"ncq"
+	"ncq/internal/cache"
+)
+
+// queryRequest is the POST /v1/query body. Exactly one of Query (the
+// paper's SQL variant) or Terms (a raw term meet) must be set. An
+// empty Doc targets the whole corpus.
+type queryRequest struct {
+	Doc   string   `json:"doc,omitempty"`
+	Query string   `json:"query,omitempty"`
+	Terms []string `json:"terms,omitempty"`
+
+	// Meet options, mirroring ncq.Options (term queries only).
+	ExcludeRoot bool     `json:"exclude_root,omitempty"`
+	Exclude     []string `json:"exclude,omitempty"`
+	Restrict    []string `json:"restrict,omitempty"`
+	Nearest     bool     `json:"nearest,omitempty"`
+	Within      int      `json:"within,omitempty"`
+	MaxLift     int      `json:"max_lift,omitempty"`
+
+	// Limit caps the number of returned meets or rows; 0 = unlimited.
+	Limit int `json:"limit,omitempty"`
+}
+
+func (q *queryRequest) validate() error {
+	hasQuery := strings.TrimSpace(q.Query) != ""
+	if hasQuery == (len(q.Terms) > 0) {
+		return errors.New("exactly one of \"query\" or \"terms\" must be set")
+	}
+	for _, t := range q.Terms {
+		if t == "" {
+			return errors.New("empty term")
+		}
+	}
+	if q.Within < 0 || q.MaxLift < 0 || q.Limit < 0 {
+		return errors.New("\"within\", \"max_lift\" and \"limit\" must be non-negative")
+	}
+	if hasQuery && (q.ExcludeRoot || q.Nearest || q.Within != 0 || q.MaxLift != 0 ||
+		len(q.Exclude) > 0 || len(q.Restrict) > 0) {
+		return errors.New("meet options apply to \"terms\" queries only; use the query language's meet(...) options instead")
+	}
+	return nil
+}
+
+// options lowers the request's meet knobs into an ncq.Options.
+func (q *queryRequest) options() *ncq.Options {
+	opt := &ncq.Options{}
+	if q.ExcludeRoot {
+		opt.ExcludeRoot()
+	}
+	for _, p := range q.Exclude {
+		opt.ExcludePattern(p)
+	}
+	for _, p := range q.Restrict {
+		opt.Restrict(p)
+	}
+	if q.Nearest {
+		opt.Nearest()
+	}
+	if q.Within > 0 {
+		opt.Within(q.Within)
+	}
+	if q.MaxLift > 0 {
+		opt.MaxLift(q.MaxLift)
+	}
+	return opt
+}
+
+// normalize renders the request as a canonical cache-key string:
+// equivalent requests (modulo query whitespace) map to the same key,
+// and %q quoting keeps user strings from colliding with the field
+// separators.
+func (q *queryRequest) normalize() string {
+	return fmt.Sprintf("doc=%q query=%q terms=%q xroot=%t x=%q r=%q near=%t w=%d lift=%d lim=%d",
+		q.Doc, strings.Join(strings.Fields(q.Query), " "), q.Terms,
+		q.ExcludeRoot, q.Exclude, q.Restrict, q.Nearest, q.Within, q.MaxLift, q.Limit)
+}
+
+// rowJSON is the wire form of one query-language result row.
+type rowJSON struct {
+	Node      ncq.NodeID   `json:"node"`
+	Tag       string       `json:"tag"`
+	Path      string       `json:"path"`
+	Value     string       `json:"value,omitempty"`
+	XML       string       `json:"xml,omitempty"`
+	Witnesses []ncq.NodeID `json:"witnesses,omitempty"`
+	Distance  int          `json:"distance"`
+}
+
+// answerJSON is one document's answer to a query-language request.
+type answerJSON struct {
+	Source  string    `json:"source"`
+	Columns []string  `json:"columns"`
+	IsMeet  bool      `json:"is_meet"`
+	Rows    []rowJSON `json:"rows"`
+}
+
+func toAnswerJSON(source string, ans *ncq.Answer) answerJSON {
+	out := answerJSON{
+		Source:  source,
+		Columns: ans.Columns,
+		IsMeet:  ans.IsMeet,
+		Rows:    make([]rowJSON, len(ans.Rows)),
+	}
+	for i, r := range ans.Rows {
+		out.Rows[i] = rowJSON{
+			Node:      r.OID,
+			Tag:       r.Tag,
+			Path:      r.Path,
+			Value:     r.Value,
+			XML:       r.XML,
+			Witnesses: r.Witnesses,
+			Distance:  r.Distance,
+		}
+	}
+	return out
+}
+
+// queryResult is the cacheable portion of a query response: everything
+// derived from the corpus state, nothing request- or connection-bound.
+type queryResult struct {
+	Mode      string           `json:"mode"`                // "terms" or "query"
+	Meets     []ncq.CorpusMeet `json:"meets,omitempty"`     // terms mode
+	Unmatched int              `json:"unmatched,omitempty"` // terms mode, single doc only
+	Answers   []answerJSON     `json:"answers,omitempty"`   // query mode
+	Truncated bool             `json:"truncated,omitempty"` // a Limit cut results
+}
+
+// queryResponse is the full POST /v1/query payload.
+type queryResponse struct {
+	Cached     bool         `json:"cached"`
+	Generation uint64       `json:"generation"`
+	Result     *queryResult `json:"result"`
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxQueryBody))
+	dec.DisallowUnknownFields()
+	var req queryRequest
+	if err := dec.Decode(&req); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				"request exceeds the %d byte limit", tooLarge.Limit)
+			return
+		}
+		writeError(w, http.StatusBadRequest, "decode request: %v", err)
+		return
+	}
+	if err := req.validate(); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid request: %v", err)
+		return
+	}
+
+	// Read the generation BEFORE resolving the document: if a mutation
+	// races this request, the result computed against the old database
+	// is then cached under the old (dead) generation and can never be
+	// served to post-mutation clients. Resolving first would let a
+	// stale result slip in under the new generation.
+	gen := s.corpus.Generation()
+	var db *ncq.Database
+	if req.Doc != "" {
+		var ok bool
+		if db, ok = s.corpus.Get(req.Doc); !ok {
+			writeError(w, http.StatusNotFound, "no document %q", req.Doc)
+			return
+		}
+	}
+
+	s.queries.Add(1)
+	key := cache.Key{Gen: gen, Query: req.normalize()}
+	if v, ok := s.cache.Get(key); ok {
+		w.Header().Set("X-NCQ-Cache", "hit")
+		writeJSON(w, http.StatusOK, queryResponse{Cached: true, Generation: gen, Result: v.(*queryResult)})
+		return
+	}
+
+	res, err := s.execute(&req, db)
+	if err != nil {
+		// Execution failures are input-driven: unparsable queries, bad
+		// path patterns. Nothing server-side can fail here.
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	s.cache.Put(key, res)
+	w.Header().Set("X-NCQ-Cache", "miss")
+	writeJSON(w, http.StatusOK, queryResponse{Cached: false, Generation: gen, Result: res})
+}
+
+// execute runs the validated request against db (term/query mode) or
+// the whole corpus when db is nil. The returned result is immutable —
+// it is shared between the cache and in-flight responses.
+func (s *Server) execute(req *queryRequest, db *ncq.Database) (*queryResult, error) {
+	if len(req.Terms) > 0 {
+		return s.executeTerms(req, db)
+	}
+	return s.executeQuery(req, db)
+}
+
+func (s *Server) executeTerms(req *queryRequest, db *ncq.Database) (*queryResult, error) {
+	res := &queryResult{Mode: "terms", Meets: []ncq.CorpusMeet{}}
+	if db != nil {
+		meets, unmatched, err := db.MeetOfTerms(req.options(), req.Terms...)
+		if err != nil {
+			return nil, err
+		}
+		ncq.RankMeets(meets)
+		for _, m := range meets {
+			res.Meets = append(res.Meets, ncq.CorpusMeet{Source: req.Doc, Meet: m})
+		}
+		res.Unmatched = len(unmatched)
+	} else {
+		meets, err := s.corpus.MeetOfTerms(req.options(), req.Terms...)
+		if err != nil {
+			return nil, err
+		}
+		res.Meets = append(res.Meets, meets...)
+	}
+	if req.Limit > 0 && len(res.Meets) > req.Limit {
+		res.Meets = res.Meets[:req.Limit]
+		res.Truncated = true
+	}
+	return res, nil
+}
+
+func (s *Server) executeQuery(req *queryRequest, db *ncq.Database) (*queryResult, error) {
+	res := &queryResult{Mode: "query", Answers: []answerJSON{}}
+	if db != nil {
+		ans, err := db.Query(req.Query)
+		if err != nil {
+			return nil, err
+		}
+		res.Answers = append(res.Answers, toAnswerJSON(req.Doc, ans))
+	} else {
+		answers, err := s.corpus.Query(req.Query)
+		if err != nil {
+			return nil, err
+		}
+		for _, a := range answers {
+			res.Answers = append(res.Answers, toAnswerJSON(a.Source, a.Answer))
+		}
+	}
+	if req.Limit > 0 {
+		remaining := req.Limit
+		for i := range res.Answers {
+			rows := res.Answers[i].Rows
+			if len(rows) > remaining {
+				res.Answers[i].Rows = rows[:remaining]
+				res.Truncated = true
+			}
+			remaining -= len(res.Answers[i].Rows)
+			if remaining <= 0 {
+				for j := i + 1; j < len(res.Answers); j++ {
+					if len(res.Answers[j].Rows) > 0 {
+						res.Truncated = true
+					}
+				}
+				res.Answers = res.Answers[:i+1]
+				break
+			}
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,167 @@
+// Package server exposes nearest concept queries over HTTP/JSON — the
+// ncqd daemon's engine room. It wraps a shared ncq.Corpus with a
+// result cache and a small REST surface:
+//
+//	POST   /v1/query       query one document or the whole corpus
+//	PUT    /v1/docs/{name} load (or replace) a document from an XML body
+//	GET    /v1/docs/{name} inspect a loaded document
+//	DELETE /v1/docs/{name} evict a document
+//	GET    /v1/docs        list loaded documents
+//	GET    /v1/healthz     liveness probe
+//	GET    /v1/stats       corpus, cache and traffic counters
+//
+// Query results are cached in an LRU keyed by (corpus generation,
+// normalized request); any document mutation bumps the generation and
+// purges the cache, so clients never observe stale answers.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"ncq"
+	"ncq/internal/cache"
+)
+
+const (
+	defaultCacheCapacity = 256
+	defaultMaxBody       = 32 << 20 // XML document uploads
+	maxQueryBody         = 1 << 20  // JSON query requests
+	maxDocNameLen        = 128
+)
+
+// Server routes HTTP traffic onto a shared corpus. Create one with New
+// and mount Handler on an http.Server. All methods are safe for
+// concurrent use.
+type Server struct {
+	corpus  *ncq.Corpus
+	cache   *cache.LRU
+	maxBody int64
+	mux     *http.ServeMux
+	started time.Time
+
+	queries   atomic.Uint64 // POST /v1/query requests that reached execution
+	mutations atomic.Uint64 // document PUT/DELETE that changed the corpus
+}
+
+// Option customises a Server.
+type Option func(*Server)
+
+// WithCacheCapacity sets how many query results are retained; 0
+// disables caching.
+func WithCacheCapacity(n int) Option {
+	return func(s *Server) { s.cache = cache.New(n) }
+}
+
+// WithMaxBody bounds the size of uploaded XML documents in bytes.
+func WithMaxBody(n int64) Option {
+	return func(s *Server) {
+		if n > 0 {
+			s.maxBody = n
+		}
+	}
+}
+
+// New builds a Server around corpus (a fresh empty corpus when nil).
+func New(corpus *ncq.Corpus, opts ...Option) *Server {
+	if corpus == nil {
+		corpus = ncq.NewCorpus()
+	}
+	s := &Server{
+		corpus:  corpus,
+		cache:   cache.New(defaultCacheCapacity),
+		maxBody: defaultMaxBody,
+		started: time.Now(),
+	}
+	for _, opt := range opts {
+		opt(s)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/query", s.handleQuery)
+	mux.HandleFunc("PUT /v1/docs/{name}", s.handlePutDoc)
+	mux.HandleFunc("GET /v1/docs/{name}", s.handleGetDoc)
+	mux.HandleFunc("DELETE /v1/docs/{name}", s.handleDeleteDoc)
+	mux.HandleFunc("GET /v1/docs", s.handleListDocs)
+	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux = mux
+	return s
+}
+
+// Corpus returns the server's underlying corpus, e.g. for preloading
+// documents before serving.
+func (s *Server) Corpus() *ncq.Corpus { return s.corpus }
+
+// Handler returns the root handler for mounting on an http.Server.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// invalidate records a corpus mutation: stale results keyed by older
+// generations can never be served again (the generation is part of the
+// cache key), so the purge is purely about returning memory early.
+func (s *Server) invalidate() {
+	s.mutations.Add(1)
+	s.cache.Purge()
+}
+
+// writeJSON renders v with status code; encoding errors at this point
+// can only be connection failures, which the caller cannot act on.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status": "ok",
+		"docs":   s.corpus.Len(),
+	})
+}
+
+// statsResponse is the /v1/stats payload.
+type statsResponse struct {
+	UptimeSeconds float64     `json:"uptime_seconds"`
+	Generation    uint64      `json:"generation"`
+	Docs          int         `json:"docs"`
+	TotalNodes    int         `json:"total_nodes"`
+	TotalTerms    int         `json:"total_terms"`
+	TotalMemBytes int         `json:"total_mem_bytes"`
+	Queries       uint64      `json:"queries"`
+	Mutations     uint64      `json:"mutations"`
+	Cache         cache.Stats `json:"cache"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	resp := statsResponse{
+		UptimeSeconds: time.Since(s.started).Seconds(),
+		Generation:    s.corpus.Generation(),
+		Queries:       s.queries.Load(),
+		Mutations:     s.mutations.Load(),
+		Cache:         s.cache.Stats(),
+	}
+	for _, name := range s.corpus.Names() {
+		db, ok := s.corpus.Get(name)
+		if !ok {
+			continue // removed between Names and Get; skip
+		}
+		st := db.Stats()
+		resp.Docs++
+		resp.TotalNodes += st.Nodes
+		resp.TotalTerms += st.Terms
+		resp.TotalMemBytes += st.MemBytes
+	}
+	writeJSON(w, http.StatusOK, resp)
+}

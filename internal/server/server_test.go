@@ -1,0 +1,403 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"ncq"
+)
+
+// Three bibliographies marking up the same item three different ways —
+// the cross-bibliography scenario of the paper's Section 4.
+const (
+	bibArticle = `<bib><article><author><first>Ben</first><last>Bit</last></author>` +
+		`<title>How to Hack</title><year>1999</year></article>` +
+		`<article><author><last>Code</last></author><title>Sorting</title><year>1997</year></article></bib>`
+	bibEntry = `<refs><entry><who>Ben Bit</who><what>How to Hack</what><when>1999</when></entry>` +
+		`<entry><who>Carol Code</who><what>Sorting Things</what><when>1997</when></entry></refs>`
+	bibRecord = `<library><record><person>Bit, Ben</person><published>1999</published></record>` +
+		`<record><person>Doe, Jane</person><published>2001</published></record></library>`
+)
+
+func newTestServer(t *testing.T, opts ...Option) *Server {
+	t.Helper()
+	return New(nil, opts...)
+}
+
+// do runs one request through the server's handler.
+func do(t *testing.T, s *Server, method, path, body string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(method, path, strings.NewReader(body))
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, req)
+	return rec
+}
+
+// decode unmarshals a response body, failing the test on bad JSON.
+func decode[T any](t *testing.T, rec *httptest.ResponseRecorder) T {
+	t.Helper()
+	var v T
+	if err := json.Unmarshal(rec.Body.Bytes(), &v); err != nil {
+		t.Fatalf("decode %q: %v", rec.Body.String(), err)
+	}
+	return v
+}
+
+func loadDocs(t *testing.T, s *Server) {
+	t.Helper()
+	for name, xml := range map[string]string{
+		"cwi": bibArticle, "personal": bibEntry, "library": bibRecord,
+	} {
+		if rec := do(t, s, "PUT", "/v1/docs/"+name, xml); rec.Code != http.StatusCreated {
+			t.Fatalf("PUT %s: %d %s", name, rec.Code, rec.Body)
+		}
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	s := newTestServer(t)
+	rec := do(t, s, "GET", "/v1/healthz", "")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	body := decode[map[string]any](t, rec)
+	if body["status"] != "ok" {
+		t.Errorf("body = %v", body)
+	}
+}
+
+func TestPutDoc(t *testing.T) {
+	s := newTestServer(t)
+	rec := do(t, s, "PUT", "/v1/docs/bib", bibArticle)
+	if rec.Code != http.StatusCreated {
+		t.Fatalf("create: %d %s", rec.Code, rec.Body)
+	}
+	info := decode[docInfo](t, rec)
+	if info.Name != "bib" || info.Stats.Nodes == 0 {
+		t.Errorf("info = %+v", info)
+	}
+	// Replacing returns 200, not 201.
+	if rec := do(t, s, "PUT", "/v1/docs/bib", bibEntry); rec.Code != http.StatusOK {
+		t.Errorf("replace: %d", rec.Code)
+	}
+	if s.corpus.Len() != 1 {
+		t.Errorf("corpus len = %d", s.corpus.Len())
+	}
+}
+
+func TestPutDocMalformedXML(t *testing.T) {
+	s := newTestServer(t)
+	rec := do(t, s, "PUT", "/v1/docs/bad", "<unclosed>")
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	if e := decode[errorResponse](t, rec); !strings.Contains(e.Error, "parse document") {
+		t.Errorf("error = %q", e.Error)
+	}
+}
+
+func TestPutDocOversized(t *testing.T) {
+	s := newTestServer(t, WithMaxBody(64))
+	big := "<a>" + strings.Repeat("x", 128) + "</a>"
+	rec := do(t, s, "PUT", "/v1/docs/big", big)
+	if rec.Code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("status = %d %s", rec.Code, rec.Body)
+	}
+}
+
+func TestPutDocInvalidName(t *testing.T) {
+	s := newTestServer(t)
+	long := strings.Repeat("n", maxDocNameLen+1)
+	rec := do(t, s, "PUT", "/v1/docs/"+long, bibArticle)
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("status = %d", rec.Code)
+	}
+}
+
+func TestGetDeleteDoc(t *testing.T) {
+	s := newTestServer(t)
+	loadDocs(t, s)
+	rec := do(t, s, "GET", "/v1/docs/cwi", "")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("get: %d", rec.Code)
+	}
+	if info := decode[docInfo](t, rec); info.Name != "cwi" {
+		t.Errorf("info = %+v", info)
+	}
+	if rec := do(t, s, "GET", "/v1/docs/nope", ""); rec.Code != http.StatusNotFound {
+		t.Errorf("get missing: %d", rec.Code)
+	}
+	if rec := do(t, s, "DELETE", "/v1/docs/cwi", ""); rec.Code != http.StatusNoContent {
+		t.Errorf("delete: %d", rec.Code)
+	}
+	if rec := do(t, s, "DELETE", "/v1/docs/cwi", ""); rec.Code != http.StatusNotFound {
+		t.Errorf("delete again: %d", rec.Code)
+	}
+	if rec := do(t, s, "GET", "/v1/docs/cwi", ""); rec.Code != http.StatusNotFound {
+		t.Errorf("get after delete: %d", rec.Code)
+	}
+}
+
+func TestListDocs(t *testing.T) {
+	s := newTestServer(t)
+	loadDocs(t, s)
+	rec := do(t, s, "GET", "/v1/docs", "")
+	var body struct {
+		Docs       []docInfo `json:"docs"`
+		Generation uint64    `json:"generation"`
+	}
+	body = decode[struct {
+		Docs       []docInfo `json:"docs"`
+		Generation uint64    `json:"generation"`
+	}](t, rec)
+	if len(body.Docs) != 3 || body.Generation != 3 {
+		t.Errorf("body = %+v", body)
+	}
+}
+
+func TestQueryTermsSingleDoc(t *testing.T) {
+	s := newTestServer(t)
+	loadDocs(t, s)
+	rec := do(t, s, "POST", "/v1/query",
+		`{"doc":"cwi","terms":["Bit","1999"],"exclude_root":true}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d %s", rec.Code, rec.Body)
+	}
+	resp := decode[queryResponse](t, rec)
+	if resp.Cached || resp.Result.Mode != "terms" {
+		t.Errorf("resp = %+v", resp)
+	}
+	if len(resp.Result.Meets) != 1 || resp.Result.Meets[0].Tag != "article" ||
+		resp.Result.Meets[0].Source != "cwi" {
+		t.Errorf("meets = %+v", resp.Result.Meets)
+	}
+}
+
+func TestQueryTermsCorpus(t *testing.T) {
+	s := newTestServer(t)
+	loadDocs(t, s)
+	rec := do(t, s, "POST", "/v1/query", `{"terms":["Bit","1999"],"exclude_root":true}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d %s", rec.Code, rec.Body)
+	}
+	resp := decode[queryResponse](t, rec)
+	// The same item is found under all three markups, each answer typed
+	// by its own instance.
+	tags := map[string]string{}
+	for _, m := range resp.Result.Meets {
+		tags[m.Source] = m.Tag
+	}
+	if tags["cwi"] != "article" || tags["personal"] != "entry" || tags["library"] != "record" {
+		t.Errorf("tags = %v", tags)
+	}
+}
+
+func TestQueryLanguageSingleDoc(t *testing.T) {
+	s := newTestServer(t)
+	loadDocs(t, s)
+	rec := do(t, s, "POST", "/v1/query",
+		`{"doc":"cwi","query":"SELECT meet(e1, e2) FROM //cdata AS e1, //cdata AS e2 WHERE e1 CONTAINS 'Bit' AND e2 CONTAINS '1999'"}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d %s", rec.Code, rec.Body)
+	}
+	resp := decode[queryResponse](t, rec)
+	if resp.Result.Mode != "query" || len(resp.Result.Answers) != 1 {
+		t.Fatalf("result = %+v", resp.Result)
+	}
+	ans := resp.Result.Answers[0]
+	if !ans.IsMeet || len(ans.Rows) == 0 || ans.Rows[0].Tag != "article" {
+		t.Errorf("answer = %+v", ans)
+	}
+}
+
+func TestQueryLanguageCorpus(t *testing.T) {
+	s := newTestServer(t)
+	loadDocs(t, s)
+	rec := do(t, s, "POST", "/v1/query",
+		`{"query":"SELECT meet(e1, e2) FROM //cdata AS e1, //cdata AS e2 WHERE e1 CONTAINS 'Bit' AND e2 CONTAINS '1999'"}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d %s", rec.Code, rec.Body)
+	}
+	resp := decode[queryResponse](t, rec)
+	sources := map[string]bool{}
+	for _, a := range resp.Result.Answers {
+		sources[a.Source] = len(a.Rows) > 0
+	}
+	if !sources["cwi"] || !sources["personal"] || !sources["library"] {
+		t.Errorf("answers = %+v", resp.Result.Answers)
+	}
+}
+
+func TestQueryValidation(t *testing.T) {
+	s := newTestServer(t)
+	loadDocs(t, s)
+	cases := []struct {
+		name, body string
+		want       int
+	}{
+		{"malformed JSON", `{"terms": [`, http.StatusBadRequest},
+		{"unknown field", `{"term":["Bit"]}`, http.StatusBadRequest},
+		{"neither mode", `{}`, http.StatusBadRequest},
+		{"both modes", `{"query":"SELECT e FROM //x AS e","terms":["a"]}`, http.StatusBadRequest},
+		{"empty term", `{"terms":[""]}`, http.StatusBadRequest},
+		{"negative limit", `{"terms":["a"],"limit":-1}`, http.StatusBadRequest},
+		{"meet options on query mode", `{"query":"SELECT e FROM //x AS e","exclude_root":true}`, http.StatusBadRequest},
+		{"unknown doc", `{"doc":"nope","terms":["a"]}`, http.StatusNotFound},
+		{"bad pattern", `{"terms":["Bit"],"exclude":["[[["]}`, http.StatusBadRequest},
+		{"bad query", `{"query":"SELECT FROM WHERE"}`, http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rec := do(t, s, "POST", "/v1/query", tc.body)
+			if rec.Code != tc.want {
+				t.Errorf("status = %d, want %d (%s)", rec.Code, tc.want, rec.Body)
+			}
+			if e := decode[errorResponse](t, rec); e.Error == "" {
+				t.Errorf("no error message in %s", rec.Body)
+			}
+		})
+	}
+}
+
+func TestQueryOversizedBody(t *testing.T) {
+	s := newTestServer(t)
+	body := fmt.Sprintf(`{"terms":[%q]}`, strings.Repeat("x", maxQueryBody))
+	rec := do(t, s, "POST", "/v1/query", body)
+	if rec.Code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("status = %d", rec.Code)
+	}
+}
+
+func TestQueryLimitTruncates(t *testing.T) {
+	s := newTestServer(t)
+	loadDocs(t, s)
+	rec := do(t, s, "POST", "/v1/query", `{"terms":["19"],"limit":1}`)
+	resp := decode[queryResponse](t, rec)
+	if len(resp.Result.Meets) != 1 || !resp.Result.Truncated {
+		t.Errorf("result = %+v", resp.Result)
+	}
+	// Query-language limit caps total rows across answers.
+	rec = do(t, s, "POST", "/v1/query",
+		`{"query":"SELECT tag(e) FROM //cdata AS e","limit":2}`)
+	resp = decode[queryResponse](t, rec)
+	total := 0
+	for _, a := range resp.Result.Answers {
+		total += len(a.Rows)
+	}
+	if total != 2 || !resp.Result.Truncated {
+		t.Errorf("total rows = %d, truncated = %t", total, resp.Result.Truncated)
+	}
+}
+
+func TestQueryCacheHitAndHeader(t *testing.T) {
+	s := newTestServer(t)
+	loadDocs(t, s)
+	body := `{"terms":["Bit","1999"],"exclude_root":true}`
+	rec := do(t, s, "POST", "/v1/query", body)
+	if h := rec.Header().Get("X-NCQ-Cache"); h != "miss" {
+		t.Errorf("first call cache header = %q", h)
+	}
+	if resp := decode[queryResponse](t, rec); resp.Cached {
+		t.Error("first call reported cached")
+	}
+	// Same request modulo whitespace in formatting: a hit.
+	rec = do(t, s, "POST", "/v1/query", `{"terms":["Bit","1999"], "exclude_root": true}`)
+	if h := rec.Header().Get("X-NCQ-Cache"); h != "hit" {
+		t.Errorf("second call cache header = %q", h)
+	}
+	resp := decode[queryResponse](t, rec)
+	if !resp.Cached || len(resp.Result.Meets) != 3 {
+		t.Errorf("cached resp = %+v", resp.Result)
+	}
+	// A different request misses.
+	rec = do(t, s, "POST", "/v1/query", `{"terms":["Bit"]}`)
+	if h := rec.Header().Get("X-NCQ-Cache"); h != "miss" {
+		t.Errorf("third call cache header = %q", h)
+	}
+}
+
+func TestQueryLanguageWhitespaceNormalization(t *testing.T) {
+	s := newTestServer(t)
+	loadDocs(t, s)
+	q1 := `{"doc":"cwi","query":"SELECT tag(e) FROM //year AS e"}`
+	q2 := `{"doc":"cwi","query":"SELECT   tag(e)\n FROM //year  AS e"}`
+	do(t, s, "POST", "/v1/query", q1)
+	rec := do(t, s, "POST", "/v1/query", q2)
+	if h := rec.Header().Get("X-NCQ-Cache"); h != "hit" {
+		t.Errorf("whitespace-variant query was not a cache hit (%q)", h)
+	}
+}
+
+func TestMutationInvalidatesCache(t *testing.T) {
+	s := newTestServer(t)
+	loadDocs(t, s)
+	body := `{"terms":["Bit","1999"],"exclude_root":true}`
+	do(t, s, "POST", "/v1/query", body)
+	if rec := do(t, s, "POST", "/v1/query", body); rec.Header().Get("X-NCQ-Cache") != "hit" {
+		t.Fatal("warm-up did not cache")
+	}
+	// Any corpus mutation invalidates: PUT here, DELETE in the
+	// integration test.
+	do(t, s, "PUT", "/v1/docs/fourth", bibRecord)
+	rec := do(t, s, "POST", "/v1/query", body)
+	if rec.Header().Get("X-NCQ-Cache") != "miss" {
+		t.Error("cache served a stale result after PUT")
+	}
+	resp := decode[queryResponse](t, rec)
+	if resp.Generation != 4 {
+		t.Errorf("generation = %d", resp.Generation)
+	}
+}
+
+func TestStats(t *testing.T) {
+	s := newTestServer(t)
+	loadDocs(t, s)
+	body := `{"terms":["Bit"]}`
+	do(t, s, "POST", "/v1/query", body)
+	do(t, s, "POST", "/v1/query", body)
+	rec := do(t, s, "GET", "/v1/stats", "")
+	st := decode[statsResponse](t, rec)
+	if st.Docs != 3 || st.TotalNodes == 0 || st.Queries != 2 || st.Mutations != 3 {
+		t.Errorf("stats = %+v", st)
+	}
+	if st.Cache.Hits != 1 || st.Cache.Misses != 1 {
+		t.Errorf("cache stats = %+v", st.Cache)
+	}
+	if st.Generation != 3 {
+		t.Errorf("generation = %d", st.Generation)
+	}
+}
+
+func TestCacheDisabled(t *testing.T) {
+	s := newTestServer(t, WithCacheCapacity(0))
+	loadDocs(t, s)
+	body := `{"terms":["Bit"]}`
+	do(t, s, "POST", "/v1/query", body)
+	rec := do(t, s, "POST", "/v1/query", body)
+	if rec.Header().Get("X-NCQ-Cache") != "miss" {
+		t.Error("disabled cache produced a hit")
+	}
+}
+
+func TestPreloadedCorpus(t *testing.T) {
+	c := ncq.NewCorpus()
+	db, err := ncq.OpenString(bibArticle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Add("seed", db); err != nil {
+		t.Fatal(err)
+	}
+	s := New(c)
+	rec := do(t, s, "GET", "/v1/docs/seed", "")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("preloaded doc not visible: %d", rec.Code)
+	}
+	if s.Corpus() != c {
+		t.Error("Corpus() did not return the wired corpus")
+	}
+}

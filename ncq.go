@@ -143,9 +143,9 @@ func (db *Database) Subtree(n NodeID) (string, error) {
 
 // Hit is one full-text match.
 type Hit struct {
-	Node  NodeID // the node carrying the string (cdata node or attribute owner)
-	Value string // the complete stored string
-	Path  string // the string relation's path, e.g. "/bib/book/year/cdata@string"
+	Node  NodeID `json:"node"`  // the node carrying the string (cdata node or attribute owner)
+	Value string `json:"value"` // the complete stored string
+	Path  string `json:"path"`  // the string relation's path, e.g. "/bib/book/year/cdata@string"
 }
 
 // Search returns the nodes whose strings contain term as a word,
@@ -171,11 +171,11 @@ func (db *Database) wrapHits(hits []fulltext.Hit) []Hit {
 // Meet is one nearest concept: the lowest common ancestor of its
 // witnesses.
 type Meet struct {
-	Node      NodeID
-	Tag       string   // the concept's element label — the paper's result type
-	Path      string   // its full path
-	Witnesses []NodeID // the inputs this concept connects, ascending
-	Distance  int      // total parent joins spent; the ranking key
+	Node      NodeID   `json:"node"`
+	Tag       string   `json:"tag"`       // the concept's element label — the paper's result type
+	Path      string   `json:"path"`      // its full path
+	Witnesses []NodeID `json:"witnesses"` // the inputs this concept connects, ascending
+	Distance  int      `json:"distance"`  // total parent joins spent; the ranking key
 }
 
 // Options tunes the meet operator (the Section 4 extensions of the
@@ -474,11 +474,11 @@ func (rg *RefGraph) Lookup(id string) (NodeID, bool) { return rg.g.Lookup(id) }
 
 // Stats summarises the loaded store.
 type Stats struct {
-	Nodes        int // tree nodes
-	Paths        int // distinct paths (relations in the catalogue)
-	Associations int // stored binary associations
-	MemBytes     int // estimated column memory
-	Terms        int // distinct full-text tokens
+	Nodes        int `json:"nodes"`        // tree nodes
+	Paths        int `json:"paths"`        // distinct paths (relations in the catalogue)
+	Associations int `json:"associations"` // stored binary associations
+	MemBytes     int `json:"mem_bytes"`    // estimated column memory
+	Terms        int `json:"terms"`        // distinct full-text tokens
 }
 
 // Stats reports storage and index statistics.
