@@ -405,7 +405,7 @@ func BenchmarkServerQuery(b *testing.B) {
 		return rec.Header().Get("X-NCQ-Cache")
 	}
 	b.Run("cold", func(b *testing.B) {
-		h := server.New(corpus, server.WithCacheCapacity(0)).Handler()
+		h := server.New(corpus, server.WithCacheBytes(0)).Handler()
 		for i := 0; i < b.N; i++ {
 			if post(b, h) != "miss" {
 				b.Fatal("cold request hit the cache")
@@ -422,6 +422,95 @@ func BenchmarkServerQuery(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkShardedQuery measures the document-sharding fan-out: the
+// same nearest-concept query against one large DBLP document loaded
+// unsharded (shards=1) versus split into subtree shards searched in
+// parallel. The full-text scan dominates the query (Figure 6), so on a
+// multi-core host the sharded series should approach a cores-wide
+// speed-up; on one core the series coincide.
+func BenchmarkShardedQuery(b *testing.B) {
+	doc := datagen.DBLP(datagen.DBLPConfig{Seed: 1, YearFrom: 1992, YearTo: 1999, PubsPerVenueYear: 40})
+	widths := []int{1, runtime.GOMAXPROCS(0), 8}
+	seen := map[int]bool{}
+	for _, k := range widths {
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		c := ncq.NewCorpus()
+		if _, _, err := c.AddSharded("dblp", doc, k); err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("shards=%d", k), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				meets, _, err := c.MeetOfTermsIn("dblp", ncq.ExcludeRoot(), "ICDE", "1999")
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(meets) == 0 {
+					b.Fatal("no meets")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkBatchQuery measures the batch endpoint's amortisation win:
+// the same 16 distinct queries issued as 16 single requests versus one
+// batch request. The cold series recomputes every query (the batch
+// adds pool fan-out across queries); the cached series is pure
+// protocol overhead (one HTTP exchange and JSON envelope versus 16).
+func BenchmarkBatchQuery(b *testing.B) {
+	const nq = 16
+	corpus := benchCorpus(b, 4)
+	singles := make([][]byte, nq)
+	var batch bytes.Buffer
+	batch.WriteString(`{"queries":[`)
+	for i := 0; i < nq; i++ {
+		q := fmt.Sprintf(`{"terms":["ICDE","%d"],"exclude_root":true}`, 1995+i%5)
+		singles[i] = []byte(q)
+		if i > 0 {
+			batch.WriteString(",")
+		}
+		batch.WriteString(q)
+	}
+	batch.WriteString(`]}`)
+
+	post := func(b *testing.B, h http.Handler, path string, body []byte) {
+		req := httptest.NewRequest("POST", path, bytes.NewReader(body))
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK {
+			b.Fatalf("status %d: %s", rec.Code, rec.Body)
+		}
+	}
+	for _, mode := range []struct {
+		name string
+		opts []server.Option
+		warm bool
+	}{
+		{"cold", []server.Option{server.WithCacheBytes(0)}, false},
+		{"cached", nil, true},
+	} {
+		h := server.New(corpus, mode.opts...).Handler()
+		if mode.warm {
+			post(b, h, "/v1/query/batch", batch.Bytes())
+		}
+		b.Run("individual/"+mode.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				for _, body := range singles {
+					post(b, h, "/v1/query", body)
+				}
+			}
+		})
+		b.Run("batch/"+mode.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				post(b, h, "/v1/query/batch", batch.Bytes())
+			}
+		})
+	}
 }
 
 // BenchmarkQueryParseOnly isolates the query compiler.

@@ -11,16 +11,19 @@
 //
 //	POST   /v1/query       {"terms":["Bit","1999"],"exclude_root":true}
 //	                       or {"doc":"bib","query":"SELECT meet(e1,e2) FROM ..."}
-//	PUT    /v1/docs/{name} load/replace a document (body = XML)
+//	POST   /v1/query/batch {"queries":[{...},{...}]} — many queries, one round trip
+//	PUT    /v1/docs/{name} load/replace a document (body = XML); ?shards=K
+//	                       splits it into K parallel subtree shards
 //	GET    /v1/docs/{name} inspect a document
 //	DELETE /v1/docs/{name} evict a document
 //	GET    /v1/docs        list documents
 //	GET    /v1/healthz     liveness
 //	GET    /v1/stats       corpus, cache and traffic counters
 //
-// Flags tune the cache capacity, the per-document upload limit and the
-// corpus fan-out width; -load preloads XML files at start-up, each
-// registered under its base name without the extension.
+// Flags tune the cache byte budget, the per-document upload limit and
+// the corpus fan-out width; -load preloads XML files at start-up, each
+// registered under its base name without the extension, split into
+// -shards shards apiece.
 package main
 
 import (
@@ -38,6 +41,7 @@ import (
 
 	"ncq"
 	"ncq/internal/server"
+	"ncq/internal/shard"
 )
 
 func main() {
@@ -50,25 +54,30 @@ func run(argv []string, stderr io.Writer, ready chan<- string) int {
 	fs := flag.NewFlagSet("ncqd", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		addr      = fs.String("addr", ":8334", "listen address")
-		cacheCap  = fs.Int("cache", 256, "query result cache capacity (0 disables)")
-		maxBody   = fs.Int64("max-body", 32<<20, "maximum document upload size in bytes")
-		workers   = fs.Int("workers", 0, "corpus query fan-out width (0 = GOMAXPROCS)")
-		load      = fs.String("load", "", "glob of XML files to preload")
-		gracePeri = fs.Duration("grace", 5*time.Second, "shutdown grace period")
+		addr       = fs.String("addr", ":8334", "listen address")
+		cacheBytes = fs.Int64("cache-bytes", 64<<20, "query result cache budget in bytes (0 disables)")
+		maxBody    = fs.Int64("max-body", 32<<20, "maximum document upload size in bytes")
+		workers    = fs.Int("workers", 0, "corpus query fan-out width (0 = GOMAXPROCS)")
+		load       = fs.String("load", "", "glob of XML files to preload")
+		shards     = fs.Int("shards", 1, "shards per preloaded document (1 = unsharded)")
+		gracePeri  = fs.Duration("grace", 5*time.Second, "shutdown grace period")
 	)
 	if err := fs.Parse(argv); err != nil {
 		return 2
 	}
 	if fs.NArg() != 0 {
-		fmt.Fprintln(stderr, "usage: ncqd [-addr :8334] [-cache N] [-max-body N] [-workers N] [-load GLOB]")
+		fmt.Fprintln(stderr, "usage: ncqd [-addr :8334] [-cache-bytes N] [-max-body N] [-workers N] [-load GLOB] [-shards K]")
+		return 2
+	}
+	if *shards < 0 || *shards > shard.MaxShards {
+		fmt.Fprintf(stderr, "ncqd: -shards must be between 0 and %d\n", shard.MaxShards)
 		return 2
 	}
 
 	corpus := ncq.NewCorpus()
 	corpus.SetParallelism(*workers)
 	if *load != "" {
-		n, err := preload(corpus, *load)
+		n, err := preload(corpus, *load, *shards)
 		if err != nil {
 			fmt.Fprintf(stderr, "ncqd: %v\n", err)
 			return 1
@@ -77,7 +86,7 @@ func run(argv []string, stderr io.Writer, ready chan<- string) int {
 	}
 
 	srv := server.New(corpus,
-		server.WithCacheCapacity(*cacheCap),
+		server.WithCacheBytes(*cacheBytes),
 		server.WithMaxBody(*maxBody))
 	httpSrv := &http.Server{
 		Addr:              *addr,
@@ -117,8 +126,9 @@ func run(argv []string, stderr io.Writer, ready chan<- string) int {
 }
 
 // preload loads every file matching the glob into the corpus, each
-// under its base name without the extension (docs/dblp.xml -> dblp).
-func preload(corpus *ncq.Corpus, glob string) (int, error) {
+// under its base name without the extension (docs/dblp.xml -> dblp),
+// split into up to shards subtree shards when shards > 1.
+func preload(corpus *ncq.Corpus, glob string, shards int) (int, error) {
 	files, err := filepath.Glob(glob)
 	if err != nil {
 		return 0, fmt.Errorf("bad -load glob: %w", err)
@@ -131,12 +141,23 @@ func preload(corpus *ncq.Corpus, glob string) (int, error) {
 		if err != nil {
 			return 0, err
 		}
+		name := strings.TrimSuffix(filepath.Base(file), filepath.Ext(file))
+		if shards > 1 {
+			doc, err := ncq.ParseDocument(f)
+			f.Close()
+			if err != nil {
+				return 0, fmt.Errorf("%s: %w", file, err)
+			}
+			if _, _, err := corpus.AddSharded(name, doc, shards); err != nil {
+				return 0, err
+			}
+			continue
+		}
 		db, err := ncq.Open(f)
 		f.Close()
 		if err != nil {
 			return 0, fmt.Errorf("%s: %w", file, err)
 		}
-		name := strings.TrimSuffix(filepath.Base(file), filepath.Ext(file))
 		if err := corpus.Add(name, db); err != nil {
 			return 0, err
 		}

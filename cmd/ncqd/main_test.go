@@ -45,7 +45,7 @@ func TestPreload(t *testing.T) {
 		t.Fatal(err)
 	}
 	corpus := ncq.NewCorpus()
-	n, err := preload(corpus, filepath.Join(dir, "*.xml"))
+	n, err := preload(corpus, filepath.Join(dir, "*.xml"), 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -55,12 +55,28 @@ func TestPreload(t *testing.T) {
 	if _, ok := corpus.Get("bib"); !ok {
 		t.Error("doc not registered under its base name")
 	}
-	// A malformed member fails the whole preload.
+
+	// Sharded preload registers the same logical names.
+	sharded := ncq.NewCorpus()
+	if _, err := preload(sharded, filepath.Join(dir, "*.xml"), 4); err != nil {
+		t.Fatal(err)
+	}
+	if sharded.Len() != 2 || !sharded.Has("bib") {
+		t.Errorf("sharded preload: len %d", sharded.Len())
+	}
+	if sharded.ShardCount("bib") < 1 {
+		t.Error("bib has no shards")
+	}
+
+	// A malformed member fails the whole preload, sharded or not.
 	if err := os.WriteFile(filepath.Join(dir, "bad.xml"), []byte("<unclosed>"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := preload(ncq.NewCorpus(), filepath.Join(dir, "*.xml")); err == nil {
+	if _, err := preload(ncq.NewCorpus(), filepath.Join(dir, "*.xml"), 1); err == nil {
 		t.Error("malformed file accepted")
+	}
+	if _, err := preload(ncq.NewCorpus(), filepath.Join(dir, "*.xml"), 4); err == nil {
+		t.Error("malformed file accepted by sharded preload")
 	}
 }
 

@@ -1,13 +1,20 @@
 package ncq
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 	"sort"
 	"sync"
 
 	"ncq/internal/query"
+	"ncq/internal/shard"
+	"ncq/internal/xmltree"
 )
+
+// ErrUnknownDoc is returned (wrapped) by the per-member query methods
+// when the named document is not registered.
+var ErrUnknownDoc = errors.New("unknown document")
 
 // Corpus is a named collection of databases queried together. It
 // implements the Section 4 application: "we may want to know whether a
@@ -16,6 +23,11 @@ import (
 // relevant information is marked up" — the meet runs per document, so
 // each answer carries the result type of its own instance.
 //
+// A member is either a plain database (Add, Put) or a sharded one
+// (AddSharded): one large document split into subtree shards that are
+// searched in parallel and merged back into one ranked answer, so
+// callers always address the member by its logical name.
+//
 // A Corpus is safe for concurrent use: any number of readers and
 // queries may run while documents are added, replaced or removed.
 // Queries observe a consistent snapshot of the membership taken when
@@ -23,14 +35,18 @@ import (
 type Corpus struct {
 	mu      sync.RWMutex
 	names   []string
-	dbs     map[string]*Database
+	dbs     map[string]*Database   // plain members
+	sharded map[string][]*Database // sharded members, in shard order
 	gen     uint64
 	workers int // fan-out width for corpus-wide queries; 0 = GOMAXPROCS
 }
 
 // NewCorpus returns an empty corpus.
 func NewCorpus() *Corpus {
-	return &Corpus{dbs: make(map[string]*Database)}
+	return &Corpus{
+		dbs:     make(map[string]*Database),
+		sharded: make(map[string][]*Database),
+	}
 }
 
 // Add registers a database under a name. Re-adding a name replaces the
@@ -49,25 +65,87 @@ func (c *Corpus) Put(name string, db *Database) (replaced bool, err error) {
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if _, exists := c.dbs[name]; exists {
-		replaced = true
-	} else {
-		c.names = append(c.names, name)
-	}
+	replaced = c.register(name)
 	c.dbs[name] = db
-	c.gen++
 	return replaced, nil
 }
 
-// Remove evicts the database registered under name and reports whether
-// it was present.
+// AddSharded splits doc into at most k subtree shards (see
+// internal/shard: the split happens at the top-level children of the
+// root, balanced by node count), loads every shard, and registers the
+// group under one logical name. Queries addressed to name — or to the
+// whole corpus — fan out over the shards in parallel and merge the
+// per-shard answers into one ranked result, so callers see a single
+// logical document.
+//
+// Note that a sharded member cannot report meets at the document root:
+// witnesses living in different shards never meet. Large-document
+// queries exclude the root anyway (the paper's DBLP case study); with
+// ExcludeRoot set, a sharded member returns exactly the answers of the
+// unsharded document.
+//
+// AddSharded returns the shard databases it registered (whose count
+// may be lower than k) and whether an existing member of that name was
+// replaced. The returned slice lets the caller report on exactly this
+// upload even when a concurrent registration immediately replaces it.
+func (c *Corpus) AddSharded(name string, doc *xmltree.Document, k int) (dbs []*Database, replaced bool, err error) {
+	if doc == nil {
+		return nil, false, fmt.Errorf("ncq: corpus: nil document for %q", name)
+	}
+	parts := shard.Split(doc, k)
+	dbs = make([]*Database, len(parts))
+	// Shard loading is CPU-bound (Monet transform + index build); use
+	// the machine, not the corpus fan-out width, which may be tuned
+	// down for query latency.
+	err = forEachDoc(len(parts), runtime.GOMAXPROCS(0), func(i int) error {
+		db, err := FromDocument(parts[i])
+		if err != nil {
+			return fmt.Errorf("ncq: corpus %q shard %d: %w", name, i, err)
+		}
+		dbs[i] = db
+		return nil
+	})
+	if err != nil {
+		return nil, false, err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	replaced = c.register(name)
+	c.sharded[name] = dbs
+	out := make([]*Database, len(dbs))
+	copy(out, dbs)
+	return out, replaced, nil
+}
+
+// register claims name under the write lock: it clears any previous
+// plain or sharded entry, keeps the member's position (or appends a
+// new one), bumps the generation, and reports whether an existing
+// member was replaced.
+func (c *Corpus) register(name string) (replaced bool) {
+	_, plain := c.dbs[name]
+	_, shrd := c.sharded[name]
+	replaced = plain || shrd
+	if !replaced {
+		c.names = append(c.names, name)
+	}
+	delete(c.dbs, name)
+	delete(c.sharded, name)
+	c.gen++
+	return replaced
+}
+
+// Remove evicts the member registered under name — all of its shards
+// for a sharded member — and reports whether it was present.
 func (c *Corpus) Remove(name string) bool {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if _, ok := c.dbs[name]; !ok {
+	_, plain := c.dbs[name]
+	_, shrd := c.sharded[name]
+	if !plain && !shrd {
 		return false
 	}
 	delete(c.dbs, name)
+	delete(c.sharded, name)
 	for i, n := range c.names {
 		if n == name {
 			c.names = append(c.names[:i], c.names[i+1:]...)
@@ -78,7 +156,7 @@ func (c *Corpus) Remove(name string) bool {
 	return true
 }
 
-// Names returns the registered names in insertion order.
+// Names returns the registered logical names in insertion order.
 func (c *Corpus) Names() []string {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
@@ -87,7 +165,8 @@ func (c *Corpus) Names() []string {
 	return out
 }
 
-// Get returns the database registered under name.
+// Get returns the database registered under name. Sharded members have
+// no single database; Get reports false for them — use Shards.
 func (c *Corpus) Get(name string) (*Database, bool) {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
@@ -95,7 +174,70 @@ func (c *Corpus) Get(name string) (*Database, bool) {
 	return db, ok
 }
 
-// Len returns the number of registered databases.
+// Has reports whether a member (plain or sharded) is registered under
+// name.
+func (c *Corpus) Has(name string) bool {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	_, plain := c.dbs[name]
+	_, shrd := c.sharded[name]
+	return plain || shrd
+}
+
+// Shards returns the member's databases in shard order — a single
+// element for a plain member — and whether name is registered.
+func (c *Corpus) Shards(name string) ([]*Database, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if db, ok := c.dbs[name]; ok {
+		return []*Database{db}, true
+	}
+	if dbs, ok := c.sharded[name]; ok {
+		out := make([]*Database, len(dbs))
+		copy(out, dbs)
+		return out, true
+	}
+	return nil, false
+}
+
+// ShardCount returns how many shards the named member holds: 0 when
+// the name is unknown, 1 for a plain member.
+func (c *Corpus) ShardCount(name string) int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if _, ok := c.dbs[name]; ok {
+		return 1
+	}
+	return len(c.sharded[name])
+}
+
+// AggregateStats sums the storage statistics of several databases —
+// typically the shards of one logical member.
+func AggregateStats(dbs []*Database) (st Stats) {
+	for _, db := range dbs {
+		s := db.Stats()
+		st.Nodes += s.Nodes
+		st.Paths += s.Paths
+		st.Associations += s.Associations
+		st.MemBytes += s.MemBytes
+		st.Terms += s.Terms
+	}
+	return st
+}
+
+// MemberStats aggregates the storage statistics of the named member
+// across its shards; shards is 1 for a plain member. ok reports
+// whether the name is registered.
+func (c *Corpus) MemberStats(name string) (st Stats, shards int, ok bool) {
+	dbs, ok := c.Shards(name)
+	if !ok {
+		return Stats{}, 0, false
+	}
+	return AggregateStats(dbs), len(dbs), true
+}
+
+// Len returns the number of registered members (a sharded member
+// counts once).
 func (c *Corpus) Len() int {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
@@ -103,15 +245,16 @@ func (c *Corpus) Len() int {
 }
 
 // Generation returns a counter that increments on every membership
-// mutation (Add, Remove, replace). Cached query results keyed by the
-// generation are implicitly invalidated by any corpus change.
+// mutation (Add, AddSharded, Remove, replace). Cached query results
+// keyed by the generation are implicitly invalidated by any corpus
+// change.
 func (c *Corpus) Generation() uint64 {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
 	return c.gen
 }
 
-// SetParallelism sets how many member documents a corpus-wide query
+// SetParallelism sets how many member databases a corpus-wide query
 // processes concurrently. n <= 0 restores the default (GOMAXPROCS);
 // n == 1 forces serial execution.
 func (c *Corpus) SetParallelism(n int) {
@@ -123,22 +266,66 @@ func (c *Corpus) SetParallelism(n int) {
 	c.workers = n
 }
 
-// snapshot captures the membership under the read lock so queries run
-// against a consistent view without blocking writers.
-func (c *Corpus) snapshot() (names []string, dbs []*Database, workers int) {
+// Parallelism returns the effective fan-out width of corpus-wide
+// queries (GOMAXPROCS when unset).
+func (c *Corpus) Parallelism() int {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
-	names = make([]string, len(c.names))
-	copy(names, c.names)
-	dbs = make([]*Database, len(names))
-	for i, n := range names {
-		dbs[i] = c.dbs[n]
+	if c.workers <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return c.workers
+}
+
+// member is one fan-out unit of a query: a plain database or a single
+// shard of a sharded member.
+type member struct {
+	name  string // the logical (registered) name
+	shard int    // 1-based shard number; 0 for plain members
+	db    *Database
+}
+
+// snapshot captures the flattened membership under the read lock so
+// queries run against a consistent view without blocking writers.
+// Members appear in insertion order with their shards contiguous.
+func (c *Corpus) snapshot() (members []member, workers int) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	for _, n := range c.names {
+		if db, ok := c.dbs[n]; ok {
+			members = append(members, member{name: n, db: db})
+			continue
+		}
+		for i, db := range c.sharded[n] {
+			members = append(members, member{name: n, shard: i + 1, db: db})
+		}
 	}
 	workers = c.workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	return names, dbs, workers
+	return members, workers
+}
+
+// memberOf is snapshot restricted to one logical name; found reports
+// whether the name is registered.
+func (c *Corpus) memberOf(name string) (members []member, workers int, found bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if db, ok := c.dbs[name]; ok {
+		members = []member{{name: name, db: db}}
+	} else if dbs, ok := c.sharded[name]; ok {
+		for i, db := range dbs {
+			members = append(members, member{name: name, shard: i + 1, db: db})
+		}
+	} else {
+		return nil, 0, false
+	}
+	workers = c.workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return members, workers, true
 }
 
 // forEachDoc runs fn(i) for every document index with at most workers
@@ -180,71 +367,100 @@ func forEachDoc(n, workers int, fn func(i int) error) error {
 	return nil
 }
 
-// CorpusMeet is one nearest concept found in one member document.
+// CorpusMeet is one nearest concept found in one member database.
 type CorpusMeet struct {
-	Source string `json:"source"` // the database's registered name
+	Source string `json:"source"`          // the member's registered (logical) name
+	Shard  int    `json:"shard,omitempty"` // 1-based shard of a sharded member; 0 otherwise
 	Meet
 }
 
-// MeetOfTerms runs the nearest-concept query against every member and
-// returns all answers, ranked by distance (ties by source name, then
-// document order). Documents in which the terms do not meet simply
-// contribute nothing. Members are searched concurrently, bounded by
-// SetParallelism.
-func (c *Corpus) MeetOfTerms(opt *Options, terms ...string) ([]CorpusMeet, error) {
-	names, dbs, workers := c.snapshot()
-	perDoc := make([][]Meet, len(names))
-	err := forEachDoc(len(names), workers, func(i int) error {
-		meets, _, err := dbs[i].MeetOfTerms(opt, terms...)
+// rankCorpusMeets orders answers by ascending distance — the paper's
+// join-count ranking — breaking ties by source name, shard, then
+// document order, so merged shard answers are deterministic.
+func rankCorpusMeets(meets []CorpusMeet) []CorpusMeet {
+	sort.SliceStable(meets, func(i, j int) bool {
+		if meets[i].Distance != meets[j].Distance {
+			return meets[i].Distance < meets[j].Distance
+		}
+		if meets[i].Source != meets[j].Source {
+			return meets[i].Source < meets[j].Source
+		}
+		if meets[i].Shard != meets[j].Shard {
+			return meets[i].Shard < meets[j].Shard
+		}
+		return meets[i].Node < meets[j].Node
+	})
+	return meets
+}
+
+// meetMembers fans the term meet over the given members and merges the
+// ranked answers. It also returns the total number of unmatched inputs.
+func meetMembers(members []member, workers int, opt *Options, terms []string) ([]CorpusMeet, int, error) {
+	perDoc := make([][]Meet, len(members))
+	unmatched := make([]int, len(members))
+	err := forEachDoc(len(members), workers, func(i int) error {
+		meets, un, err := members[i].db.MeetOfTerms(opt, terms...)
 		if err != nil {
-			return fmt.Errorf("ncq: corpus %q: %w", names[i], err)
+			return fmt.Errorf("ncq: corpus %q: %w", members[i].name, err)
 		}
 		perDoc[i] = meets
+		unmatched[i] = len(un)
 		return nil
 	})
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	var out []CorpusMeet
+	var totalUnmatched int
 	for i, meets := range perDoc {
+		totalUnmatched += unmatched[i]
 		for _, m := range meets {
-			out = append(out, CorpusMeet{Source: names[i], Meet: m})
+			out = append(out, CorpusMeet{Source: members[i].name, Shard: members[i].shard, Meet: m})
 		}
 	}
-	sort.SliceStable(out, func(i, j int) bool {
-		if out[i].Distance != out[j].Distance {
-			return out[i].Distance < out[j].Distance
-		}
-		if out[i].Source != out[j].Source {
-			return out[i].Source < out[j].Source
-		}
-		return out[i].Node < out[j].Node
-	})
-	return out, nil
+	return rankCorpusMeets(out), totalUnmatched, nil
 }
 
-// CorpusAnswer is one member document's answer to a corpus-wide query.
+// MeetOfTerms runs the nearest-concept query against every member and
+// returns all answers, ranked by distance (ties by source name, shard,
+// then document order). Documents in which the terms do not meet
+// simply contribute nothing. Members — including the individual shards
+// of sharded members — are searched concurrently, bounded by
+// SetParallelism.
+func (c *Corpus) MeetOfTerms(opt *Options, terms ...string) ([]CorpusMeet, error) {
+	members, workers := c.snapshot()
+	meets, _, err := meetMembers(members, workers, opt, terms)
+	return meets, err
+}
+
+// MeetOfTermsIn runs the term meet against the named member only,
+// fanning out over its shards when it is sharded, and returns the
+// merged ranked answers plus the number of inputs that found no
+// partner. The error wraps ErrUnknownDoc when name is not registered.
+func (c *Corpus) MeetOfTermsIn(name string, opt *Options, terms ...string) ([]CorpusMeet, int, error) {
+	members, workers, found := c.memberOf(name)
+	if !found {
+		return nil, 0, fmt.Errorf("ncq: corpus: %w %q", ErrUnknownDoc, name)
+	}
+	return meetMembers(members, workers, opt, terms)
+}
+
+// CorpusAnswer is one member's answer to a corpus-wide query. For
+// sharded members the per-shard answers are merged into one.
 type CorpusAnswer struct {
 	Source string  `json:"source"`
 	Answer *Answer `json:"answer"`
 }
 
-// Query evaluates a query in the paper's SQL variant against every
-// member document (parsed once, evaluated per member, concurrently) and
-// returns the per-source answers in membership order. Members whose
-// answer has no rows are omitted — with nearest concept queries the
-// interesting outcome is where the terms meet, not where they do not.
-func (c *Corpus) Query(src string) ([]CorpusAnswer, error) {
-	q, err := query.Parse(src)
-	if err != nil {
-		return nil, err
-	}
-	names, dbs, workers := c.snapshot()
-	answers := make([]*Answer, len(names))
-	err = forEachDoc(len(names), workers, func(i int) error {
-		ans, err := dbs[i].engine.Eval(q)
+// evalMembers evaluates a parsed query over the given members and
+// returns one merged answer per logical name, in membership order,
+// omitting members whose answer has no rows.
+func evalMembers(members []member, workers int, q *query.Query) ([]CorpusAnswer, error) {
+	answers := make([]*Answer, len(members))
+	err := forEachDoc(len(members), workers, func(i int) error {
+		ans, err := members[i].db.engine.Eval(q)
 		if err != nil {
-			return fmt.Errorf("ncq: corpus %q: %w", names[i], err)
+			return fmt.Errorf("ncq: corpus %q: %w", members[i].name, err)
 		}
 		answers[i] = ans
 		return nil
@@ -253,10 +469,85 @@ func (c *Corpus) Query(src string) ([]CorpusAnswer, error) {
 		return nil, err
 	}
 	var out []CorpusAnswer
-	for i, ans := range answers {
-		if ans != nil && len(ans.Rows) > 0 {
-			out = append(out, CorpusAnswer{Source: names[i], Answer: ans})
+	for i := 0; i < len(members); {
+		j := i + 1
+		for j < len(members) && members[j].name == members[i].name {
+			j++
 		}
+		merged := mergeAnswers(answers[i:j])
+		if merged != nil && len(merged.Rows) > 0 {
+			out = append(out, CorpusAnswer{Source: members[i].name, Answer: merged})
+		}
+		i = j
 	}
 	return out, nil
+}
+
+// mergeAnswers combines the per-shard answers of one logical member:
+// rows are concatenated in shard order and — for meet queries —
+// re-ranked by distance with a stable tie-break, mirroring the paper's
+// ranking heuristic across the merged result. Row and witness OIDs
+// stay shard-local (each shard numbers its own tree), so they identify
+// nodes only together with a shard — callers that need to resolve
+// witnesses should use the terms API, whose CorpusMeet carries the
+// shard number.
+func mergeAnswers(answers []*Answer) *Answer {
+	if len(answers) == 1 {
+		return answers[0]
+	}
+	merged := &Answer{Columns: answers[0].Columns, IsMeet: answers[0].IsMeet}
+	for _, a := range answers {
+		merged.Rows = append(merged.Rows, a.Rows...)
+		merged.Unmatched = append(merged.Unmatched, a.Unmatched...)
+	}
+	if merged.IsMeet {
+		sort.SliceStable(merged.Rows, func(i, j int) bool {
+			return merged.Rows[i].Distance < merged.Rows[j].Distance
+		})
+	}
+	return merged
+}
+
+// Query evaluates a query in the paper's SQL variant against every
+// member (parsed once, evaluated per shard, concurrently) and returns
+// the per-source answers in membership order, the shards of each
+// sharded member merged into one ranked answer. Members whose answer
+// has no rows are omitted — with nearest concept queries the
+// interesting outcome is where the terms meet, not where they do not.
+func (c *Corpus) Query(src string) ([]CorpusAnswer, error) {
+	q, err := query.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	members, workers := c.snapshot()
+	return evalMembers(members, workers, q)
+}
+
+// QueryIn evaluates a query against the named member only, merging
+// shard answers into one. Unlike the corpus-wide Query it returns the
+// answer even when it has no rows. For sharded members the merged
+// rows' OIDs are shard-local (see mergeAnswers). The error wraps
+// ErrUnknownDoc when name is not registered.
+func (c *Corpus) QueryIn(name, src string) (*Answer, error) {
+	q, err := query.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	members, workers, found := c.memberOf(name)
+	if !found {
+		return nil, fmt.Errorf("ncq: corpus: %w %q", ErrUnknownDoc, name)
+	}
+	answers := make([]*Answer, len(members))
+	err = forEachDoc(len(members), workers, func(i int) error {
+		ans, err := members[i].db.engine.Eval(q)
+		if err != nil {
+			return fmt.Errorf("ncq: corpus %q: %w", name, err)
+		}
+		answers[i] = ans
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return mergeAnswers(answers), nil
 }

@@ -1,0 +1,273 @@
+package ncq
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+
+	"ncq/internal/xmltree"
+)
+
+// bigBib builds a bibliography whose root has many records — the shape
+// sharding is for.
+func bigBib(records int) *xmltree.Document {
+	return xmltree.MustDocument("bib", func(b *xmltree.Builder) {
+		for i := 0; i < records; i++ {
+			rec := b.Element(b.Root(), "article")
+			b.Text(b.Element(rec, "author"), fmt.Sprintf("Author%d", i))
+			b.Text(b.Element(rec, "year"), fmt.Sprintf("%d", 1990+i%10))
+		}
+	})
+}
+
+func TestAddShardedBasics(t *testing.T) {
+	c := NewCorpus()
+	doc := bigBib(20)
+	added, replaced, err := c.AddSharded("bib", doc, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(added) != 4 || replaced {
+		t.Fatalf("AddSharded = (%d dbs, %t)", len(added), replaced)
+	}
+	if got := AggregateStats(added); got.Nodes != doc.Len()+3 {
+		t.Errorf("AggregateStats(added).Nodes = %d, want %d", got.Nodes, doc.Len()+3)
+	}
+	if !c.Has("bib") || c.Len() != 1 || c.ShardCount("bib") != 4 {
+		t.Errorf("Has=%t Len=%d ShardCount=%d", c.Has("bib"), c.Len(), c.ShardCount("bib"))
+	}
+	if _, ok := c.Get("bib"); ok {
+		t.Error("Get resolved a sharded member to a single database")
+	}
+	dbs, ok := c.Shards("bib")
+	if !ok || len(dbs) != 4 {
+		t.Fatalf("Shards = %d dbs, ok=%t", len(dbs), ok)
+	}
+	st, shards, ok := c.MemberStats("bib")
+	if !ok || shards != 4 {
+		t.Fatalf("MemberStats shards = %d, ok=%t", shards, ok)
+	}
+	// Every original node lands in exactly one shard: aggregated node
+	// count equals the unsharded document plus one extra root per
+	// additional shard.
+	if want := doc.Len() + 3; st.Nodes != want {
+		t.Errorf("aggregated nodes = %d, want %d", st.Nodes, want)
+	}
+
+	// Replacement across kinds keeps the position and bumps the
+	// generation.
+	gen := c.Generation()
+	db, err := OpenString(`<bib><article><author>Solo</author></article></bib>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if replaced, err := c.Put("bib", db); err != nil || !replaced {
+		t.Fatalf("Put over sharded: replaced=%t err=%v", replaced, err)
+	}
+	if c.ShardCount("bib") != 1 || c.Generation() == gen {
+		t.Errorf("ShardCount=%d gen=%d (was %d)", c.ShardCount("bib"), c.Generation(), gen)
+	}
+	if _, replaced, err := c.AddSharded("bib", doc, 2); err != nil || !replaced {
+		t.Fatalf("AddSharded over plain: replaced=%t err=%v", replaced, err)
+	}
+	if !c.Remove("bib") || c.Has("bib") || c.Len() != 0 {
+		t.Error("Remove did not evict the sharded member")
+	}
+}
+
+func TestAddShardedErrors(t *testing.T) {
+	c := NewCorpus()
+	if _, _, err := c.AddSharded("x", nil, 2); err == nil {
+		t.Error("nil document accepted")
+	}
+	if _, _, err := c.MeetOfTermsIn("ghost", nil, "a"); err == nil {
+		t.Error("unknown member accepted")
+	} else if !strings.Contains(err.Error(), "unknown document") {
+		t.Errorf("error = %v", err)
+	}
+	if _, err := c.QueryIn("ghost", "SELECT tag(e) FROM //a AS e"); err == nil {
+		t.Error("unknown member accepted by QueryIn")
+	}
+}
+
+// TestShardedMeetMerging: a sharded member answers under its logical
+// name with 1-based shard attribution, ranked by distance.
+func TestShardedMeetMerging(t *testing.T) {
+	c := NewCorpus()
+	if _, _, err := c.AddSharded("bib", bigBib(12), 3); err != nil {
+		t.Fatal(err)
+	}
+	meets, _, err := c.MeetOfTermsIn("bib", ExcludeRoot(), "Author", "199")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(meets) == 0 {
+		t.Fatal("no meets")
+	}
+	shardsSeen := map[int]bool{}
+	for i, m := range meets {
+		if m.Source != "bib" {
+			t.Errorf("meet %d: source %q", i, m.Source)
+		}
+		if m.Shard < 1 || m.Shard > 3 {
+			t.Errorf("meet %d: shard %d out of range", i, m.Shard)
+		}
+		shardsSeen[m.Shard] = true
+		if i > 0 && meets[i-1].Distance > m.Distance {
+			t.Errorf("meets not ranked: %d before %d", meets[i-1].Distance, m.Distance)
+		}
+	}
+	if len(shardsSeen) != 3 {
+		t.Errorf("answers came from %d shards, want 3", len(shardsSeen))
+	}
+
+	// The corpus-wide meet reports the same logical source.
+	all, err := c.MeetOfTerms(ExcludeRoot(), "Author", "199")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != len(meets) {
+		t.Errorf("corpus-wide found %d meets, member query %d", len(all), len(meets))
+	}
+}
+
+// TestShardedQueryMerging: the query language resolves a sharded
+// member into one merged answer.
+func TestShardedQueryMerging(t *testing.T) {
+	doc := bigBib(10)
+	plain, err := FromDocument(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := plain.Query(`SELECT tag(e) FROM //year AS e`)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	c := NewCorpus()
+	if _, _, err := c.AddSharded("bib", doc, 4); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.QueryIn("bib", `SELECT tag(e) FROM //year AS e`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Rows) != len(want.Rows) {
+		t.Fatalf("sharded query: %d rows, unsharded %d", len(got.Rows), len(want.Rows))
+	}
+
+	// Corpus-wide query merges the shards under one source.
+	answers, err := c.Query(`SELECT tag(e) FROM //year AS e`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(answers) != 1 || answers[0].Source != "bib" {
+		t.Fatalf("answers = %+v", answers)
+	}
+	if len(answers[0].Answer.Rows) != len(want.Rows) {
+		t.Errorf("merged rows = %d, want %d", len(answers[0].Answer.Rows), len(want.Rows))
+	}
+
+	// A meet query's merged rows stay ranked by distance.
+	const mq = `SELECT meet(e1, e2; EXCLUDE /bib)
+		FROM //author/cdata AS e1, //year/cdata AS e2
+		WHERE e1 CONTAINS 'Author' AND e2 CONTAINS '199'`
+	merged, err := c.QueryIn("bib", mq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !merged.IsMeet || len(merged.Rows) == 0 {
+		t.Fatalf("meet query: is_meet=%t rows=%d", merged.IsMeet, len(merged.Rows))
+	}
+	for i := 1; i < len(merged.Rows); i++ {
+		if merged.Rows[i-1].Distance > merged.Rows[i].Distance {
+			t.Errorf("merged meet rows not ranked at %d", i)
+		}
+	}
+	wantMeet, err := plain.Query(mq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(merged.Rows) != len(wantMeet.Rows) {
+		t.Errorf("merged meet rows = %d, unsharded %d", len(merged.Rows), len(wantMeet.Rows))
+	}
+}
+
+// meetSignature renders a meet as a shard-independent string: result
+// path, distance, and the (path, value) pairs of its witnesses. OIDs
+// are deliberately absent — shards renumber nodes.
+func meetSignature(db *Database, m Meet) string {
+	wit := make([]string, len(m.Witnesses))
+	for i, w := range m.Witnesses {
+		wit[i] = db.Path(w) + "=" + db.Value(w)
+	}
+	sort.Strings(wit)
+	return fmt.Sprintf("%s d%d [%s]", m.Path, m.Distance, strings.Join(wit, ","))
+}
+
+// TestShardedEqualsUnsharded is the merge-correctness property: for
+// random documents and random term queries, a sharded member returns
+// exactly the answer set of the unsharded document — same concepts,
+// same distances, same witnesses. The root must be excluded: witnesses
+// living in different shards can only meet at the document root, which
+// a sharded member cannot represent (and which large-corpus queries
+// exclude anyway, per the paper's case study).
+func TestShardedEqualsUnsharded(t *testing.T) {
+	r := rand.New(rand.NewSource(20260728))
+	terms := []string{"t0", "t1", "t2", "t3", "t4", "t5", "t6", "t7"}
+	for trial := 0; trial < 40; trial++ {
+		doc := xmltree.Random(r, 500)
+		k := 2 + r.Intn(6)
+		nTerms := 2 + r.Intn(2)
+		query := make([]string, nTerms)
+		for i := range query {
+			query[i] = terms[r.Intn(len(terms))]
+		}
+
+		plain, err := FromDocument(doc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantMeets, _, err := plain.MeetOfTerms(ExcludeRoot(), query...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := make([]string, len(wantMeets))
+		for i, m := range wantMeets {
+			want[i] = meetSignature(plain, m)
+		}
+		sort.Strings(want)
+
+		c := NewCorpus()
+		if _, _, err := c.AddSharded("doc", doc, k); err != nil {
+			t.Fatal(err)
+		}
+		gotMeets, _, err := c.MeetOfTermsIn("doc", ExcludeRoot(), query...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		shards, _ := c.Shards("doc")
+		got := make([]string, len(gotMeets))
+		for i, m := range gotMeets {
+			shardDB := shards[0]
+			if m.Shard > 0 {
+				shardDB = shards[m.Shard-1]
+			}
+			got[i] = meetSignature(shardDB, m.Meet)
+		}
+		sort.Strings(got)
+
+		if len(got) != len(want) {
+			t.Fatalf("trial %d (k=%d, terms=%v): sharded %d meets, unsharded %d\nsharded:   %v\nunsharded: %v",
+				trial, k, query, len(got), len(want), got, want)
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d (k=%d, terms=%v): meet %d differs\nsharded:   %s\nunsharded: %s",
+					trial, k, query, i, got[i], want[i])
+			}
+		}
+	}
+}

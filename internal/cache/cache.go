@@ -9,6 +9,12 @@
 // generation also makes a slow query racing a mutation harmless: its
 // insert lands under the generation it was computed against and can
 // never be served to a post-mutation client.
+//
+// Capacity is accounted in bytes, not entries: callers pass the
+// approximate encoding size of each value with Put, and the LRU evicts
+// from the cold end until the total charged size fits the budget. One
+// huge result therefore displaces many small ones instead of hiding
+// behind an entry count.
 package cache
 
 import (
@@ -22,10 +28,16 @@ type Key struct {
 	Query string // normalized request (doc, mode, terms/query, options)
 }
 
+// entryOverhead approximates the per-entry bookkeeping cost (list
+// element, map bucket share, key struct) charged on top of the key
+// string and the caller-supplied value size.
+const entryOverhead = 128
+
 // Stats is a point-in-time snapshot of cache effectiveness counters.
 type Stats struct {
-	Size      int    `json:"size"`
-	Cap       int    `json:"cap"`
+	Entries   int    `json:"entries"`
+	Bytes     int64  `json:"bytes"`     // charged size of all entries
+	CapBytes  int64  `json:"cap_bytes"` // byte budget; 0 = disabled
 	Hits      uint64 `json:"hits"`
 	Misses    uint64 `json:"misses"`
 	Evictions uint64 `json:"evictions"`
@@ -33,31 +45,41 @@ type Stats struct {
 }
 
 type entry struct {
-	key Key
-	val any
+	key  Key
+	val  any
+	size int64 // charged bytes, overhead included
 }
 
-// LRU is a fixed-capacity least-recently-used cache, safe for
-// concurrent use. A capacity of zero (or negative) disables caching:
-// every Get misses and Put is a no-op.
+// LRU is a byte-bounded least-recently-used cache, safe for concurrent
+// use. A capacity of zero (or negative) disables caching: every Get
+// misses and Put is a no-op.
 type LRU struct {
-	mu    sync.Mutex
-	cap   int
-	ll    *list.List // front = most recently used
-	items map[Key]*list.Element
-	stats Stats
+	mu       sync.Mutex
+	capBytes int64
+	bytes    int64
+	ll       *list.List // front = most recently used
+	items    map[Key]*list.Element
+	stats    Stats
 }
 
-// New returns an LRU holding at most capacity entries.
-func New(capacity int) *LRU {
-	if capacity < 0 {
-		capacity = 0
+// New returns an LRU holding at most maxBytes of charged entry size.
+func New(maxBytes int64) *LRU {
+	if maxBytes < 0 {
+		maxBytes = 0
 	}
 	return &LRU{
-		cap:   capacity,
-		ll:    list.New(),
-		items: make(map[Key]*list.Element),
+		capBytes: maxBytes,
+		ll:       list.New(),
+		items:    make(map[Key]*list.Element),
 	}
+}
+
+// charge returns the bytes an entry of the given value size costs.
+func charge(k Key, size int) int64 {
+	if size < 0 {
+		size = 0
+	}
+	return int64(size) + int64(len(k.Query)) + entryOverhead
 }
 
 // Get returns the value cached under k and marks it most recently used.
@@ -74,24 +96,36 @@ func (c *LRU) Get(k Key) (any, bool) {
 	return el.Value.(*entry).val, true
 }
 
-// Put caches v under k, evicting the least recently used entry when
-// the cache is full.
-func (c *LRU) Put(k Key, v any) {
-	if c.cap == 0 {
+// Put caches v under k, charging size bytes for it (the caller's
+// approximation of the value's encoded size, typically its JSON
+// length), and evicts least recently used entries until the budget
+// fits again. A value whose charge alone exceeds the budget is not
+// stored at all.
+func (c *LRU) Put(k Key, v any, size int) {
+	if c.capBytes == 0 {
 		return
+	}
+	sz := charge(k, size)
+	if sz > c.capBytes {
+		return // would evict the whole cache and still not fit
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.items[k]; ok {
-		el.Value.(*entry).val = v
+		e := el.Value.(*entry)
+		c.bytes += sz - e.size
+		e.val, e.size = v, sz
 		c.ll.MoveToFront(el)
-		return
+	} else {
+		c.items[k] = c.ll.PushFront(&entry{key: k, val: v, size: sz})
+		c.bytes += sz
 	}
-	c.items[k] = c.ll.PushFront(&entry{key: k, val: v})
-	if c.ll.Len() > c.cap {
+	for c.bytes > c.capBytes {
 		oldest := c.ll.Back()
+		e := oldest.Value.(*entry)
 		c.ll.Remove(oldest)
-		delete(c.items, oldest.Value.(*entry).key)
+		delete(c.items, e.key)
+		c.bytes -= e.size
 		c.stats.Evictions++
 	}
 }
@@ -105,6 +139,7 @@ func (c *LRU) Purge() {
 	c.stats.Purges += uint64(c.ll.Len())
 	c.ll.Init()
 	clear(c.items)
+	c.bytes = 0
 }
 
 // Len returns the number of cached entries.
@@ -114,12 +149,20 @@ func (c *LRU) Len() int {
 	return c.ll.Len()
 }
 
+// Bytes returns the charged size of all cached entries.
+func (c *LRU) Bytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.bytes
+}
+
 // Stats returns a snapshot of the counters.
 func (c *LRU) Stats() Stats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	st := c.stats
-	st.Size = c.ll.Len()
-	st.Cap = c.cap
+	st.Entries = c.ll.Len()
+	st.Bytes = c.bytes
+	st.CapBytes = c.capBytes
 	return st
 }

@@ -1,0 +1,166 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+
+	"ncq/internal/cache"
+)
+
+// batchRequest is the POST /v1/query/batch body: up to maxBatchQueries
+// independent query requests answered in one round trip, amortising
+// the HTTP exchange, the JSON framing and the cache lookups.
+type batchRequest struct {
+	Queries []queryRequest `json:"queries"`
+}
+
+// batchItem is the outcome of one query of a batch. Exactly one of
+// Error or Result is set; a failing query never poisons its siblings.
+// Result holds the pre-serialised queryResult shared with the cache.
+type batchItem struct {
+	Cached bool            `json:"cached"`
+	Error  string          `json:"error,omitempty"`
+	Result json.RawMessage `json:"result,omitempty"`
+}
+
+// batchResponse is the full POST /v1/query/batch payload. Results are
+// in request order, all computed against one corpus generation.
+type batchResponse struct {
+	Generation uint64      `json:"generation"`
+	Results    []batchItem `json:"results"`
+}
+
+// batchUnit is one distinct piece of work of a batch: duplicate
+// queries in a request collapse onto a single unit, so each distinct
+// query is resolved through the cache — and executed — exactly once.
+type batchUnit struct {
+	req    *queryRequest
+	key    cache.Key
+	raw    json.RawMessage
+	cached bool
+	err    error
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBatchBody))
+	dec.DisallowUnknownFields()
+	var req batchRequest
+	if err := dec.Decode(&req); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				"request exceeds the %d byte limit", tooLarge.Limit)
+			return
+		}
+		writeError(w, http.StatusBadRequest, "decode request: %v", err)
+		return
+	}
+	if len(req.Queries) == 0 {
+		writeError(w, http.StatusBadRequest, "empty batch: \"queries\" must hold at least one query")
+		return
+	}
+	if len(req.Queries) > maxBatchQueries {
+		writeError(w, http.StatusBadRequest,
+			"batch of %d queries exceeds the limit of %d", len(req.Queries), maxBatchQueries)
+		return
+	}
+	s.batches.Add(1)
+
+	// One generation for the whole batch, read before any resolution
+	// (same race argument as handleQuery): every result is computed
+	// against — and cached under — a single consistent corpus view.
+	gen := s.corpus.Generation()
+	items := make([]batchItem, len(req.Queries))
+	assigned := make([]*batchUnit, len(req.Queries))
+	byKey := make(map[string]*batchUnit)
+	var units []*batchUnit
+	for i := range req.Queries {
+		q := &req.Queries[i]
+		if err := q.validate(); err != nil {
+			items[i] = batchItem{Error: "invalid request: " + err.Error()}
+			continue
+		}
+		if q.Doc != "" && !s.corpus.Has(q.Doc) {
+			items[i] = batchItem{Error: fmt.Sprintf("no document %q", q.Doc)}
+			continue
+		}
+		s.queries.Add(1)
+		norm := q.normalize()
+		u, ok := byKey[norm]
+		if !ok {
+			u = &batchUnit{req: q, key: cache.Key{Gen: gen, Query: norm}}
+			byKey[norm] = u
+			units = append(units, u)
+		}
+		assigned[i] = u
+	}
+
+	// Execute the distinct units over a bounded worker pool sized like
+	// the corpus fan-out. Each unit resolves through the cache
+	// individually, so a batch repeating yesterday's queries is pure
+	// cache traffic. A unit's own execution may fan out again (corpus-
+	// wide or sharded queries), briefly oversubscribing the CPU up to
+	// workers²; that is deliberate — the scheduler stays work-
+	// conserving, and the outer pool is what parallelises the units
+	// whose inner execution is serial (cache hits, plain single-doc
+	// queries).
+	workers := s.corpus.Parallelism()
+	if workers > len(units) {
+		workers = len(units)
+	}
+	runUnit := func(u *batchUnit) {
+		if v, ok := s.cache.Get(u.key); ok {
+			u.raw, u.cached = v.(json.RawMessage), true
+			return
+		}
+		res, err := s.execute(u.req)
+		if err != nil {
+			u.err = err
+			return
+		}
+		raw, err := encodeResult(res)
+		if err != nil {
+			u.err = err
+			return
+		}
+		s.cache.Put(u.key, raw, len(raw))
+		u.raw = raw
+	}
+	if workers <= 1 {
+		for _, u := range units {
+			runUnit(u)
+		}
+	} else {
+		next := make(chan *batchUnit)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for u := range next {
+					runUnit(u)
+				}
+			}()
+		}
+		for _, u := range units {
+			next <- u
+		}
+		close(next)
+		wg.Wait()
+	}
+
+	for i, u := range assigned {
+		if u == nil {
+			continue // already carries its validation error
+		}
+		if u.err != nil {
+			items[i] = batchItem{Error: u.err.Error()}
+			continue
+		}
+		items[i] = batchItem{Cached: u.cached, Result: u.raw}
+	}
+	writeJSON(w, http.StatusOK, batchResponse{Generation: gen, Results: items})
+}

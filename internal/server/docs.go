@@ -3,15 +3,18 @@ package server
 import (
 	"errors"
 	"net/http"
+	"strconv"
 	"strings"
 
 	"ncq"
 )
 
 // docInfo is the document metadata returned by the docs endpoints.
+// Stats aggregate over all shards of a sharded document.
 type docInfo struct {
-	Name  string    `json:"name"`
-	Stats ncq.Stats `json:"stats"`
+	Name   string    `json:"name"`
+	Shards int       `json:"shards"`
+	Stats  ncq.Stats `json:"stats"`
 }
 
 // validDocName rejects names that would be ambiguous in URLs or
@@ -29,47 +32,99 @@ func validDocName(name string) bool {
 	return !strings.ContainsAny(name, "/\\")
 }
 
+// shardsParam parses the optional ?shards=K query parameter: 0 or 1
+// (and absence) mean an unsharded upload.
+func shardsParam(r *http.Request) (int, error) {
+	raw := r.URL.Query().Get("shards")
+	if raw == "" {
+		return 0, nil
+	}
+	k, err := strconv.Atoi(raw)
+	if err != nil || k < 0 {
+		return 0, errors.New("\"shards\" must be a non-negative integer")
+	}
+	if k > maxShardsParam {
+		return 0, errors.New("\"shards\" must be at most " + strconv.Itoa(maxShardsParam))
+	}
+	return k, nil
+}
+
 // handlePutDoc loads the XML request body as a document and registers
-// it under the path name, replacing any previous document of that name.
+// it under the path name, replacing any previous document of that
+// name. With ?shards=K the document is split into up to K subtree
+// shards that later queries fan out over in parallel; clients keep
+// addressing the document by this one name.
 func (s *Server) handlePutDoc(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
 	if !validDocName(name) {
 		writeError(w, http.StatusBadRequest, "invalid document name %q", name)
 		return
 	}
-	body := http.MaxBytesReader(w, r.Body, s.maxBody)
-	db, err := ncq.Open(body)
+	k, err := shardsParam(r)
 	if err != nil {
-		var tooLarge *http.MaxBytesError
-		if errors.As(err, &tooLarge) {
-			writeError(w, http.StatusRequestEntityTooLarge,
-				"document exceeds the %d byte limit", tooLarge.Limit)
-			return
-		}
-		writeError(w, http.StatusBadRequest, "parse document: %v", err)
+		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	replaced, err := s.corpus.Put(name, db)
-	if err != nil {
-		writeError(w, http.StatusInternalServerError, "register document: %v", err)
-		return
+	body := http.MaxBytesReader(w, r.Body, s.maxBody)
+
+	var replaced bool
+	info := docInfo{Name: name}
+	if k > 1 {
+		doc, err := ncq.ParseDocument(body)
+		if err != nil {
+			writeParseError(w, err)
+			return
+		}
+		// The returned shard databases describe exactly this upload, so
+		// the response stays truthful even when a concurrent PUT or
+		// DELETE of the same name wins the follow-up race.
+		dbs, repl, err := s.corpus.AddSharded(name, doc, k)
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, "register document: %v", err)
+			return
+		}
+		replaced = repl
+		info.Shards, info.Stats = len(dbs), ncq.AggregateStats(dbs)
+	} else {
+		db, err := ncq.Open(body)
+		if err != nil {
+			writeParseError(w, err)
+			return
+		}
+		if replaced, err = s.corpus.Put(name, db); err != nil {
+			writeError(w, http.StatusInternalServerError, "register document: %v", err)
+			return
+		}
+		info.Shards, info.Stats = 1, db.Stats()
 	}
 	s.invalidate()
 	status := http.StatusCreated
 	if replaced {
 		status = http.StatusOK
 	}
-	writeJSON(w, status, docInfo{Name: name, Stats: db.Stats()})
+	writeJSON(w, status, info)
+}
+
+// writeParseError distinguishes an oversized upload from a malformed
+// one.
+func writeParseError(w http.ResponseWriter, err error) {
+	var tooLarge *http.MaxBytesError
+	if errors.As(err, &tooLarge) {
+		writeError(w, http.StatusRequestEntityTooLarge,
+			"document exceeds the %d byte limit", tooLarge.Limit)
+		return
+	}
+	writeError(w, http.StatusBadRequest, "parse document: %v", err)
 }
 
 func (s *Server) handleGetDoc(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
-	db, ok := s.corpus.Get(name)
+	st, shards, ok := s.corpus.MemberStats(name)
 	if !ok {
 		writeError(w, http.StatusNotFound, "no document %q", name)
 		return
 	}
-	writeJSON(w, http.StatusOK, docInfo{Name: name, Stats: db.Stats()})
+	writeJSON(w, http.StatusOK, docInfo{Name: name, Shards: shards, Stats: st})
 }
 
 func (s *Server) handleDeleteDoc(w http.ResponseWriter, r *http.Request) {
@@ -85,8 +140,8 @@ func (s *Server) handleDeleteDoc(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleListDocs(w http.ResponseWriter, r *http.Request) {
 	docs := []docInfo{}
 	for _, name := range s.corpus.Names() {
-		if db, ok := s.corpus.Get(name); ok {
-			docs = append(docs, docInfo{Name: name, Stats: db.Stats()})
+		if st, shards, ok := s.corpus.MemberStats(name); ok {
+			docs = append(docs, docInfo{Name: name, Shards: shards, Stats: st})
 		}
 	}
 	writeJSON(w, http.StatusOK, map[string]any{

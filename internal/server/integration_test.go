@@ -22,7 +22,7 @@ func TestServerEndToEnd(t *testing.T) {
 	defer ts.Close()
 	client := ts.Client()
 
-	post := func(t *testing.T, body string) (*queryResponse, string) {
+	post := func(t *testing.T, body string) (*wireQueryResponse, string) {
 		t.Helper()
 		resp, err := client.Post(ts.URL+"/v1/query", "application/json", strings.NewReader(body))
 		if err != nil {
@@ -36,7 +36,7 @@ func TestServerEndToEnd(t *testing.T) {
 		if resp.StatusCode != http.StatusOK {
 			t.Fatalf("POST /v1/query: %d %s", resp.StatusCode, raw)
 		}
-		var qr queryResponse
+		var qr wireQueryResponse
 		if err := json.Unmarshal(raw, &qr); err != nil {
 			t.Fatalf("decode %q: %v", raw, err)
 		}

@@ -12,9 +12,11 @@ import (
 	"ncq/internal/cache"
 )
 
-// queryRequest is the POST /v1/query body. Exactly one of Query (the
-// paper's SQL variant) or Terms (a raw term meet) must be set. An
-// empty Doc targets the whole corpus.
+// queryRequest is the POST /v1/query body (and one element of a batch
+// request). Exactly one of Query (the paper's SQL variant) or Terms (a
+// raw term meet) must be set. An empty Doc targets the whole corpus; a
+// named Doc is resolved logically, so a sharded document is queried
+// across all of its shards and answers are merged.
 type queryRequest struct {
 	Doc   string   `json:"doc,omitempty"`
 	Query string   `json:"query,omitempty"`
@@ -136,11 +138,20 @@ type queryResult struct {
 	Truncated bool             `json:"truncated,omitempty"` // a Limit cut results
 }
 
-// queryResponse is the full POST /v1/query payload.
+// encodeResult serialises a result once, up front: the bytes are
+// cached (their length is the entry's charged size) and spliced
+// verbatim into every response envelope, so the miss path encodes the
+// result exactly once and the hit path not at all.
+func encodeResult(res *queryResult) (json.RawMessage, error) {
+	return json.Marshal(res)
+}
+
+// queryResponse is the full POST /v1/query payload. Result holds the
+// pre-serialised queryResult.
 type queryResponse struct {
-	Cached     bool         `json:"cached"`
-	Generation uint64       `json:"generation"`
-	Result     *queryResult `json:"result"`
+	Cached     bool            `json:"cached"`
+	Generation uint64          `json:"generation"`
+	Result     json.RawMessage `json:"result"`
 }
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
@@ -168,57 +179,66 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	// served to post-mutation clients. Resolving first would let a
 	// stale result slip in under the new generation.
 	gen := s.corpus.Generation()
-	var db *ncq.Database
-	if req.Doc != "" {
-		var ok bool
-		if db, ok = s.corpus.Get(req.Doc); !ok {
-			writeError(w, http.StatusNotFound, "no document %q", req.Doc)
-			return
-		}
+	if req.Doc != "" && !s.corpus.Has(req.Doc) {
+		writeError(w, http.StatusNotFound, "no document %q", req.Doc)
+		return
 	}
 
 	s.queries.Add(1)
 	key := cache.Key{Gen: gen, Query: req.normalize()}
 	if v, ok := s.cache.Get(key); ok {
 		w.Header().Set("X-NCQ-Cache", "hit")
-		writeJSON(w, http.StatusOK, queryResponse{Cached: true, Generation: gen, Result: v.(*queryResult)})
+		writeJSON(w, http.StatusOK, queryResponse{Cached: true, Generation: gen, Result: v.(json.RawMessage)})
 		return
 	}
 
-	res, err := s.execute(&req, db)
+	res, err := s.execute(&req)
 	if err != nil {
-		// Execution failures are input-driven: unparsable queries, bad
-		// path patterns. Nothing server-side can fail here.
-		writeError(w, http.StatusBadRequest, "%v", err)
+		writeQueryError(w, err)
 		return
 	}
-	s.cache.Put(key, res)
-	w.Header().Set("X-NCQ-Cache", "miss")
-	writeJSON(w, http.StatusOK, queryResponse{Cached: false, Generation: gen, Result: res})
-}
-
-// execute runs the validated request against db (term/query mode) or
-// the whole corpus when db is nil. The returned result is immutable —
-// it is shared between the cache and in-flight responses.
-func (s *Server) execute(req *queryRequest, db *ncq.Database) (*queryResult, error) {
-	if len(req.Terms) > 0 {
-		return s.executeTerms(req, db)
+	raw, err := encodeResult(res)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "encode result: %v", err)
+		return
 	}
-	return s.executeQuery(req, db)
+	s.cache.Put(key, raw, len(raw))
+	w.Header().Set("X-NCQ-Cache", "miss")
+	writeJSON(w, http.StatusOK, queryResponse{Cached: false, Generation: gen, Result: raw})
 }
 
-func (s *Server) executeTerms(req *queryRequest, db *ncq.Database) (*queryResult, error) {
+// writeQueryError maps an execution failure to a status: a document
+// that vanished between the existence check and execution is 404;
+// everything else is input-driven (unparsable queries, bad path
+// patterns) and therefore 400.
+func writeQueryError(w http.ResponseWriter, err error) {
+	status := http.StatusBadRequest
+	if errors.Is(err, ncq.ErrUnknownDoc) {
+		status = http.StatusNotFound
+	}
+	writeError(w, status, "%v", err)
+}
+
+// execute runs the validated request against its document — resolved
+// through the corpus so sharded members fan out and merge — or the
+// whole corpus when no document is named. The returned result is
+// immutable: it is shared between the cache and in-flight responses.
+func (s *Server) execute(req *queryRequest) (*queryResult, error) {
+	if len(req.Terms) > 0 {
+		return s.executeTerms(req)
+	}
+	return s.executeQuery(req)
+}
+
+func (s *Server) executeTerms(req *queryRequest) (*queryResult, error) {
 	res := &queryResult{Mode: "terms", Meets: []ncq.CorpusMeet{}}
-	if db != nil {
-		meets, unmatched, err := db.MeetOfTerms(req.options(), req.Terms...)
+	if req.Doc != "" {
+		meets, unmatched, err := s.corpus.MeetOfTermsIn(req.Doc, req.options(), req.Terms...)
 		if err != nil {
 			return nil, err
 		}
-		ncq.RankMeets(meets)
-		for _, m := range meets {
-			res.Meets = append(res.Meets, ncq.CorpusMeet{Source: req.Doc, Meet: m})
-		}
-		res.Unmatched = len(unmatched)
+		res.Meets = append(res.Meets, meets...)
+		res.Unmatched = unmatched
 	} else {
 		meets, err := s.corpus.MeetOfTerms(req.options(), req.Terms...)
 		if err != nil {
@@ -233,10 +253,10 @@ func (s *Server) executeTerms(req *queryRequest, db *ncq.Database) (*queryResult
 	return res, nil
 }
 
-func (s *Server) executeQuery(req *queryRequest, db *ncq.Database) (*queryResult, error) {
+func (s *Server) executeQuery(req *queryRequest) (*queryResult, error) {
 	res := &queryResult{Mode: "query", Answers: []answerJSON{}}
-	if db != nil {
-		ans, err := db.Query(req.Query)
+	if req.Doc != "" {
+		ans, err := s.corpus.QueryIn(req.Doc, req.Query)
 		if err != nil {
 			return nil, err
 		}

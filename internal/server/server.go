@@ -3,16 +3,21 @@
 // result cache and a small REST surface:
 //
 //	POST   /v1/query       query one document or the whole corpus
-//	PUT    /v1/docs/{name} load (or replace) a document from an XML body
+//	POST   /v1/query/batch many queries in one round trip
+//	PUT    /v1/docs/{name} load (or replace) a document from an XML body;
+//	                       ?shards=K splits it into K parallel shards
 //	GET    /v1/docs/{name} inspect a loaded document
 //	DELETE /v1/docs/{name} evict a document
 //	GET    /v1/docs        list loaded documents
 //	GET    /v1/healthz     liveness probe
 //	GET    /v1/stats       corpus, cache and traffic counters
 //
-// Query results are cached in an LRU keyed by (corpus generation,
-// normalized request); any document mutation bumps the generation and
-// purges the cache, so clients never observe stale answers.
+// Query results are cached in a byte-bounded LRU keyed by (corpus
+// generation, normalized request); any document mutation bumps the
+// generation and purges the cache, so clients never observe stale
+// answers. Documents uploaded with ?shards=K are split into subtree
+// shards that queries fan out over in parallel while clients keep
+// addressing one logical name.
 package server
 
 import (
@@ -24,13 +29,17 @@ import (
 
 	"ncq"
 	"ncq/internal/cache"
+	"ncq/internal/shard"
 )
 
 const (
-	defaultCacheCapacity = 256
-	defaultMaxBody       = 32 << 20 // XML document uploads
-	maxQueryBody         = 1 << 20  // JSON query requests
-	maxDocNameLen        = 128
+	defaultCacheBytes = 64 << 20 // query result cache budget
+	defaultMaxBody    = 32 << 20 // XML document uploads
+	maxQueryBody      = 1 << 20  // JSON query requests
+	maxBatchBody      = 8 << 20  // JSON batch requests
+	maxBatchQueries   = 256      // queries per batch request
+	maxDocNameLen     = 128
+	maxShardsParam    = shard.MaxShards // cap on ?shards=K
 )
 
 // Server routes HTTP traffic onto a shared corpus. Create one with New
@@ -43,16 +52,17 @@ type Server struct {
 	mux     *http.ServeMux
 	started time.Time
 
-	queries   atomic.Uint64 // POST /v1/query requests that reached execution
+	queries   atomic.Uint64 // queries that reached execution (batch items included)
+	batches   atomic.Uint64 // POST /v1/query/batch requests accepted
 	mutations atomic.Uint64 // document PUT/DELETE that changed the corpus
 }
 
 // Option customises a Server.
 type Option func(*Server)
 
-// WithCacheCapacity sets how many query results are retained; 0
-// disables caching.
-func WithCacheCapacity(n int) Option {
+// WithCacheBytes bounds the query result cache by the approximate
+// encoded size of the retained results; 0 disables caching.
+func WithCacheBytes(n int64) Option {
 	return func(s *Server) { s.cache = cache.New(n) }
 }
 
@@ -72,7 +82,7 @@ func New(corpus *ncq.Corpus, opts ...Option) *Server {
 	}
 	s := &Server{
 		corpus:  corpus,
-		cache:   cache.New(defaultCacheCapacity),
+		cache:   cache.New(defaultCacheBytes),
 		maxBody: defaultMaxBody,
 		started: time.Now(),
 	}
@@ -81,6 +91,7 @@ func New(corpus *ncq.Corpus, opts ...Option) *Server {
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/query", s.handleQuery)
+	mux.HandleFunc("POST /v1/query/batch", s.handleBatch)
 	mux.HandleFunc("PUT /v1/docs/{name}", s.handlePutDoc)
 	mux.HandleFunc("GET /v1/docs/{name}", s.handleGetDoc)
 	mux.HandleFunc("DELETE /v1/docs/{name}", s.handleDeleteDoc)
@@ -136,10 +147,12 @@ type statsResponse struct {
 	UptimeSeconds float64     `json:"uptime_seconds"`
 	Generation    uint64      `json:"generation"`
 	Docs          int         `json:"docs"`
+	TotalShards   int         `json:"total_shards"`
 	TotalNodes    int         `json:"total_nodes"`
 	TotalTerms    int         `json:"total_terms"`
 	TotalMemBytes int         `json:"total_mem_bytes"`
 	Queries       uint64      `json:"queries"`
+	Batches       uint64      `json:"batches"`
 	Mutations     uint64      `json:"mutations"`
 	Cache         cache.Stats `json:"cache"`
 }
@@ -149,16 +162,17 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		UptimeSeconds: time.Since(s.started).Seconds(),
 		Generation:    s.corpus.Generation(),
 		Queries:       s.queries.Load(),
+		Batches:       s.batches.Load(),
 		Mutations:     s.mutations.Load(),
 		Cache:         s.cache.Stats(),
 	}
 	for _, name := range s.corpus.Names() {
-		db, ok := s.corpus.Get(name)
+		st, shards, ok := s.corpus.MemberStats(name)
 		if !ok {
-			continue // removed between Names and Get; skip
+			continue // removed between Names and MemberStats; skip
 		}
-		st := db.Stats()
 		resp.Docs++
+		resp.TotalShards += shards
 		resp.TotalNodes += st.Nodes
 		resp.TotalTerms += st.Terms
 		resp.TotalMemBytes += st.MemBytes

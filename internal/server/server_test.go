@@ -47,6 +47,25 @@ func decode[T any](t *testing.T, rec *httptest.ResponseRecorder) T {
 	return v
 }
 
+// The wire* types mirror the response envelopes with their raw result
+// payloads decoded into typed form, as a client would read them.
+type wireQueryResponse struct {
+	Cached     bool         `json:"cached"`
+	Generation uint64       `json:"generation"`
+	Result     *queryResult `json:"result"`
+}
+
+type wireBatchItem struct {
+	Cached bool         `json:"cached"`
+	Error  string       `json:"error"`
+	Result *queryResult `json:"result"`
+}
+
+type wireBatchResponse struct {
+	Generation uint64          `json:"generation"`
+	Results    []wireBatchItem `json:"results"`
+}
+
 func loadDocs(t *testing.T, s *Server) {
 	t.Helper()
 	for name, xml := range map[string]string{
@@ -167,7 +186,7 @@ func TestQueryTermsSingleDoc(t *testing.T) {
 	if rec.Code != http.StatusOK {
 		t.Fatalf("status = %d %s", rec.Code, rec.Body)
 	}
-	resp := decode[queryResponse](t, rec)
+	resp := decode[wireQueryResponse](t, rec)
 	if resp.Cached || resp.Result.Mode != "terms" {
 		t.Errorf("resp = %+v", resp)
 	}
@@ -184,7 +203,7 @@ func TestQueryTermsCorpus(t *testing.T) {
 	if rec.Code != http.StatusOK {
 		t.Fatalf("status = %d %s", rec.Code, rec.Body)
 	}
-	resp := decode[queryResponse](t, rec)
+	resp := decode[wireQueryResponse](t, rec)
 	// The same item is found under all three markups, each answer typed
 	// by its own instance.
 	tags := map[string]string{}
@@ -204,7 +223,7 @@ func TestQueryLanguageSingleDoc(t *testing.T) {
 	if rec.Code != http.StatusOK {
 		t.Fatalf("status = %d %s", rec.Code, rec.Body)
 	}
-	resp := decode[queryResponse](t, rec)
+	resp := decode[wireQueryResponse](t, rec)
 	if resp.Result.Mode != "query" || len(resp.Result.Answers) != 1 {
 		t.Fatalf("result = %+v", resp.Result)
 	}
@@ -222,7 +241,7 @@ func TestQueryLanguageCorpus(t *testing.T) {
 	if rec.Code != http.StatusOK {
 		t.Fatalf("status = %d %s", rec.Code, rec.Body)
 	}
-	resp := decode[queryResponse](t, rec)
+	resp := decode[wireQueryResponse](t, rec)
 	sources := map[string]bool{}
 	for _, a := range resp.Result.Answers {
 		sources[a.Source] = len(a.Rows) > 0
@@ -276,14 +295,14 @@ func TestQueryLimitTruncates(t *testing.T) {
 	s := newTestServer(t)
 	loadDocs(t, s)
 	rec := do(t, s, "POST", "/v1/query", `{"terms":["19"],"limit":1}`)
-	resp := decode[queryResponse](t, rec)
+	resp := decode[wireQueryResponse](t, rec)
 	if len(resp.Result.Meets) != 1 || !resp.Result.Truncated {
 		t.Errorf("result = %+v", resp.Result)
 	}
 	// Query-language limit caps total rows across answers.
 	rec = do(t, s, "POST", "/v1/query",
 		`{"query":"SELECT tag(e) FROM //cdata AS e","limit":2}`)
-	resp = decode[queryResponse](t, rec)
+	resp = decode[wireQueryResponse](t, rec)
 	total := 0
 	for _, a := range resp.Result.Answers {
 		total += len(a.Rows)
@@ -301,7 +320,7 @@ func TestQueryCacheHitAndHeader(t *testing.T) {
 	if h := rec.Header().Get("X-NCQ-Cache"); h != "miss" {
 		t.Errorf("first call cache header = %q", h)
 	}
-	if resp := decode[queryResponse](t, rec); resp.Cached {
+	if resp := decode[wireQueryResponse](t, rec); resp.Cached {
 		t.Error("first call reported cached")
 	}
 	// Same request modulo whitespace in formatting: a hit.
@@ -309,7 +328,7 @@ func TestQueryCacheHitAndHeader(t *testing.T) {
 	if h := rec.Header().Get("X-NCQ-Cache"); h != "hit" {
 		t.Errorf("second call cache header = %q", h)
 	}
-	resp := decode[queryResponse](t, rec)
+	resp := decode[wireQueryResponse](t, rec)
 	if !resp.Cached || len(resp.Result.Meets) != 3 {
 		t.Errorf("cached resp = %+v", resp.Result)
 	}
@@ -347,7 +366,7 @@ func TestMutationInvalidatesCache(t *testing.T) {
 	if rec.Header().Get("X-NCQ-Cache") != "miss" {
 		t.Error("cache served a stale result after PUT")
 	}
-	resp := decode[queryResponse](t, rec)
+	resp := decode[wireQueryResponse](t, rec)
 	if resp.Generation != 4 {
 		t.Errorf("generation = %d", resp.Generation)
 	}
@@ -373,7 +392,7 @@ func TestStats(t *testing.T) {
 }
 
 func TestCacheDisabled(t *testing.T) {
-	s := newTestServer(t, WithCacheCapacity(0))
+	s := newTestServer(t, WithCacheBytes(0))
 	loadDocs(t, s)
 	body := `{"terms":["Bit"]}`
 	do(t, s, "POST", "/v1/query", body)

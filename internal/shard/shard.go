@@ -1,0 +1,112 @@
+// Package shard splits one large XML document into several smaller
+// ones so that a nearest concept query — whose cost is dominated by
+// the per-document full-text scan (Figure 6 of the paper) — can fan
+// out over the shards in parallel instead of serialising behind one
+// tree.
+//
+// The split happens at the top-level children of the root: each shard
+// is a new document with the same root element (label and attributes
+// preserved) holding a contiguous run of the original root's children.
+// Splitting anywhere deeper would move nodes away from their ancestor
+// chain and change meet results; at the top level the only concepts a
+// shard cannot represent are meets at the document root itself, which
+// large-corpus queries exclude anyway (the paper's ExcludeRoot, used
+// throughout its DBLP case study). Contiguity preserves document order
+// inside every shard, so per-shard answers and OIDs stay meaningful.
+//
+// Shards are balanced by node count with a greedy contiguous
+// partition: each shard takes children until it reaches its fair share
+// of the nodes still unassigned. A single oversized subtree therefore
+// becomes a shard of its own rather than dragging neighbours along.
+package shard
+
+import (
+	"ncq/internal/xmltree"
+)
+
+// MaxShards bounds how many shards one document may be split into;
+// beyond this the per-shard bookkeeping outweighs any fan-out win.
+const MaxShards = 64
+
+// Split partitions doc into at most k shards at the top-level children
+// of the root. It returns freshly built documents — doc itself is
+// never modified, and the shards share no nodes with it. The result
+// has fewer than k shards when the root has fewer than k children; a
+// document whose root has at most one child (or k <= 1) yields a
+// single shard that is a structural copy of doc.
+func Split(doc *xmltree.Document, k int) []*xmltree.Document {
+	children := doc.Root.Children
+	if k > MaxShards {
+		k = MaxShards
+	}
+	if k <= 1 || len(children) <= 1 {
+		return []*xmltree.Document{clone(doc.Root, children)}
+	}
+	if k > len(children) {
+		k = len(children)
+	}
+
+	// Subtree weights from the preorder intervals: O(1) per child.
+	weights := make([]int, len(children))
+	remaining := 0
+	for i, c := range children {
+		weights[i] = int(c.End-c.OID) + 1
+		remaining += weights[i]
+	}
+
+	var shards []*xmltree.Document
+	i := 0
+	for j := 0; j < k && i < len(children); j++ {
+		left := k - j // shards still to fill, this one included
+		target := (remaining + left - 1) / left
+		load := weights[i]
+		start := i
+		i++
+		// Keep taking children while staying within the fair share,
+		// but always leave at least one child per remaining shard.
+		for i < len(children)-(left-1) && load+weights[i] <= target {
+			load += weights[i]
+			i++
+		}
+		if j == k-1 { // the last shard takes everything left
+			i = len(children)
+		}
+		remaining -= load
+		shards = append(shards, clone(doc.Root, children[start:i]))
+	}
+	return shards
+}
+
+// clone builds a new document with root's label and attributes whose
+// children are deep copies of the given subtrees.
+func clone(root *xmltree.Node, children []*xmltree.Node) *xmltree.Document {
+	b := xmltree.NewBuilder(root.Label)
+	if len(root.Attrs) > 0 {
+		b.Root().Attrs = append([]xmltree.Attr(nil), root.Attrs...)
+	}
+	for _, c := range children {
+		copyInto(b, b.Root(), c)
+	}
+	d, err := b.Done()
+	if err != nil {
+		// The source document already passed the builder's invariants;
+		// a copy of it cannot violate them.
+		panic(err)
+	}
+	return d
+}
+
+func copyInto(b *xmltree.Builder, parent *xmltree.Node, n *xmltree.Node) {
+	if n.Kind == xmltree.CData {
+		b.Text(parent, n.Text)
+		return
+	}
+	var attrs []xmltree.Attr
+	if len(n.Attrs) > 0 {
+		attrs = append(attrs, n.Attrs...)
+	}
+	el := b.Element(parent, n.Label, attrs...)
+	for _, c := range n.Children {
+		copyInto(b, el, c)
+	}
+}

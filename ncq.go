@@ -53,11 +53,21 @@ type Database struct {
 
 // Open parses an XML document from r and loads it.
 func Open(r io.Reader) (*Database, error) {
+	doc, err := ParseDocument(r)
+	if err != nil {
+		return nil, err
+	}
+	return FromDocument(doc)
+}
+
+// ParseDocument parses an XML document from r without loading it into
+// a database — the form Corpus.AddSharded and FromDocument consume.
+func ParseDocument(r io.Reader) (*xmltree.Document, error) {
 	doc, err := xmltree.Parse(r)
 	if err != nil {
 		return nil, fmt.Errorf("ncq: %w", err)
 	}
-	return FromDocument(doc)
+	return doc, nil
 }
 
 // OpenString is Open on a string.

@@ -1,0 +1,125 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestParseLine(t *testing.T) {
+	cases := []struct {
+		line string
+		name string
+		ns   float64
+		ok   bool
+	}{
+		{"BenchmarkServerQuery/cold-4         	     100	   1104213 ns/op", "BenchmarkServerQuery/cold-4", 1104213, true},
+		{"BenchmarkSnapshotSave-4   10  9.5 ns/op  120 MB/s", "BenchmarkSnapshotSave-4", 9.5, true},
+		{"BenchmarkFig7CaseStudy/yearLow=1999-4  3  2000 ns/op  42 results", "BenchmarkFig7CaseStudy/yearLow=1999-4", 2000, true},
+		{"PASS", "", 0, false},
+		{"ok  	ncq	0.6s", "", 0, false},
+		{"goos: linux", "", 0, false},
+	}
+	for _, c := range cases {
+		name, ns, ok := parseLine(c.line)
+		if name != c.name || ns != c.ns || ok != c.ok {
+			t.Errorf("parseLine(%q) = (%q, %v, %t), want (%q, %v, %t)",
+				c.line, name, ns, ok, c.name, c.ns, c.ok)
+		}
+	}
+}
+
+func TestGated(t *testing.T) {
+	prefixes := []string{"BenchmarkServerQuery", "BenchmarkCorpusMeetParallel"}
+	for name, want := range map[string]bool{
+		"BenchmarkServerQuery/cold-4":             true,
+		"BenchmarkServerQuery-16":                 true,
+		"BenchmarkCorpusMeetParallel/workers=1-4": true,
+		"BenchmarkBatchQuery/batch/cold-4":        false,
+		"BenchmarkServerQueryExtra-4":             false,
+	} {
+		if got := gated(name, prefixes); got != want {
+			t.Errorf("gated(%q) = %t", name, got)
+		}
+	}
+	if !gated("BenchmarkAnything-4", nil) {
+		t.Error("empty prefix list must gate everything")
+	}
+}
+
+func TestCompareGate(t *testing.T) {
+	base := map[string][]float64{
+		"BenchmarkServerQuery/cold-4": {100, 110, 105},
+		"BenchmarkBatchQuery/cold-4":  {100, 100, 100},
+		"BenchmarkOnlyInBase-4":       {1},
+	}
+	// Within threshold: +10% on the gated benchmark.
+	head := map[string][]float64{
+		"BenchmarkServerQuery/cold-4": {115, 116, 114},
+		"BenchmarkBatchQuery/cold-4":  {900}, // ungated: may regress freely
+		"BenchmarkOnlyInHead-4":       {1},
+	}
+	report, failed := compare(base, head, 20, []string{"BenchmarkServerQuery"})
+	if failed {
+		t.Fatalf("+10%% failed the 20%% gate:\n%s", report)
+	}
+	if !strings.Contains(report, "missing from head") || !strings.Contains(report, "new in head") {
+		t.Errorf("report lacks presence notes:\n%s", report)
+	}
+
+	// Beyond threshold fails.
+	head["BenchmarkServerQuery/cold-4"] = []float64{140, 141, 139}
+	report, failed = compare(base, head, 20, []string{"BenchmarkServerQuery"})
+	if !failed {
+		t.Fatalf("+33%% passed the 20%% gate:\n%s", report)
+	}
+	if !strings.Contains(report, "FAIL") {
+		t.Errorf("failing report lacks FAIL line:\n%s", report)
+	}
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, content string) string {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	base := write("base.txt", `
+goos: linux
+BenchmarkServerQuery/cold-4   100  1000 ns/op
+BenchmarkServerQuery/cold-4   100  1020 ns/op
+BenchmarkOther-4              100  500 ns/op
+PASS
+`)
+	good := write("good.txt", `
+BenchmarkServerQuery/cold-4   100  1100 ns/op
+BenchmarkServerQuery/cold-4   100  1090 ns/op
+BenchmarkOther-4              100  5000 ns/op
+`)
+	bad := write("bad.txt", `
+BenchmarkServerQuery/cold-4   100  2000 ns/op
+BenchmarkServerQuery/cold-4   100  2100 ns/op
+`)
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer devnull.Close()
+	gate := []string{"-gate", "BenchmarkServerQuery", "-threshold", "20"}
+	if code := run(append(gate, base, good), devnull, devnull); code != 0 {
+		t.Errorf("good head: exit %d", code)
+	}
+	if code := run(append(gate, base, bad), devnull, devnull); code != 1 {
+		t.Errorf("bad head: exit %d", code)
+	}
+	if code := run([]string{base}, devnull, devnull); code != 2 {
+		t.Errorf("missing arg: exit %d", code)
+	}
+	if code := run(append(gate, filepath.Join(dir, "absent.txt"), good), devnull, devnull); code != 2 {
+		t.Errorf("absent file: exit %d", code)
+	}
+}
