@@ -9,6 +9,7 @@ package ncq_test
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"net/http"
 	"net/http/httptest"
@@ -511,6 +512,75 @@ func BenchmarkBatchQuery(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkRunStream measures the unified execution API over a corpus:
+// the full ranked stream versus a pushed-down limit that materialises
+// only the head of the answer set.
+func BenchmarkRunStream(b *testing.B) {
+	c := benchCorpus(b, 4)
+	ctx := context.Background()
+	req := ncq.Request{Terms: []string{"ICDE", "1999"}, Options: ncq.ExcludeRoot()}
+	b.Run("all", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			n := 0
+			if err := c.RunStream(ctx, req, func(ncq.CorpusMeet) bool { n++; return true }); err != nil {
+				b.Fatal(err)
+			}
+			if n == 0 {
+				b.Fatal("no meets")
+			}
+		}
+	})
+	limited := req
+	limited.Limit = 5
+	b.Run("limit=5", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			n := 0
+			if err := c.RunStream(ctx, limited, func(ncq.CorpusMeet) bool { n++; return true }); err != nil {
+				b.Fatal(err)
+			}
+			if n != 5 {
+				b.Fatalf("streamed %d meets", n)
+			}
+		}
+	})
+}
+
+// BenchmarkQueryV2 measures the unified HTTP endpoint: JSON decode,
+// canonical cache key, corpus run with pushed-down limit, JSON encode.
+// The cold series disables the cache; the cached series must be served
+// entirely from the LRU (verified per request).
+func BenchmarkQueryV2(b *testing.B) {
+	corpus := benchCorpus(b, 4)
+	body := []byte(`{"terms":["ICDE","1999"],"exclude_root":true,"limit":8}`)
+	post := func(b *testing.B, h http.Handler) string {
+		req := httptest.NewRequest("POST", "/v2/query", bytes.NewReader(body))
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK {
+			b.Fatalf("status %d: %s", rec.Code, rec.Body)
+		}
+		return rec.Header().Get("X-NCQ-Cache")
+	}
+	b.Run("cold", func(b *testing.B) {
+		h := server.New(corpus, server.WithCacheBytes(0)).Handler()
+		for i := 0; i < b.N; i++ {
+			if post(b, h) != "miss" {
+				b.Fatal("cold request hit the cache")
+			}
+		}
+	})
+	b.Run("cached", func(b *testing.B) {
+		h := server.New(corpus).Handler()
+		post(b, h) // warm the cache
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if post(b, h) != "hit" {
+				b.Fatal("cached request missed")
+			}
+		}
+	})
 }
 
 // BenchmarkQueryParseOnly isolates the query compiler.

@@ -20,10 +20,12 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strings"
 
 	"ncq"
@@ -70,8 +72,14 @@ func run(argv []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "ncq: snapshot written to %s\n", *saveSnap)
 	}
 
+	// Queries run through the unified Run API under a signal-aware
+	// context, so an interrupt cancels a long meet instead of killing
+	// the process mid-write.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	cmd, rest := args[0], args[1:]
-	if err := dispatch(db, cmd, rest, meetFlags{*excludeRoot, *within, *show}, stdin, stdout); err != nil {
+	if err := dispatch(ctx, db, cmd, rest, meetFlags{*excludeRoot, *within, *show}, stdin, stdout); err != nil {
 		fmt.Fprintf(stderr, "ncq: %v\n", err)
 		return 1
 	}
@@ -124,7 +132,7 @@ func (mf meetFlags) options() *ncq.Options {
 	return opt
 }
 
-func dispatch(db *ncq.Database, cmd string, rest []string, mf meetFlags, stdin io.Reader, stdout io.Writer) error {
+func dispatch(ctx context.Context, db *ncq.Database, cmd string, rest []string, mf meetFlags, stdin io.Reader, stdout io.Writer) error {
 	switch cmd {
 	case "stats":
 		st := db.Stats()
@@ -165,13 +173,12 @@ func dispatch(db *ncq.Database, cmd string, rest []string, mf meetFlags, stdin i
 		if len(rest) < 1 {
 			return fmt.Errorf("meet needs at least one term")
 		}
-		meets, unmatched, err := db.MeetOfTerms(mf.options(), rest...)
+		res, err := db.Run(ctx, ncq.Request{Terms: rest, Options: mf.options()})
 		if err != nil {
 			return err
 		}
-		ncq.RankMeets(meets)
-		fmt.Fprintf(stdout, "%d nearest concept(s), %d unmatched input(s)\n", len(meets), len(unmatched))
-		for _, m := range meets {
+		fmt.Fprintf(stdout, "%d nearest concept(s), %d unmatched input(s)\n", len(res.Meets), res.Unmatched)
+		for _, m := range res.Meets {
 			fmt.Fprintf(stdout, "  <%s> node %d  distance %d  witnesses %v  (%s)\n",
 				m.Tag, m.Node, m.Distance, m.Witnesses, m.Path)
 			if mf.show {
@@ -185,11 +192,11 @@ func dispatch(db *ncq.Database, cmd string, rest []string, mf meetFlags, stdin i
 		if len(rest) != 1 {
 			return fmt.Errorf("query needs exactly one SQL argument")
 		}
-		ans, err := db.Query(rest[0])
+		res, err := db.Run(ctx, ncq.Request{Query: rest[0]})
 		if err != nil {
 			return err
 		}
-		fmt.Fprintln(stdout, ans.XML())
+		fmt.Fprintln(stdout, res.Answers[0].Answer.XML())
 		return nil
 	case "repl":
 		repl(db, mf, stdin, stdout)

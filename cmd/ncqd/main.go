@@ -9,6 +9,11 @@
 //
 // Endpoints:
 //
+//	POST   /v2/query       the unified endpoint: {"doc":...,"terms":[...],
+//	                       "limit":N,"cursor":...,"timeout_ms":N} or
+//	                       {"batch":[{...},{...}]} — single doc, whole corpus
+//	                       and batches in one schema, with cursor pagination
+//	                       and per-request deadlines
 //	POST   /v1/query       {"terms":["Bit","1999"],"exclude_root":true}
 //	                       or {"doc":"bib","query":"SELECT meet(e1,e2) FROM ..."}
 //	POST   /v1/query/batch {"queries":[{...},{...}]} — many queries, one round trip
@@ -56,6 +61,7 @@ func run(argv []string, stderr io.Writer, ready chan<- string) int {
 	var (
 		addr       = fs.String("addr", ":8334", "listen address")
 		cacheBytes = fs.Int64("cache-bytes", 64<<20, "query result cache budget in bytes (0 disables)")
+		cacheTTL   = fs.Duration("cache-ttl", 0, "query result cache TTL (0 = entries never expire by age)")
 		maxBody    = fs.Int64("max-body", 32<<20, "maximum document upload size in bytes")
 		workers    = fs.Int("workers", 0, "corpus query fan-out width (0 = GOMAXPROCS)")
 		load       = fs.String("load", "", "glob of XML files to preload")
@@ -66,7 +72,11 @@ func run(argv []string, stderr io.Writer, ready chan<- string) int {
 		return 2
 	}
 	if fs.NArg() != 0 {
-		fmt.Fprintln(stderr, "usage: ncqd [-addr :8334] [-cache-bytes N] [-max-body N] [-workers N] [-load GLOB] [-shards K]")
+		fmt.Fprintln(stderr, "usage: ncqd [-addr :8334] [-cache-bytes N] [-cache-ttl D] [-max-body N] [-workers N] [-load GLOB] [-shards K]")
+		return 2
+	}
+	if *cacheTTL < 0 {
+		fmt.Fprintln(stderr, "ncqd: -cache-ttl must be non-negative")
 		return 2
 	}
 	if *shards < 0 || *shards > shard.MaxShards {
@@ -87,6 +97,7 @@ func run(argv []string, stderr io.Writer, ready chan<- string) int {
 
 	srv := server.New(corpus,
 		server.WithCacheBytes(*cacheBytes),
+		server.WithCacheTTL(*cacheTTL),
 		server.WithMaxBody(*maxBody))
 	httpSrv := &http.Server{
 		Addr:              *addr,

@@ -1,13 +1,13 @@
 package ncq
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
 	"sort"
 	"sync"
 
-	"ncq/internal/query"
 	"ncq/internal/shard"
 	"ncq/internal/xmltree"
 )
@@ -97,7 +97,7 @@ func (c *Corpus) AddSharded(name string, doc *xmltree.Document, k int) (dbs []*D
 	// Shard loading is CPU-bound (Monet transform + index build); use
 	// the machine, not the corpus fan-out width, which may be tuned
 	// down for query latency.
-	err = forEachDoc(len(parts), runtime.GOMAXPROCS(0), func(i int) error {
+	err = forEachDoc(context.Background(), len(parts), runtime.GOMAXPROCS(0), func(i int) error {
 		db, err := FromDocument(parts[i])
 		if err != nil {
 			return fmt.Errorf("ncq: corpus %q shard %d: %w", name, i, err)
@@ -329,13 +329,23 @@ func (c *Corpus) memberOf(name string) (members []member, workers int, found boo
 }
 
 // forEachDoc runs fn(i) for every document index with at most workers
-// goroutines in flight and returns the first error (by document order).
-func forEachDoc(n, workers int, fn func(i int) error) error {
+// goroutines in flight and returns the first error (by document
+// order). When ctx is cancelled, dispatch stops, in-flight workers are
+// drained (no goroutine outlives the call) and the context's error is
+// returned — this is how cancellation and deadlines propagate through
+// every shard/member fan-out.
+func forEachDoc(ctx context.Context, n, workers int, fn func(i int) error) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	if workers > n {
 		workers = n
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			if err := fn(i); err != nil {
 				return err
 			}
@@ -350,15 +360,26 @@ func forEachDoc(n, workers int, fn func(i int) error) error {
 		go func() {
 			defer wg.Done()
 			for i := range next {
+				if ctx.Err() != nil {
+					return
+				}
 				errs[i] = fn(i)
 			}
 		}()
 	}
+dispatch:
 	for i := 0; i < n; i++ {
-		next <- i
+		select {
+		case next <- i:
+		case <-ctx.Done():
+			break dispatch
+		}
 	}
 	close(next)
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	for _, err := range errs {
 		if err != nil {
 			return err
@@ -374,75 +395,41 @@ type CorpusMeet struct {
 	Meet
 }
 
-// rankCorpusMeets orders answers by ascending distance — the paper's
-// join-count ranking — breaking ties by source name, shard, then
-// document order, so merged shard answers are deterministic.
-func rankCorpusMeets(meets []CorpusMeet) []CorpusMeet {
-	sort.SliceStable(meets, func(i, j int) bool {
-		if meets[i].Distance != meets[j].Distance {
-			return meets[i].Distance < meets[j].Distance
-		}
-		if meets[i].Source != meets[j].Source {
-			return meets[i].Source < meets[j].Source
-		}
-		if meets[i].Shard != meets[j].Shard {
-			return meets[i].Shard < meets[j].Shard
-		}
-		return meets[i].Node < meets[j].Node
-	})
-	return meets
-}
-
-// meetMembers fans the term meet over the given members and merges the
-// ranked answers. It also returns the total number of unmatched inputs.
-func meetMembers(members []member, workers int, opt *Options, terms []string) ([]CorpusMeet, int, error) {
-	perDoc := make([][]Meet, len(members))
-	unmatched := make([]int, len(members))
-	err := forEachDoc(len(members), workers, func(i int) error {
-		meets, un, err := members[i].db.MeetOfTerms(opt, terms...)
-		if err != nil {
-			return fmt.Errorf("ncq: corpus %q: %w", members[i].name, err)
-		}
-		perDoc[i] = meets
-		unmatched[i] = len(un)
-		return nil
-	})
-	if err != nil {
-		return nil, 0, err
-	}
-	var out []CorpusMeet
-	var totalUnmatched int
-	for i, meets := range perDoc {
-		totalUnmatched += unmatched[i]
-		for _, m := range meets {
-			out = append(out, CorpusMeet{Source: members[i].name, Shard: members[i].shard, Meet: m})
-		}
-	}
-	return rankCorpusMeets(out), totalUnmatched, nil
-}
-
 // MeetOfTerms runs the nearest-concept query against every member and
 // returns all answers, ranked by distance (ties by source name, shard,
 // then document order). Documents in which the terms do not meet
 // simply contribute nothing. Members — including the individual shards
 // of sharded members — are searched concurrently, bounded by
-// SetParallelism.
+// SetParallelism. It is a wrapper over Run; use Run directly for
+// cancellation, deadlines, limits and pagination.
 func (c *Corpus) MeetOfTerms(opt *Options, terms ...string) ([]CorpusMeet, error) {
-	members, workers := c.snapshot()
-	meets, _, err := meetMembers(members, workers, opt, terms)
-	return meets, err
+	if len(terms) == 0 {
+		return nil, nil
+	}
+	res, err := c.Run(context.Background(), Request{Terms: terms, Options: opt})
+	if err != nil {
+		return nil, err
+	}
+	return res.Meets, nil
 }
 
 // MeetOfTermsIn runs the term meet against the named member only,
 // fanning out over its shards when it is sharded, and returns the
 // merged ranked answers plus the number of inputs that found no
 // partner. The error wraps ErrUnknownDoc when name is not registered.
+// It is a wrapper over Run.
 func (c *Corpus) MeetOfTermsIn(name string, opt *Options, terms ...string) ([]CorpusMeet, int, error) {
-	members, workers, found := c.memberOf(name)
-	if !found {
-		return nil, 0, fmt.Errorf("ncq: corpus: %w %q", ErrUnknownDoc, name)
+	if len(terms) == 0 {
+		if !c.Has(name) {
+			return nil, 0, fmt.Errorf("ncq: corpus: %w %q", ErrUnknownDoc, name)
+		}
+		return nil, 0, nil
 	}
-	return meetMembers(members, workers, opt, terms)
+	res, err := c.Run(context.Background(), Request{Doc: name, Terms: terms, Options: opt})
+	if err != nil {
+		return nil, 0, err
+	}
+	return res.Meets, res.Unmatched, nil
 }
 
 // CorpusAnswer is one member's answer to a corpus-wide query. For
@@ -450,37 +437,6 @@ func (c *Corpus) MeetOfTermsIn(name string, opt *Options, terms ...string) ([]Co
 type CorpusAnswer struct {
 	Source string  `json:"source"`
 	Answer *Answer `json:"answer"`
-}
-
-// evalMembers evaluates a parsed query over the given members and
-// returns one merged answer per logical name, in membership order,
-// omitting members whose answer has no rows.
-func evalMembers(members []member, workers int, q *query.Query) ([]CorpusAnswer, error) {
-	answers := make([]*Answer, len(members))
-	err := forEachDoc(len(members), workers, func(i int) error {
-		ans, err := members[i].db.engine.Eval(q)
-		if err != nil {
-			return fmt.Errorf("ncq: corpus %q: %w", members[i].name, err)
-		}
-		answers[i] = ans
-		return nil
-	})
-	if err != nil {
-		return nil, err
-	}
-	var out []CorpusAnswer
-	for i := 0; i < len(members); {
-		j := i + 1
-		for j < len(members) && members[j].name == members[i].name {
-			j++
-		}
-		merged := mergeAnswers(answers[i:j])
-		if merged != nil && len(merged.Rows) > 0 {
-			out = append(out, CorpusAnswer{Source: members[i].name, Answer: merged})
-		}
-		i = j
-	}
-	return out, nil
 }
 
 // mergeAnswers combines the per-shard answers of one logical member:
@@ -514,40 +470,24 @@ func mergeAnswers(answers []*Answer) *Answer {
 // sharded member merged into one ranked answer. Members whose answer
 // has no rows are omitted — with nearest concept queries the
 // interesting outcome is where the terms meet, not where they do not.
+// It is a wrapper over Run.
 func (c *Corpus) Query(src string) ([]CorpusAnswer, error) {
-	q, err := query.Parse(src)
+	res, err := c.Run(context.Background(), Request{Query: src})
 	if err != nil {
 		return nil, err
 	}
-	members, workers := c.snapshot()
-	return evalMembers(members, workers, q)
+	return res.Answers, nil
 }
 
 // QueryIn evaluates a query against the named member only, merging
 // shard answers into one. Unlike the corpus-wide Query it returns the
 // answer even when it has no rows. For sharded members the merged
 // rows' OIDs are shard-local (see mergeAnswers). The error wraps
-// ErrUnknownDoc when name is not registered.
+// ErrUnknownDoc when name is not registered. It is a wrapper over Run.
 func (c *Corpus) QueryIn(name, src string) (*Answer, error) {
-	q, err := query.Parse(src)
+	res, err := c.Run(context.Background(), Request{Doc: name, Query: src})
 	if err != nil {
 		return nil, err
 	}
-	members, workers, found := c.memberOf(name)
-	if !found {
-		return nil, fmt.Errorf("ncq: corpus: %w %q", ErrUnknownDoc, name)
-	}
-	answers := make([]*Answer, len(members))
-	err = forEachDoc(len(members), workers, func(i int) error {
-		ans, err := members[i].db.engine.Eval(q)
-		if err != nil {
-			return fmt.Errorf("ncq: corpus %q: %w", name, err)
-		}
-		answers[i] = ans
-		return nil
-	})
-	if err != nil {
-		return nil, err
-	}
-	return mergeAnswers(answers), nil
+	return res.Answers[0].Answer, nil
 }

@@ -1,6 +1,7 @@
 package ncq_test
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -25,6 +26,28 @@ func ExampleDatabase_MeetOfTerms() {
 		log.Fatal(err)
 	}
 	for _, m := range meets {
+		fmt.Printf("<%s> at distance %d\n", m.Tag, m.Distance)
+	}
+	// Output:
+	// <article> at distance 5
+}
+
+// The unified execution API: one Request in, one Result out — the same
+// surface a Corpus and the ncqd server speak — with context
+// cancellation, pushed-down limits and cursor pagination.
+func ExampleQuerier_Run() {
+	db, err := ncq.OpenString(bib)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := db.Run(context.Background(), ncq.Request{
+		Terms: []string{"Bit", "1999"},
+		Limit: 1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, m := range res.Meets {
 		fmt.Printf("<%s> at distance %d\n", m.Tag, m.Distance)
 	}
 	// Output:

@@ -15,11 +15,18 @@
 // from the cold end until the total charged size fits the budget. One
 // huge result therefore displaces many small ones instead of hiding
 // behind an entry count.
+//
+// An optional TTL (WithTTL) additionally expires entries by age:
+// lookups past an entry's deadline miss and drop the entry. The
+// generation key already rules out stale results, so the TTL is an
+// admission-control knob — it caps how long a rarely-hit result may
+// occupy budget on a corpus that never mutates.
 package cache
 
 import (
 	"container/list"
 	"sync"
+	"time"
 )
 
 // Key identifies one cached result.
@@ -35,19 +42,21 @@ const entryOverhead = 128
 
 // Stats is a point-in-time snapshot of cache effectiveness counters.
 type Stats struct {
-	Entries   int    `json:"entries"`
-	Bytes     int64  `json:"bytes"`     // charged size of all entries
-	CapBytes  int64  `json:"cap_bytes"` // byte budget; 0 = disabled
-	Hits      uint64 `json:"hits"`
-	Misses    uint64 `json:"misses"`
-	Evictions uint64 `json:"evictions"`
-	Purges    uint64 `json:"purges"` // entries dropped by Purge
+	Entries     int    `json:"entries"`
+	Bytes       int64  `json:"bytes"`     // charged size of all entries
+	CapBytes    int64  `json:"cap_bytes"` // byte budget; 0 = disabled
+	Hits        uint64 `json:"hits"`
+	Misses      uint64 `json:"misses"`
+	Evictions   uint64 `json:"evictions"`
+	Expirations uint64 `json:"expirations"` // entries dropped past their TTL
+	Purges      uint64 `json:"purges"`      // entries dropped by Purge
 }
 
 type entry struct {
-	key  Key
-	val  any
-	size int64 // charged bytes, overhead included
+	key     Key
+	val     any
+	size    int64     // charged bytes, overhead included
+	expires time.Time // zero = never
 }
 
 // LRU is a byte-bounded least-recently-used cache, safe for concurrent
@@ -57,21 +66,51 @@ type LRU struct {
 	mu       sync.Mutex
 	capBytes int64
 	bytes    int64
-	ll       *list.List // front = most recently used
+	ttl      time.Duration    // 0 = entries never expire
+	now      func() time.Time // injectable for tests
+	ll       *list.List       // front = most recently used
 	items    map[Key]*list.Element
 	stats    Stats
 }
 
+// Option customises an LRU.
+type Option func(*LRU)
+
+// WithTTL expires entries d after insertion; d <= 0 (the default)
+// means entries never expire by age.
+func WithTTL(d time.Duration) Option {
+	return func(c *LRU) {
+		if d > 0 {
+			c.ttl = d
+		}
+	}
+}
+
+// WithClock injects the time source used for TTL bookkeeping — tests
+// substitute a manual clock to make expiry deterministic.
+func WithClock(now func() time.Time) Option {
+	return func(c *LRU) {
+		if now != nil {
+			c.now = now
+		}
+	}
+}
+
 // New returns an LRU holding at most maxBytes of charged entry size.
-func New(maxBytes int64) *LRU {
+func New(maxBytes int64, opts ...Option) *LRU {
 	if maxBytes < 0 {
 		maxBytes = 0
 	}
-	return &LRU{
+	c := &LRU{
 		capBytes: maxBytes,
+		now:      time.Now,
 		ll:       list.New(),
 		items:    make(map[Key]*list.Element),
 	}
+	for _, opt := range opts {
+		opt(c)
+	}
+	return c
 }
 
 // charge returns the bytes an entry of the given value size costs.
@@ -82,7 +121,9 @@ func charge(k Key, size int) int64 {
 	return int64(size) + int64(len(k.Query)) + entryOverhead
 }
 
-// Get returns the value cached under k and marks it most recently used.
+// Get returns the value cached under k and marks it most recently
+// used. An entry past its TTL deadline counts as a miss and is dropped
+// on the spot.
 func (c *LRU) Get(k Key) (any, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -91,9 +132,18 @@ func (c *LRU) Get(k Key) (any, bool) {
 		c.stats.Misses++
 		return nil, false
 	}
+	e := el.Value.(*entry)
+	if !e.expires.IsZero() && !c.now().Before(e.expires) {
+		c.ll.Remove(el)
+		delete(c.items, e.key)
+		c.bytes -= e.size
+		c.stats.Expirations++
+		c.stats.Misses++
+		return nil, false
+	}
 	c.stats.Hits++
 	c.ll.MoveToFront(el)
-	return el.Value.(*entry).val, true
+	return e.val, true
 }
 
 // Put caches v under k, charging size bytes for it (the caller's
@@ -111,13 +161,17 @@ func (c *LRU) Put(k Key, v any, size int) {
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	var expires time.Time
+	if c.ttl > 0 {
+		expires = c.now().Add(c.ttl)
+	}
 	if el, ok := c.items[k]; ok {
 		e := el.Value.(*entry)
 		c.bytes += sz - e.size
-		e.val, e.size = v, sz
+		e.val, e.size, e.expires = v, sz, expires
 		c.ll.MoveToFront(el)
 	} else {
-		c.items[k] = c.ll.PushFront(&entry{key: k, val: v, size: sz})
+		c.items[k] = c.ll.PushFront(&entry{key: k, val: v, size: sz, expires: expires})
 		c.bytes += sz
 	}
 	for c.bytes > c.capBytes {

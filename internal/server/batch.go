@@ -5,9 +5,8 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
-	"sync"
 
-	"ncq/internal/cache"
+	"ncq"
 )
 
 // batchRequest is the POST /v1/query/batch body: up to maxBatchQueries
@@ -31,17 +30,6 @@ type batchItem struct {
 type batchResponse struct {
 	Generation uint64      `json:"generation"`
 	Results    []batchItem `json:"results"`
-}
-
-// batchUnit is one distinct piece of work of a batch: duplicate
-// queries in a request collapse onto a single unit, so each distinct
-// query is resolved through the cache — and executed — exactly once.
-type batchUnit struct {
-	req    *queryRequest
-	key    cache.Key
-	raw    json.RawMessage
-	cached bool
-	err    error
 }
 
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
@@ -74,9 +62,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	// against — and cached under — a single consistent corpus view.
 	gen := s.corpus.Generation()
 	items := make([]batchItem, len(req.Queries))
-	assigned := make([]*batchUnit, len(req.Queries))
-	byKey := make(map[string]*batchUnit)
-	var units []*batchUnit
+	reqs := make([]*ncq.Request, len(req.Queries))
 	for i := range req.Queries {
 		q := &req.Queries[i]
 		if err := q.validate(); err != nil {
@@ -88,69 +74,12 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			continue
 		}
 		s.queries.Add(1)
-		norm := q.normalize()
-		u, ok := byKey[norm]
-		if !ok {
-			u = &batchUnit{req: q, key: cache.Key{Gen: gen, Query: norm}}
-			byKey[norm] = u
-			units = append(units, u)
-		}
-		assigned[i] = u
+		unitReq := q.toRequest()
+		reqs[i] = &unitReq
 	}
 
-	// Execute the distinct units over a bounded worker pool sized like
-	// the corpus fan-out. Each unit resolves through the cache
-	// individually, so a batch repeating yesterday's queries is pure
-	// cache traffic. A unit's own execution may fan out again (corpus-
-	// wide or sharded queries), briefly oversubscribing the CPU up to
-	// workers²; that is deliberate — the scheduler stays work-
-	// conserving, and the outer pool is what parallelises the units
-	// whose inner execution is serial (cache hits, plain single-doc
-	// queries).
-	workers := s.corpus.Parallelism()
-	if workers > len(units) {
-		workers = len(units)
-	}
-	runUnit := func(u *batchUnit) {
-		if v, ok := s.cache.Get(u.key); ok {
-			u.raw, u.cached = v.(json.RawMessage), true
-			return
-		}
-		res, err := s.execute(u.req)
-		if err != nil {
-			u.err = err
-			return
-		}
-		raw, err := encodeResult(res)
-		if err != nil {
-			u.err = err
-			return
-		}
-		s.cache.Put(u.key, raw, len(raw))
-		u.raw = raw
-	}
-	if workers <= 1 {
-		for _, u := range units {
-			runUnit(u)
-		}
-	} else {
-		next := make(chan *batchUnit)
-		var wg sync.WaitGroup
-		for w := 0; w < workers; w++ {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				for u := range next {
-					runUnit(u)
-				}
-			}()
-		}
-		for _, u := range units {
-			next <- u
-		}
-		close(next)
-		wg.Wait()
-	}
+	assigned, units := collectUnits(reqs)
+	s.runUnits(r.Context(), gen, units)
 
 	for i, u := range assigned {
 		if u == nil {
@@ -160,7 +89,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			items[i] = batchItem{Error: u.err.Error()}
 			continue
 		}
-		items[i] = batchItem{Cached: u.cached, Result: u.raw}
+		items[i] = batchItem{Cached: u.cached, Result: u.out.raw}
 	}
 	writeJSON(w, http.StatusOK, batchResponse{Generation: gen, Results: items})
 }

@@ -1,15 +1,12 @@
 package server
 
 import (
+	"encoding/json"
 	"errors"
-	"fmt"
 	"net/http"
 	"strings"
 
-	"encoding/json"
-
 	"ncq"
-	"ncq/internal/cache"
 )
 
 // queryRequest is the POST /v1/query body (and one element of a batch
@@ -78,14 +75,19 @@ func (q *queryRequest) options() *ncq.Options {
 	return opt
 }
 
-// normalize renders the request as a canonical cache-key string:
-// equivalent requests (modulo query whitespace) map to the same key,
-// and %q quoting keeps user strings from colliding with the field
-// separators.
-func (q *queryRequest) normalize() string {
-	return fmt.Sprintf("doc=%q query=%q terms=%q xroot=%t x=%q r=%q near=%t w=%d lift=%d lim=%d",
-		q.Doc, strings.Join(strings.Fields(q.Query), " "), q.Terms,
-		q.ExcludeRoot, q.Exclude, q.Restrict, q.Nearest, q.Within, q.MaxLift, q.Limit)
+// toRequest lowers the validated wire request into the unified
+// ncq.Request every endpoint executes through; the cache is keyed by
+// its canonical encoding, so equivalent v1 and v2 requests share
+// entries.
+func (q *queryRequest) toRequest() ncq.Request {
+	req := ncq.Request{Doc: q.Doc, Limit: q.Limit}
+	if len(q.Terms) > 0 {
+		req.Terms = q.Terms
+		req.Options = q.options()
+	} else {
+		req.Query = strings.TrimSpace(q.Query)
+	}
+	return req
 }
 
 // rowJSON is the wire form of one query-language result row.
@@ -130,20 +132,14 @@ func toAnswerJSON(source string, ans *ncq.Answer) answerJSON {
 
 // queryResult is the cacheable portion of a query response: everything
 // derived from the corpus state, nothing request- or connection-bound.
+// It is encoded exactly once (on the cache miss) and the bytes are
+// spliced verbatim into every v1 and v2 response envelope.
 type queryResult struct {
 	Mode      string           `json:"mode"`                // "terms" or "query"
 	Meets     []ncq.CorpusMeet `json:"meets,omitempty"`     // terms mode
 	Unmatched int              `json:"unmatched,omitempty"` // terms mode, single doc only
 	Answers   []answerJSON     `json:"answers,omitempty"`   // query mode
 	Truncated bool             `json:"truncated,omitempty"` // a Limit cut results
-}
-
-// encodeResult serialises a result once, up front: the bytes are
-// cached (their length is the entry's charged size) and spliced
-// verbatim into every response envelope, so the miss path encodes the
-// result exactly once and the hit path not at all.
-func encodeResult(res *queryResult) (json.RawMessage, error) {
-	return json.Marshal(res)
 }
 
 // queryResponse is the full POST /v1/query payload. Result holds the
@@ -185,110 +181,20 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 
 	s.queries.Add(1)
-	key := cache.Key{Gen: gen, Query: req.normalize()}
-	if v, ok := s.cache.Get(key); ok {
-		w.Header().Set("X-NCQ-Cache", "hit")
-		writeJSON(w, http.StatusOK, queryResponse{Cached: true, Generation: gen, Result: v.(json.RawMessage)})
-		return
-	}
-
-	res, err := s.execute(&req)
+	cr, cached, err := s.runCached(r.Context(), gen, req.toRequest())
 	if err != nil {
 		writeQueryError(w, err)
 		return
 	}
-	raw, err := encodeResult(res)
-	if err != nil {
-		writeError(w, http.StatusInternalServerError, "encode result: %v", err)
-		return
+	if cached {
+		w.Header().Set("X-NCQ-Cache", "hit")
+	} else {
+		w.Header().Set("X-NCQ-Cache", "miss")
 	}
-	s.cache.Put(key, raw, len(raw))
-	w.Header().Set("X-NCQ-Cache", "miss")
-	writeJSON(w, http.StatusOK, queryResponse{Cached: false, Generation: gen, Result: raw})
+	writeJSON(w, http.StatusOK, queryResponse{Cached: cached, Generation: gen, Result: cr.raw})
 }
 
-// writeQueryError maps an execution failure to a status: a document
-// that vanished between the existence check and execution is 404;
-// everything else is input-driven (unparsable queries, bad path
-// patterns) and therefore 400.
+// writeQueryError maps an execution failure to its status (statusOf).
 func writeQueryError(w http.ResponseWriter, err error) {
-	status := http.StatusBadRequest
-	if errors.Is(err, ncq.ErrUnknownDoc) {
-		status = http.StatusNotFound
-	}
-	writeError(w, status, "%v", err)
-}
-
-// execute runs the validated request against its document — resolved
-// through the corpus so sharded members fan out and merge — or the
-// whole corpus when no document is named. The returned result is
-// immutable: it is shared between the cache and in-flight responses.
-func (s *Server) execute(req *queryRequest) (*queryResult, error) {
-	if len(req.Terms) > 0 {
-		return s.executeTerms(req)
-	}
-	return s.executeQuery(req)
-}
-
-func (s *Server) executeTerms(req *queryRequest) (*queryResult, error) {
-	res := &queryResult{Mode: "terms", Meets: []ncq.CorpusMeet{}}
-	if req.Doc != "" {
-		meets, unmatched, err := s.corpus.MeetOfTermsIn(req.Doc, req.options(), req.Terms...)
-		if err != nil {
-			return nil, err
-		}
-		res.Meets = append(res.Meets, meets...)
-		res.Unmatched = unmatched
-	} else {
-		meets, err := s.corpus.MeetOfTerms(req.options(), req.Terms...)
-		if err != nil {
-			return nil, err
-		}
-		res.Meets = append(res.Meets, meets...)
-	}
-	if req.Limit > 0 && len(res.Meets) > req.Limit {
-		res.Meets = res.Meets[:req.Limit]
-		res.Truncated = true
-	}
-	return res, nil
-}
-
-func (s *Server) executeQuery(req *queryRequest) (*queryResult, error) {
-	res := &queryResult{Mode: "query", Answers: []answerJSON{}}
-	if req.Doc != "" {
-		ans, err := s.corpus.QueryIn(req.Doc, req.Query)
-		if err != nil {
-			return nil, err
-		}
-		res.Answers = append(res.Answers, toAnswerJSON(req.Doc, ans))
-	} else {
-		answers, err := s.corpus.Query(req.Query)
-		if err != nil {
-			return nil, err
-		}
-		for _, a := range answers {
-			res.Answers = append(res.Answers, toAnswerJSON(a.Source, a.Answer))
-		}
-	}
-	if req.Limit > 0 {
-		remaining := req.Limit
-		for i := range res.Answers {
-			rows := res.Answers[i].Rows
-			if len(rows) > remaining {
-				res.Answers[i].Rows = rows[:remaining]
-				res.Truncated = true
-			}
-			remaining -= len(res.Answers[i].Rows)
-			if remaining <= 0 {
-				for j := i + 1; j < len(res.Answers); j++ {
-					if len(res.Answers[j].Rows) > 0 {
-						res.Truncated = true
-					}
-				}
-				res.Answers = res.Answers[:i+1]
-				break
-			}
-		}
-	}
-	return res, nil
+	writeError(w, statusOf(err), "%v", err)
 }

@@ -1,0 +1,176 @@
+package server
+
+// The unified execution path: every query endpoint — v1 single, v1
+// batch, and the whole v2 surface — lowers its wire request into an
+// ncq.Request and resolves it here, through one cache keyed by the
+// request's canonical encoding. The v1 handlers are thin adapters that
+// keep their historical response bytes; v2 exposes the full Request
+// surface (cursors, deadlines) directly.
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+
+	"ncq"
+	"ncq/internal/cache"
+)
+
+// cachedResult is the unit the LRU stores: the pre-encoded wire result
+// shared verbatim by the v1 and v2 response envelopes, plus the page
+// metadata v2 needs without re-decoding the payload.
+type cachedResult struct {
+	raw        json.RawMessage
+	truncated  bool
+	nextCursor string
+}
+
+// runCached resolves one request through the cache: a hit splices the
+// stored bytes into the response; a miss executes through the unified
+// ncq.Querier surface and caches the encoded result under the
+// request's canonical encoding and the generation it was computed
+// against (so a racing mutation can never publish a stale entry under
+// the new generation).
+func (s *Server) runCached(ctx context.Context, gen uint64, req ncq.Request) (cachedResult, bool, error) {
+	key := cache.Key{Gen: gen, Query: req.Canonical()}
+	if v, ok := s.cache.Get(key); ok {
+		return v.(cachedResult), true, nil
+	}
+	res, err := s.corpus.Run(ctx, req)
+	if err != nil {
+		return cachedResult{}, false, err
+	}
+	raw, err := json.Marshal(toWireResult(&req, res))
+	if err != nil {
+		return cachedResult{}, false, fmt.Errorf("%w: %v", errEncodeResult, err)
+	}
+	cr := cachedResult{raw: raw, truncated: res.Truncated, nextCursor: res.NextCursor}
+	s.cache.Put(key, cr, len(raw)+len(cr.nextCursor))
+	return cr, false, nil
+}
+
+// toWireResult lowers an ncq.Result into the wire shape shared by v1
+// and v2, keeping the v1 contract byte for byte: the unmatched count
+// is reported for single-document requests only (corpus-wide node
+// counts aggregate over members and were never part of the v1
+// surface).
+func toWireResult(req *ncq.Request, res *ncq.Result) *queryResult {
+	if len(req.Terms) > 0 {
+		out := &queryResult{Mode: "terms", Meets: res.Meets, Truncated: res.Truncated}
+		if req.Doc != "" {
+			out.Unmatched = res.Unmatched
+		}
+		return out
+	}
+	out := &queryResult{Mode: "query", Truncated: res.Truncated}
+	for _, a := range res.Answers {
+		out.Answers = append(out.Answers, toAnswerJSON(a.Source, a.Answer))
+	}
+	return out
+}
+
+// errEncodeResult marks the one server-side failure of the execution
+// path — a result that would not serialise — so statusOf can report it
+// as a 500 instead of blaming the client's input.
+var errEncodeResult = errors.New("encode result")
+
+// statusOf maps an execution failure to its HTTP status: a document
+// that is not registered is 404, a cursor from another request is 400,
+// an expired per-request deadline is 504, a client that went away is
+// 499 (the de-facto "client closed request" code), a result that
+// failed to serialise is 500; everything else is input-driven
+// (unparsable queries, bad path patterns) and therefore 400.
+func statusOf(err error) int {
+	switch {
+	case errors.Is(err, ncq.ErrUnknownDoc):
+		return http.StatusNotFound
+	case errors.Is(err, ncq.ErrBadCursor):
+		return http.StatusBadRequest
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		return 499
+	case errors.Is(err, errEncodeResult):
+		return http.StatusInternalServerError
+	default:
+		return http.StatusBadRequest
+	}
+}
+
+// batchUnit is one distinct piece of work of a batch: duplicate
+// queries in a request collapse onto a single unit, so each distinct
+// request is resolved through the cache — and executed — exactly once.
+type batchUnit struct {
+	req    ncq.Request
+	out    cachedResult
+	cached bool
+	err    error
+}
+
+// collectUnits dedupes the valid requests of a batch onto distinct
+// execution units, keyed by the canonical request encoding shared with
+// the cache. reqs[i] == nil marks an item that already failed
+// validation; its assigned slot stays nil. Both the v1 and the v2
+// batch handler run through this, so the dedup and keying semantics
+// cannot drift apart.
+func collectUnits(reqs []*ncq.Request) (assigned, units []*batchUnit) {
+	assigned = make([]*batchUnit, len(reqs))
+	byKey := make(map[string]*batchUnit)
+	for i, r := range reqs {
+		if r == nil {
+			continue
+		}
+		key := r.Canonical()
+		u, ok := byKey[key]
+		if !ok {
+			u = &batchUnit{req: *r}
+			byKey[key] = u
+			units = append(units, u)
+		}
+		assigned[i] = u
+	}
+	return assigned, units
+}
+
+// runUnits executes the distinct units of a batch over a bounded
+// worker pool sized like the corpus fan-out. Each unit resolves
+// through the cache individually, so a batch repeating yesterday's
+// queries is pure cache traffic. A unit's own execution may fan out
+// again (corpus-wide or sharded queries), briefly oversubscribing the
+// CPU up to workers²; that is deliberate — the scheduler stays work-
+// conserving, and the outer pool is what parallelises the units whose
+// inner execution is serial (cache hits, plain single-doc queries).
+func (s *Server) runUnits(ctx context.Context, gen uint64, units []*batchUnit) {
+	workers := s.corpus.Parallelism()
+	if workers > len(units) {
+		workers = len(units)
+	}
+	runUnit := func(u *batchUnit) {
+		u.out, u.cached, u.err = s.runCached(ctx, gen, u.req)
+	}
+	if workers <= 1 {
+		for _, u := range units {
+			runUnit(u)
+		}
+		return
+	}
+	next := make(chan *batchUnit)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for u := range next {
+				runUnit(u)
+			}
+		}()
+	}
+	for _, u := range units {
+		next <- u
+	}
+	close(next)
+	wg.Wait()
+}

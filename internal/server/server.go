@@ -2,6 +2,9 @@
 // ncqd daemon's engine room. It wraps a shared ncq.Corpus with a
 // result cache and a small REST surface:
 //
+//	POST   /v2/query       the unified endpoint: single doc, whole corpus
+//	                       or batch in one schema, with cursor pagination
+//	                       and a per-request deadline (see v2.go)
 //	POST   /v1/query       query one document or the whole corpus
 //	POST   /v1/query/batch many queries in one round trip
 //	PUT    /v1/docs/{name} load (or replace) a document from an XML body;
@@ -12,12 +15,14 @@
 //	GET    /v1/healthz     liveness probe
 //	GET    /v1/stats       corpus, cache and traffic counters
 //
-// Query results are cached in a byte-bounded LRU keyed by (corpus
-// generation, normalized request); any document mutation bumps the
-// generation and purges the cache, so clients never observe stale
-// answers. Documents uploaded with ?shards=K are split into subtree
-// shards that queries fan out over in parallel while clients keep
-// addressing one logical name.
+// Every query endpoint executes through the unified ncq.Request path
+// (run.go); the v1 handlers are byte-compatible adapters over it.
+// Query results are cached in a byte-bounded LRU — optionally with a
+// TTL — keyed by (corpus generation, canonical request); any document
+// mutation bumps the generation and purges the cache, so clients never
+// observe stale answers. Documents uploaded with ?shards=K are split
+// into subtree shards that queries fan out over in parallel while
+// clients keep addressing one logical name.
 package server
 
 import (
@@ -46,11 +51,13 @@ const (
 // and mount Handler on an http.Server. All methods are safe for
 // concurrent use.
 type Server struct {
-	corpus  *ncq.Corpus
-	cache   *cache.LRU
-	maxBody int64
-	mux     *http.ServeMux
-	started time.Time
+	corpus     *ncq.Corpus
+	cache      *cache.LRU
+	cacheBytes int64
+	cacheTTL   time.Duration
+	maxBody    int64
+	mux        *http.ServeMux
+	started    time.Time
 
 	queries   atomic.Uint64 // queries that reached execution (batch items included)
 	batches   atomic.Uint64 // POST /v1/query/batch requests accepted
@@ -63,7 +70,14 @@ type Option func(*Server)
 // WithCacheBytes bounds the query result cache by the approximate
 // encoded size of the retained results; 0 disables caching.
 func WithCacheBytes(n int64) Option {
-	return func(s *Server) { s.cache = cache.New(n) }
+	return func(s *Server) { s.cacheBytes = n }
+}
+
+// WithCacheTTL bounds how long a cached result may be served; 0 (the
+// default) means entries never expire by age — the generation key
+// already guarantees they can never be stale.
+func WithCacheTTL(d time.Duration) Option {
+	return func(s *Server) { s.cacheTTL = d }
 }
 
 // WithMaxBody bounds the size of uploaded XML documents in bytes.
@@ -81,15 +95,17 @@ func New(corpus *ncq.Corpus, opts ...Option) *Server {
 		corpus = ncq.NewCorpus()
 	}
 	s := &Server{
-		corpus:  corpus,
-		cache:   cache.New(defaultCacheBytes),
-		maxBody: defaultMaxBody,
-		started: time.Now(),
+		corpus:     corpus,
+		cacheBytes: defaultCacheBytes,
+		maxBody:    defaultMaxBody,
+		started:    time.Now(),
 	}
 	for _, opt := range opts {
 		opt(s)
 	}
+	s.cache = cache.New(s.cacheBytes, cache.WithTTL(s.cacheTTL))
 	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v2/query", s.handleQueryV2)
 	mux.HandleFunc("POST /v1/query", s.handleQuery)
 	mux.HandleFunc("POST /v1/query/batch", s.handleBatch)
 	mux.HandleFunc("PUT /v1/docs/{name}", s.handlePutDoc)

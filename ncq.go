@@ -23,6 +23,7 @@
 package ncq
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -334,12 +335,36 @@ func (db *Database) MeetOf(nodes []NodeID, opt *Options) ([]Meet, []NodeID, erro
 // Each term contributes its own input set, so a node matched by two
 // different terms is reported as its own nearest concept at distance
 // zero (the paper's "Bob"/"Byte" example).
+//
+// The meets are returned in document order, as before the unified API;
+// it is a wrapper over Run, which returns them ranked and additionally
+// supports cancellation, limits and pagination.
 func (db *Database) MeetOfTerms(opt *Options, terms ...string) ([]Meet, []NodeID, error) {
-	sets := make([][]NodeID, 0, len(terms))
-	for _, t := range terms {
-		sets = append(sets, fulltext.Owners(db.index.SearchSubstring(t)))
+	if len(terms) == 0 {
+		return []Meet{}, nil, nil
 	}
-	return db.meetOfSets(sets, opt)
+	res, err := db.Run(context.Background(), Request{Terms: terms, Options: opt})
+	if err != nil {
+		return nil, nil, err
+	}
+	meets := make([]Meet, len(res.Meets))
+	for i, m := range res.Meets {
+		meets[i] = m.Meet
+	}
+	// A node can host two meets: a roll-up of distinct witnesses and a
+	// degenerate self-meet (both terms hitting the node itself). The
+	// pre-unified order put the roll-up first; the ranked input has the
+	// distance-0 self-meet first, so the tie-break restores it.
+	selfMeet := func(m Meet) bool {
+		return len(m.Witnesses) == 1 && m.Witnesses[0] == m.Node
+	}
+	sort.SliceStable(meets, func(i, j int) bool {
+		if meets[i].Node != meets[j].Node {
+			return meets[i].Node < meets[j].Node
+		}
+		return !selfMeet(meets[i]) && selfMeet(meets[j])
+	})
+	return meets, res.UnmatchedNodes, nil
 }
 
 // meetOfSets lowers per-term input sets into core.MeetMulti.
@@ -439,8 +464,17 @@ type Answer = query.Answer
 //	SELECT meet(e1, e2)
 //	FROM //cdata AS e1, //cdata AS e2
 //	WHERE e1 CONTAINS 'Bit' AND e2 CONTAINS '1999'
+//
+// It is a wrapper over Run.
 func (db *Database) Query(src string) (*Answer, error) {
-	return db.engine.Query(src)
+	if src == "" {
+		return db.engine.Query(src) // preserve the parser's error shape
+	}
+	res, err := db.Run(context.Background(), Request{Query: src})
+	if err != nil {
+		return nil, err
+	}
+	return res.Answers[0].Answer, nil
 }
 
 // References builds the ID/IDREF reference graph of the document (the

@@ -1,0 +1,218 @@
+package ncq
+
+// This file defines the unified execution API: one Request/Result pair
+// understood by every query surface — the library's Database and
+// Corpus, the ncqd HTTP server (v1 and v2), and the CLIs. The paper's
+// promise is "the power of querying with the simplicity of searching";
+// one request shape with context cancellation, pushed-down limits and
+// cursor pagination keeps the simplicity as the system scales.
+
+import (
+	"context"
+	"encoding/base64"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// ErrBadCursor is returned (wrapped) by Run when Request.Cursor is not
+// a cursor produced by a previous Result, or belongs to a different
+// request.
+var ErrBadCursor = errors.New("invalid cursor")
+
+// Request is one nearest-concept query addressed to any Querier.
+// Exactly one of Terms (a raw term meet) or Query (the paper's SQL
+// variant) must be set. The zero values of the remaining fields are
+// always valid: no document restriction, no options, no limit, first
+// page.
+type Request struct {
+	// Doc restricts a corpus run to the named member (resolved
+	// logically: a sharded member fans out over its shards). Empty
+	// means the whole corpus. A Database holds a single anonymous
+	// document, so Doc must be empty when running against one.
+	Doc string `json:"doc,omitempty"`
+
+	// Terms holds one full-text term per input set; the result is the
+	// meet of all hits (substring semantics, as in MeetOfTerms).
+	Terms []string `json:"terms,omitempty"`
+
+	// Query is a query in the paper's SQL variant, e.g.
+	// "SELECT meet(e1, e2) FROM //cdata AS e1, ...".
+	Query string `json:"query,omitempty"`
+
+	// Options tunes the meet operator for term requests. It must be
+	// nil for query-language requests, which carry their options in
+	// the meet(...) clause.
+	Options *Options `json:"-"`
+
+	// Limit caps the number of returned meets (term requests) or rows
+	// across answers (query requests); 0 means unlimited. The limit is
+	// pushed down into execution: the engine materialises and ranks
+	// only what the page needs instead of truncating a full answer
+	// set afterwards.
+	Limit int `json:"limit,omitempty"`
+
+	// Cursor resumes a paginated run where a previous Result's
+	// NextCursor left off. Cursors are opaque and bound to the request
+	// that produced them: reusing one with different terms, options or
+	// limit fails with ErrBadCursor. They are positions, not
+	// snapshots: a corpus mutation between pages re-ranks the answer
+	// set, and the next page is cut from the new ranking (answers may
+	// repeat or be skipped across the mutation).
+	Cursor string `json:"cursor,omitempty"`
+}
+
+// Result is the answer to a Request, whatever surface executed it.
+type Result struct {
+	// Meets holds the ranked nearest concepts of a term request
+	// (ascending distance; ties by source, shard, document order).
+	// Source and Shard are empty for a Database run.
+	Meets []CorpusMeet `json:"meets,omitempty"`
+
+	// Answers holds the per-source answers of a query-language
+	// request. A run against a named document (or a Database) yields
+	// exactly one answer; a corpus-wide run omits sources whose answer
+	// has no rows.
+	Answers []CorpusAnswer `json:"answers,omitempty"`
+
+	// Unmatched counts the inputs that found no partner.
+	Unmatched int `json:"unmatched,omitempty"`
+
+	// UnmatchedNodes lists the unmatched inputs of a Database term
+	// run. Corpus runs report only the count: node IDs are local to a
+	// member's shard and do not identify nodes on their own.
+	UnmatchedNodes []NodeID `json:"unmatched_nodes,omitempty"`
+
+	// Truncated reports that Limit cut the answer set; NextCursor then
+	// resumes at the next page.
+	Truncated  bool   `json:"truncated,omitempty"`
+	NextCursor string `json:"next_cursor,omitempty"`
+
+	// Elapsed is the execution wall time.
+	Elapsed time.Duration `json:"elapsed_ns,omitempty"`
+}
+
+// Querier is the unified execution interface implemented by *Database
+// and *Corpus: one entry point for every request shape, honouring
+// context cancellation and deadlines.
+//
+// RunStream delivers the ranked meets of a term request one at a time;
+// returning false from yield stops the stream early. Query-language
+// requests are not streamable (their unit is a per-source answer, not
+// a meet).
+type Querier interface {
+	Run(ctx context.Context, req Request) (*Result, error)
+	RunStream(ctx context.Context, req Request, yield func(CorpusMeet) bool) error
+}
+
+var (
+	_ Querier = (*Database)(nil)
+	_ Querier = (*Corpus)(nil)
+)
+
+// validate checks the request shape shared by all Querier
+// implementations.
+func (r *Request) validate() error {
+	hasQuery, hasTerms := r.Query != "", len(r.Terms) > 0
+	if hasQuery && hasTerms {
+		return errors.New("ncq: request sets both Terms and Query; choose one")
+	}
+	if !hasQuery && !hasTerms {
+		return errors.New("ncq: empty request: set Terms or Query")
+	}
+	if hasQuery && r.Options != nil {
+		return errors.New("ncq: Options apply to term requests; query-language requests carry options in meet(...)")
+	}
+	if r.Limit < 0 {
+		return errors.New("ncq: negative Limit")
+	}
+	return nil
+}
+
+// isQuery reports whether the request runs in query-language mode.
+func (r *Request) isQuery() bool { return r.Query != "" }
+
+// canonical renders the options deterministically for cache keys and
+// cursor fingerprints. Pattern order is irrelevant to the semantics
+// (exclusion and restriction are unions), so patterns are sorted.
+func (o *Options) canonical() string {
+	if o == nil {
+		return "-"
+	}
+	excl := append([]string(nil), o.excludePatterns...)
+	sort.Strings(excl)
+	restr := append([]string(nil), o.restrictPatterns...)
+	sort.Strings(restr)
+	return fmt.Sprintf("xroot=%t x=%q r=%q near=%t w=%d lift=%d",
+		o.excludeRoot, excl, restr, o.skipExcluded, o.maxDistance, o.maxLift)
+}
+
+// canonicalBase is the canonical encoding of everything but the page
+// position — the part a cursor is fingerprinted against.
+func (r *Request) canonicalBase() string {
+	return fmt.Sprintf("doc=%q terms=%q query=%q opt=%s lim=%d",
+		r.Doc, r.Terms, strings.Join(strings.Fields(r.Query), " "),
+		r.Options.canonical(), r.Limit)
+}
+
+// Canonical returns a deterministic encoding of the request:
+// equivalent requests — modulo query whitespace, option-pattern order
+// and cursor spelling — map to the same string. The ncqd server keys
+// its result cache by (corpus generation, Canonical()), so the v1 and
+// v2 endpoints share cache entries for equivalent requests.
+func (r *Request) Canonical() string {
+	off, err := r.offset()
+	if err != nil {
+		// An undecodable cursor cannot execute; keep the key unique.
+		return r.canonicalBase() + " cur=" + strconv.Quote(r.Cursor)
+	}
+	return r.canonicalBase() + " off=" + strconv.Itoa(off)
+}
+
+// fingerprint binds cursors to the request that produced them.
+func (r *Request) fingerprint() uint32 {
+	h := fnv.New32a()
+	h.Write([]byte(r.canonicalBase()))
+	return h.Sum32()
+}
+
+// encodeCursor renders a resume position as an opaque cursor.
+func encodeCursor(offset int, fp uint32) string {
+	return base64.RawURLEncoding.EncodeToString(
+		[]byte(fmt.Sprintf("v1 %d %08x", offset, fp)))
+}
+
+// offset decodes the request's cursor into a result offset (0 when no
+// cursor is set), failing with ErrBadCursor on garbage or on a cursor
+// minted for a different request.
+func (r *Request) offset() (int, error) {
+	if r.Cursor == "" {
+		return 0, nil
+	}
+	raw, err := base64.RawURLEncoding.DecodeString(r.Cursor)
+	if err != nil {
+		return 0, fmt.Errorf("ncq: %w: %v", ErrBadCursor, err)
+	}
+	var off int
+	var fp uint32
+	if _, err := fmt.Sscanf(string(raw), "v1 %d %x", &off, &fp); err != nil || off < 0 {
+		return 0, fmt.Errorf("ncq: %w", ErrBadCursor)
+	}
+	if fp != r.fingerprint() {
+		return 0, fmt.Errorf("ncq: %w: cursor belongs to a different request", ErrBadCursor)
+	}
+	return off, nil
+}
+
+// pageNeed returns how many ranked results execution must materialise
+// to serve the page at offset: 0 means "all" (no limit).
+func pageNeed(offset, limit int) int {
+	if limit <= 0 {
+		return 0
+	}
+	return offset + limit
+}
