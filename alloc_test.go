@@ -1,0 +1,54 @@
+package ncq
+
+// Allocation-regression pins for the columnar hot path: the compact
+// posting lists make a warm single-token search a slice view plus one
+// copy, and the pooled roll-up scratch makes a warm meet allocate
+// O(results). These ceilings are the measured steady state plus a
+// small headroom for toolchain variance — a revert to per-query maps
+// blows straight through them.
+
+import "testing"
+
+func allocDB(t *testing.T) *Database {
+	t.Helper()
+	if raceEnabled {
+		t.Skip("allocation counts are not meaningful under -race")
+	}
+	if testing.Short() {
+		t.Skip("allocation pinning skipped in -short mode")
+	}
+	return fig1DB(t)
+}
+
+func TestSearchAllocsSteadyState(t *testing.T) {
+	db := allocDB(t)
+	db.Search("Ben") // warm the pools and lazy indexes
+	got := testing.AllocsPerRun(200, func() {
+		if len(db.Search("Ben")) != 1 {
+			t.Fatal("unexpected hit count")
+		}
+	})
+	// One []fulltext.Hit, one []ncq.Hit, plus rendering each hit's
+	// path string for the public result type.
+	if got > 14 {
+		t.Errorf("warm single-token Search allocates %.0f/op, pinned at <= 14", got)
+	}
+}
+
+func TestMeetOfTermsAllocsSteadyState(t *testing.T) {
+	db := allocDB(t)
+	if _, _, err := db.MeetOfTerms(nil, "Bit", "1999"); err != nil {
+		t.Fatal(err)
+	}
+	got := testing.AllocsPerRun(200, func() {
+		meets, _, err := db.MeetOfTerms(nil, "Bit", "1999")
+		if err != nil || len(meets) != 1 {
+			t.Fatalf("meets = %v, err = %v", meets, err)
+		}
+	})
+	// The full unified pipeline: two substring searches, the pooled
+	// roll-up, result wrapping, ranking and paging.
+	if got > 40 {
+		t.Errorf("warm two-term MeetOfTerms allocates %.0f/op, pinned at <= 40", got)
+	}
+}

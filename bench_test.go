@@ -202,6 +202,41 @@ func BenchmarkAblationSteering(b *testing.B) {
 	})
 }
 
+// BenchmarkSearch measures the steady-state single-token full-text
+// search on the compact posting lists: a pre-sorted slice view plus
+// one copy, so allocs/op stays flat however hot the term is.
+func BenchmarkSearch(b *testing.B) {
+	setup := dblp(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(setup.Index.Search("ICDE")) == 0 {
+			b.Fatal("no hits")
+		}
+	}
+}
+
+// BenchmarkMeetRollup measures the warm columnar roll-up of the
+// general meet (Figure 5) on a Figure-7-sized input: path-bucketed
+// scratch recycled across queries, so a steady-state query allocates
+// O(results), not O(inputs·levels).
+func BenchmarkMeetRollup(b *testing.B) {
+	setup := dblp(b)
+	hits := setup.Index.SearchSubstring("ICDE")
+	for y := 1992; y <= 1999; y++ {
+		hits = append(hits, setup.Index.SearchSubstring(fmt.Sprintf("%d", y))...)
+	}
+	groups := setup.Index.Groups(hits)
+	opt := core.ExcludeRoot(setup.Store)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := core.Meet(setup.Store, groups, opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkBulkLoad measures the Monet transform itself (the paper
 // reports bulk-load characteristics in its companion paper [19]).
 func BenchmarkBulkLoad(b *testing.B) {
@@ -221,6 +256,7 @@ func BenchmarkIndexBuild(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		fulltext.New(store)
@@ -407,6 +443,7 @@ func BenchmarkServerQuery(b *testing.B) {
 	}
 	b.Run("cold", func(b *testing.B) {
 		h := server.New(corpus, server.WithCacheBytes(0)).Handler()
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if post(b, h) != "miss" {
 				b.Fatal("cold request hit the cache")
@@ -416,6 +453,7 @@ func BenchmarkServerQuery(b *testing.B) {
 	b.Run("cached", func(b *testing.B) {
 		h := server.New(corpus).Handler()
 		post(b, h) // warm the cache
+		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			if post(b, h) != "hit" {

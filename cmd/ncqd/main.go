@@ -28,7 +28,9 @@
 // Flags tune the cache byte budget, the per-document upload limit and
 // the corpus fan-out width; -load preloads XML files at start-up, each
 // registered under its base name without the extension, split into
-// -shards shards apiece.
+// -shards shards apiece. -pprof-addr serves net/http/pprof on a
+// separate listener (off by default) so a live daemon can be profiled
+// without exposing the profiler on the query port.
 package main
 
 import (
@@ -36,7 +38,9 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -67,12 +71,13 @@ func run(argv []string, stderr io.Writer, ready chan<- string) int {
 		load       = fs.String("load", "", "glob of XML files to preload")
 		shards     = fs.Int("shards", 1, "shards per preloaded document (1 = unsharded)")
 		gracePeri  = fs.Duration("grace", 5*time.Second, "shutdown grace period")
+		pprofAddr  = fs.String("pprof-addr", "", "serve net/http/pprof on this separate address (empty = disabled)")
 	)
 	if err := fs.Parse(argv); err != nil {
 		return 2
 	}
 	if fs.NArg() != 0 {
-		fmt.Fprintln(stderr, "usage: ncqd [-addr :8334] [-cache-bytes N] [-cache-ttl D] [-max-body N] [-workers N] [-load GLOB] [-shards K]")
+		fmt.Fprintln(stderr, "usage: ncqd [-addr :8334] [-cache-bytes N] [-cache-ttl D] [-max-body N] [-workers N] [-load GLOB] [-shards K] [-pprof-addr ADDR]")
 		return 2
 	}
 	if *cacheTTL < 0 {
@@ -108,6 +113,15 @@ func run(argv []string, stderr io.Writer, ready chan<- string) int {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	if *pprofAddr != "" {
+		pprofSrv, err := servePprof(*pprofAddr, stderr)
+		if err != nil {
+			fmt.Fprintf(stderr, "ncqd: %v\n", err)
+			return 1
+		}
+		defer pprofSrv.Close()
+	}
+
 	errCh := make(chan error, 1)
 	ln, err := newListener(httpSrv)
 	if err != nil {
@@ -134,6 +148,26 @@ func run(argv []string, stderr io.Writer, ready chan<- string) int {
 	}
 	fmt.Fprintln(stderr, "ncqd: bye")
 	return 0
+}
+
+// servePprof starts the opt-in profiling listener: net/http/pprof on
+// its own mux and its own address, so the serving port never exposes
+// the profiler and a live daemon can be profiled without redeploying.
+func servePprof(addr string, stderr io.Writer) (*http.Server, error) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("pprof: %w", err)
+	}
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 10 * time.Second}
+	fmt.Fprintf(stderr, "ncqd: pprof listening on %s\n", ln.Addr())
+	go srv.Serve(ln) //nolint:errcheck // closed on shutdown
+	return srv, nil
 }
 
 // preload loads every file matching the glob into the corpus, each

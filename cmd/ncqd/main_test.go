@@ -6,13 +6,34 @@ import (
 	"net/http"
 	"os"
 	"path/filepath"
+	"regexp"
 	"strings"
+	"sync"
 	"syscall"
 	"testing"
 	"time"
 
 	"ncq"
 )
+
+// syncBuffer is a mutex-guarded bytes.Buffer: the daemon goroutine
+// writes stderr while the test polls it.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
 
 func TestBadFlags(t *testing.T) {
 	var stderr bytes.Buffer
@@ -77,6 +98,62 @@ func TestPreload(t *testing.T) {
 	}
 	if _, err := preload(ncq.NewCorpus(), filepath.Join(dir, "*.xml"), 4); err == nil {
 		t.Error("malformed file accepted by sharded preload")
+	}
+}
+
+// TestPprofEndpoint boots the daemon with the opt-in profiling
+// listener and smoke-tests /debug/pprof/ on it — and only on it: the
+// serving port must not expose the profiler.
+func TestPprofEndpoint(t *testing.T) {
+	var stderr syncBuffer
+	ready := make(chan string, 1)
+	done := make(chan int, 1)
+	go func() {
+		done <- run([]string{"-addr", "127.0.0.1:0", "-pprof-addr", "127.0.0.1:0"}, &stderr, ready)
+	}()
+	var base string
+	select {
+	case base = <-ready:
+	case <-time.After(10 * time.Second):
+		t.Fatalf("daemon never became ready; stderr: %s", stderr.String())
+	}
+
+	// The pprof address is reported on stderr before the main listener
+	// comes up, so it is present by now.
+	m := regexp.MustCompile(`pprof listening on (\S+)`).FindStringSubmatch(stderr.String())
+	if m == nil {
+		t.Fatalf("no pprof address in stderr: %s", stderr.String())
+	}
+	resp, err := http.Get("http://" + m[1] + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), "goroutine") {
+		t.Errorf("pprof index: %d %.200s", resp.StatusCode, body)
+	}
+
+	// The query port serves no profiler.
+	resp, err = http.Get(base + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		t.Error("main listener exposes /debug/pprof/")
+	}
+
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case code := <-done:
+		if code != 0 {
+			t.Errorf("exit = %d; stderr: %s", code, stderr.String())
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatalf("daemon never shut down; stderr: %s", stderr.String())
 	}
 }
 

@@ -1,0 +1,58 @@
+package bat
+
+// Sorted-slice primitives underneath the columnar hot path. The
+// full-text index intersects sorted posting lists (association row
+// ids) and deduplicates sorted owner columns; the meet roll-up
+// deduplicates its sorted input and unmatched buffers. All operations
+// are linear merges with no hashing, and when the caller supplies a
+// destination they allocate nothing.
+
+import (
+	"cmp"
+	"slices"
+)
+
+// SortDedup sorts xs ascending in place and strips duplicates,
+// returning the deduplicated prefix.
+func SortDedup[T cmp.Ordered](xs []T) []T {
+	slices.Sort(xs)
+	return DedupSorted(xs)
+}
+
+// DedupSorted removes adjacent duplicates from an ascending slice in
+// place and returns the deduplicated prefix.
+func DedupSorted[T comparable](xs []T) []T {
+	if len(xs) < 2 {
+		return xs
+	}
+	w := 1
+	for i := 1; i < len(xs); i++ {
+		if xs[i] != xs[w-1] {
+			xs[w] = xs[i]
+			w++
+		}
+	}
+	return xs[:w]
+}
+
+// IntersectSorted appends the intersection of two ascending
+// duplicate-free slices to dst and returns it. Pass a recycled dst[:0]
+// for an allocation-free merge; nil grows a fresh slice.
+func IntersectSorted[T cmp.Ordered](dst, a, b []T) []T {
+	// Galloping would win on wildly skewed sizes; the linear merge is
+	// branch-predictable and already memory-bound at posting scale.
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			dst = append(dst, a[i])
+			i++
+			j++
+		}
+	}
+	return dst
+}

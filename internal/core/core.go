@@ -182,17 +182,5 @@ func emit(s *monetx.Store, m bat.OID, contribs []contribution) Result {
 // minPairDistance returns the distance between the two closest
 // witnesses: the sum of the two smallest lift counts.
 func minPairDistance(contribs []contribution) int {
-	if len(contribs) < 2 {
-		return 0
-	}
-	min1, min2 := int32(1<<30), int32(1<<30)
-	for _, c := range contribs {
-		switch {
-		case c.lifts < min1:
-			min1, min2 = c.lifts, min1
-		case c.lifts < min2:
-			min2 = c.lifts
-		}
-	}
-	return int(min1 + min2)
+	return minPair(contribs, func(c contribution) int32 { return c.lifts })
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"ncq/internal/bat"
@@ -28,11 +29,15 @@ import (
 // Results are in document order of the meets; unmatched inputs are in
 // ascending OID order.
 func Meet(s *monetx.Store, groups map[pathsum.PathID][]bat.OID, opt *Options) (results []Result, unmatched []bat.OID, err error) {
+	return MeetContext(context.Background(), s, groups, opt)
+}
+
+// MeetContext is Meet with cancellation: ctx is checked once per
+// contracted level of the roll-up, so a deadline interrupts even one
+// huge meet mid-flight.
+func MeetContext(ctx context.Context, s *monetx.Store, groups map[pathsum.PathID][]bat.OID, opt *Options) (results []Result, unmatched []bat.OID, err error) {
 	sum := s.Summary()
-	// pending[p] holds, per current ancestor at path p, the live
-	// contributions that have arrived so far.
-	pending := make(map[pathsum.PathID]map[bat.OID][]contribution, len(groups))
-	seen := bat.NewSet()
+	total := 0
 	for p, oids := range groups {
 		if int(p) < 0 || int(p) >= sum.Len() {
 			return nil, nil, fmt.Errorf("core: Meet: unknown group path %d", p)
@@ -45,86 +50,44 @@ func Meet(s *monetx.Store, groups map[pathsum.PathID][]bat.OID, opt *Options) (r
 				return nil, nil, fmt.Errorf("core: Meet: OID %d has path %s, grouped under %s",
 					o, s.PathString(o), sum.String(p))
 			}
-			if !seen.Add(o) {
-				continue // duplicate input
-			}
-			m := pending[p]
-			if m == nil {
-				m = make(map[bat.OID][]contribution)
-				pending[p] = m
-			}
-			m[o] = append(m[o], contribution{orig: o, lifts: 0})
+		}
+		total += len(oids)
+	}
+	sc := getScratch(sum.Len())
+	defer putScratch(sc)
+	for p, oids := range groups {
+		for _, o := range oids {
+			sc.add(p, o)
 		}
 	}
-	if seen.Len() < 2 {
+	if total < 2 {
 		// A single object (or none) can never meet anything.
-		return nil, seen.Slice(), nil
+		return nil, sc.inputs(), nil
 	}
-
-	maxLift := int32(opt.maxLift())
-	unmatchedSet := bat.NewSet()
-	// Contract the path summary from the deepest paths upward.
-	for _, p := range sum.DeepestFirst() {
-		nodes := pending[p]
-		if len(nodes) == 0 {
-			continue
-		}
-		delete(pending, p)
-		parentPath := sum.Parent(p)
-		for cur, contribs := range nodes {
-			// A collision of two or more live contributions makes cur a
-			// meet (it is the LCA of all of them, since contributions
-			// from a common deeper branch would have collided earlier).
-			if len(contribs) >= 2 {
-				excluded := opt.excluded(p)
-				switch {
-				case excluded && opt.skipExcluded():
-					// Extension: keep lifting past inadmissible paths.
-				case excluded:
-					continue // meet_P: consumed, not reported
-				default:
-					if d := opt.maxDistance(); d > 0 && minPairDistance(contribs) > d {
-						continue // consumed, beyond the pairwise bound
-					}
-					results = append(results, emit(s, cur, contribs))
-					continue
-				}
-			}
-			// Lift the survivors one level.
-			if parentPath == pathsum.Invalid {
-				for _, c := range contribs {
-					unmatchedSet.Add(c.orig)
-				}
-				continue
-			}
-			parent := s.Parent(cur)
-			pm := pending[parentPath]
-			if pm == nil {
-				pm = make(map[bat.OID][]contribution)
-				pending[parentPath] = pm
-			}
-			for _, c := range contribs {
-				if maxLift > 0 && c.lifts+1 > maxLift {
-					unmatchedSet.Add(c.orig)
-					continue
-				}
-				pm[parent] = append(pm[parent], contribution{orig: c.orig, lifts: c.lifts + 1})
-			}
-		}
-	}
-	return SortByDocOrder(results), unmatchedSet.Slice(), nil
+	return rollup(ctx, s, sc, opt)
 }
 
 // MeetOIDs is a convenience wrapper around Meet for callers holding a
-// flat list of OIDs: it groups them by path first.
+// flat list of OIDs: it buckets them by path first.
 func MeetOIDs(s *monetx.Store, oids []bat.OID, opt *Options) ([]Result, []bat.OID, error) {
-	groups := make(map[pathsum.PathID][]bat.OID)
+	return MeetOIDsContext(context.Background(), s, oids, opt)
+}
+
+// MeetOIDsContext is MeetOIDs with cancellation, checked once per
+// contracted level of the roll-up.
+func MeetOIDsContext(ctx context.Context, s *monetx.Store, oids []bat.OID, opt *Options) ([]Result, []bat.OID, error) {
 	for _, o := range oids {
 		if err := checkOID(s, o); err != nil {
 			return nil, nil, fmt.Errorf("core: MeetOIDs: %w", err)
 		}
-		p := s.PathOf(o)
-		groups[p] = append(groups[p], o)
 	}
-	return Meet(s, groups, opt)
+	sc := getScratch(s.Summary().Len())
+	defer putScratch(sc)
+	for _, o := range oids {
+		sc.add(s.PathOf(o), o)
+	}
+	if len(oids) < 2 {
+		return nil, sc.inputs(), nil
+	}
+	return rollup(ctx, s, sc, opt)
 }

@@ -1,11 +1,12 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"ncq/internal/bat"
 	"ncq/internal/monetx"
-	"ncq/internal/pathsum"
+	"slices"
 )
 
 // MeetMulti computes the meets of several input sets — one per search
@@ -18,7 +19,7 @@ import (
 //     ⟨o15,"Bob Byte"⟩ and meet_S reports the cdata node o15 itself
 //     (D := O1 ∩ O2 before any lifting).
 //   - All remaining objects are handed to the general roll-up of
-//     Figure 5, which groups them by path.
+//     Figure 5, which buckets them by path.
 //
 // Exclusion applies to the degenerate self-meets as well: an excluded
 // self-meet consumes its object silently, unless SkipExcluded is set,
@@ -27,22 +28,51 @@ import (
 //
 // Results are in document order; unmatched inputs ascending.
 func MeetMulti(s *monetx.Store, inputSets [][]bat.OID, opt *Options) ([]Result, []bat.OID, error) {
-	// Count, per OID, the number of distinct input sets containing it.
-	counts := make(map[bat.OID]int)
-	for _, set := range inputSets {
-		seen := bat.NewSet()
+	return MeetMultiContext(context.Background(), s, inputSets, opt)
+}
+
+// MeetMultiContext is MeetMulti with cancellation, checked once per
+// contracted level of the roll-up.
+func MeetMultiContext(ctx context.Context, s *monetx.Store, inputSets [][]bat.OID, opt *Options) ([]Result, []bat.OID, error) {
+	sc := getScratch(s.Summary().Len())
+	defer putScratch(sc)
+	// Columnar set counting: flatten to (OID, set) pairs, sort, and
+	// sweep runs — duplicates within one set collapse, the run length
+	// in distinct sets decides between self-meet and roll-up.
+	for si, set := range inputSets {
 		for _, o := range set {
 			if err := checkOID(s, o); err != nil {
 				return nil, nil, fmt.Errorf("core: MeetMulti: %w", err)
 			}
-			if seen.Add(o) {
-				counts[o]++
-			}
+			sc.pairs = append(sc.pairs, setPair{o: o, set: int32(si)})
 		}
 	}
+	slices.SortFunc(sc.pairs, func(a, b setPair) int {
+		if a.o != b.o {
+			if a.o < b.o {
+				return -1
+			}
+			return 1
+		}
+		if a.set != b.set {
+			if a.set < b.set {
+				return -1
+			}
+			return 1
+		}
+		return 0
+	})
 	var selfMeets []Result
-	groups := make(map[pathsum.PathID][]bat.OID)
-	for o, k := range counts {
+	total := 0
+	for i := 0; i < len(sc.pairs); {
+		start := i
+		o := sc.pairs[i].o
+		k := 0
+		for ; i < len(sc.pairs) && sc.pairs[i].o == o; i++ {
+			if i == start || sc.pairs[i].set != sc.pairs[i-1].set {
+				k++
+			}
+		}
 		p := s.PathOf(o)
 		if k >= 2 {
 			switch {
@@ -57,9 +87,13 @@ func MeetMulti(s *monetx.Store, inputSets [][]bat.OID, opt *Options) ([]Result, 
 				continue
 			}
 		}
-		groups[p] = append(groups[p], o)
+		sc.add(p, o)
+		total++
 	}
-	results, unmatched, err := Meet(s, groups, opt)
+	if total < 2 && len(selfMeets) == 0 {
+		return nil, sc.inputs(), nil
+	}
+	results, unmatched, err := rollup(ctx, s, sc, opt)
 	if err != nil {
 		return nil, nil, err
 	}

@@ -1,0 +1,224 @@
+package core
+
+// The columnar execution engine of the general meet (Figure 5). The
+// paper's pitch is that nearest concept queries run directly on the
+// path-partitioned binary relations — a layout chosen for speed — so
+// the roll-up keeps contributions in flat, path-bucketed slices
+// indexed by the dense PathID space of the path summary instead of
+// nested maps. Each contracted level sorts its bucket by current
+// ancestor and sweeps collision runs in OID order; the buckets are
+// recycled across queries through a sync.Pool, so a steady-state
+// query allocates O(results), not O(inputs · levels).
+
+import (
+	"context"
+	"sync"
+
+	"ncq/internal/bat"
+	"ncq/internal/monetx"
+	"ncq/internal/pathsum"
+	"slices"
+)
+
+// entry is one live contribution in the scratch buffers: the input OID
+// it stands for, the ancestor it has reached, and the parent joins
+// spent getting there.
+type entry struct {
+	cur   bat.OID
+	orig  bat.OID
+	lifts int32
+}
+
+// setPair is one (input OID, input set) occurrence, the columnar form
+// of MeetMulti's per-OID set counting.
+type setPair struct {
+	o   bat.OID
+	set int32
+}
+
+// scratch holds the reusable buffers of one roll-up: a contribution
+// bucket per path (indexed by dense PathID), the unmatched
+// accumulator, and the pair buffer of MeetMulti. Buffers keep their
+// capacity between queries; used is the prefix of perPath that the
+// current store's summary spans (pooled scratch may be shared by
+// stores with different path counts).
+type scratch struct {
+	perPath   [][]entry
+	unmatched []bat.OID
+	pairs     []setPair
+	used      int
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(scratch) }}
+
+func getScratch(nPaths int) *scratch {
+	sc := scratchPool.Get().(*scratch)
+	if len(sc.perPath) < nPaths {
+		sc.perPath = append(sc.perPath, make([][]entry, nPaths-len(sc.perPath))...)
+	}
+	sc.used = nPaths
+	return sc
+}
+
+func putScratch(sc *scratch) {
+	for i := 0; i < sc.used; i++ {
+		sc.perPath[i] = sc.perPath[i][:0]
+	}
+	sc.unmatched = sc.unmatched[:0]
+	sc.pairs = sc.pairs[:0]
+	scratchPool.Put(sc)
+}
+
+// add places one input contribution in its path's bucket. The caller
+// must have validated that o lies on path p.
+func (sc *scratch) add(p pathsum.PathID, o bat.OID) {
+	sc.perPath[p] = append(sc.perPath[p], entry{cur: o, orig: o, lifts: 0})
+}
+
+// inputs returns the distinct input OIDs currently in the scratch,
+// ascending — the degenerate answer when fewer than two objects exist.
+func (sc *scratch) inputs() []bat.OID {
+	out := make([]bat.OID, 0, 1)
+	for i := 0; i < sc.used; i++ {
+		for _, e := range sc.perPath[i] {
+			out = append(out, e.orig)
+		}
+	}
+	return bat.SortDedup(out)
+}
+
+// rollup contracts the path summary deepest-first over the scratch
+// buffers — the procedure meet of Figure 5 in columnar form. Inputs
+// must already have been validated and placed with add; duplicate
+// input OIDs collapse during the per-level sweep (a duplicate shares
+// its run's cur and orig, so it can never fabricate a collision).
+// ctx is checked once per contracted level so a deadline can
+// interrupt one huge roll-up mid-meet.
+func rollup(ctx context.Context, s *monetx.Store, sc *scratch, opt *Options) ([]Result, []bat.OID, error) {
+	sum := s.Summary()
+	maxLift := int32(opt.maxLift())
+	var results []Result
+	for _, p := range sum.DeepestFirst() {
+		entries := sc.perPath[p]
+		if len(entries) == 0 {
+			continue
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, nil, err
+		}
+		parentPath := sum.Parent(p)
+		slices.SortFunc(entries, func(a, b entry) int {
+			if a.cur != b.cur {
+				if a.cur < b.cur {
+					return -1
+				}
+				return 1
+			}
+			if a.orig != b.orig {
+				if a.orig < b.orig {
+					return -1
+				}
+				return 1
+			}
+			return 0
+		})
+		for i := 0; i < len(entries); {
+			j := i + 1
+			for j < len(entries) && entries[j].cur == entries[i].cur {
+				j++
+			}
+			run := dedupRun(entries[i:j])
+			i = j
+			// A collision of two or more live contributions makes cur
+			// a meet (it is the LCA of all of them, since
+			// contributions from a common deeper branch would have
+			// collided earlier).
+			if len(run) >= 2 {
+				excluded := opt.excluded(p)
+				switch {
+				case excluded && opt.skipExcluded():
+					// Extension: keep lifting past inadmissible paths.
+				case excluded:
+					continue // meet_P: consumed, not reported
+				default:
+					if d := opt.maxDistance(); d > 0 && minPairLifts(run) > d {
+						continue // consumed, beyond the pairwise bound
+					}
+					results = append(results, emitRun(s, run))
+					continue
+				}
+			}
+			// Lift the survivors one level.
+			if parentPath == pathsum.Invalid {
+				for _, e := range run {
+					sc.unmatched = append(sc.unmatched, e.orig)
+				}
+				continue
+			}
+			parent := s.Parent(run[0].cur)
+			for _, e := range run {
+				if maxLift > 0 && e.lifts+1 > maxLift {
+					sc.unmatched = append(sc.unmatched, e.orig)
+					continue
+				}
+				sc.perPath[parentPath] = append(sc.perPath[parentPath],
+					entry{cur: parent, orig: e.orig, lifts: e.lifts + 1})
+			}
+		}
+		sc.perPath[p] = entries[:0]
+	}
+	unmatched := make([]bat.OID, len(sc.unmatched))
+	copy(unmatched, sc.unmatched)
+	return SortByDocOrder(results), bat.SortDedup(unmatched), nil
+}
+
+// dedupRun collapses entries with equal orig inside one sorted
+// collision run. Distinct contributions always carry distinct origs —
+// an input travels as exactly one contribution — so this only strips
+// literal input duplicates, which all sit at lift 0.
+func dedupRun(run []entry) []entry {
+	w := 1
+	for i := 1; i < len(run); i++ {
+		if run[i].orig != run[w-1].orig {
+			run[w] = run[i]
+			w++
+		}
+	}
+	return run[:w]
+}
+
+// emitRun assembles a Result from a collision run. The run is sorted
+// by orig, so the witness list is ascending without a further sort.
+func emitRun(s *monetx.Store, run []entry) Result {
+	ws := make([]bat.OID, len(run))
+	total := 0
+	for i, e := range run {
+		ws[i] = e.orig
+		total += int(e.lifts)
+	}
+	return Result{Meet: run[0].cur, Path: s.PathOf(run[0].cur), Witnesses: ws, Distance: total}
+}
+
+// minPairLifts returns the distance between the two closest witnesses
+// of a run: the sum of the two smallest lift counts.
+func minPairLifts(run []entry) int {
+	return minPair(run, func(e entry) int32 { return e.lifts })
+}
+
+// minPair implements the two-smallest-lifts sweep shared by the
+// columnar roll-up (entry) and the set-oriented meet (contribution).
+func minPair[T any](xs []T, lifts func(T) int32) int {
+	if len(xs) < 2 {
+		return 0
+	}
+	min1, min2 := int32(1<<30), int32(1<<30)
+	for _, x := range xs {
+		switch l := lifts(x); {
+		case l < min1:
+			min1, min2 = l, min1
+		case l < min2:
+			min2 = l
+		}
+	}
+	return int(min1 + min2)
+}

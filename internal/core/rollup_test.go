@@ -1,0 +1,113 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"ncq/internal/bat"
+	"ncq/internal/monetx"
+	"ncq/internal/pathsum"
+	"ncq/internal/xmltree"
+)
+
+// bigStore builds a deep, wide document so the roll-up has many
+// contracted levels to check the context between.
+func bigStore(t testing.TB) *monetx.Store {
+	t.Helper()
+	var b strings.Builder
+	b.WriteString("<root>")
+	for i := 0; i < 40; i++ {
+		b.WriteString(fmt.Sprintf("<branch n=\"%d\">", i))
+		for d := 0; d < 12; d++ {
+			b.WriteString("<level>")
+		}
+		b.WriteString("<leaf>payload</leaf>")
+		for d := 0; d < 12; d++ {
+			b.WriteString("</level>")
+		}
+		b.WriteString("</branch>")
+	}
+	b.WriteString("</root>")
+	doc, err := xmltree.Parse(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := monetx.Load(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestMeetContextCancelled pins the satellite contract: an already
+// cancelled context interrupts the roll-up of one large member
+// mid-meet instead of running it to completion.
+func TestMeetContextCancelled(t *testing.T) {
+	s := bigStore(t)
+	oids := make([]bat.OID, 0, s.Len())
+	for o := 1; o <= s.Len(); o++ {
+		oids = append(oids, bat.OID(o))
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := MeetOIDsContext(ctx, s, oids, nil); !errors.Is(err, context.Canceled) {
+		t.Fatalf("MeetOIDsContext(cancelled) err = %v, want context.Canceled", err)
+	}
+	if _, _, err := MeetMultiContext(ctx, s, [][]bat.OID{oids[:10], oids[10:]}, nil); !errors.Is(err, context.Canceled) {
+		t.Fatalf("MeetMultiContext(cancelled) err = %v, want context.Canceled", err)
+	}
+	g := map[pathsum.PathID][]bat.OID{}
+	for _, o := range oids {
+		g[s.PathOf(o)] = append(g[s.PathOf(o)], o)
+	}
+	if _, _, err := MeetContext(ctx, s, g, nil); !errors.Is(err, context.Canceled) {
+		t.Fatalf("MeetContext(cancelled) err = %v, want context.Canceled", err)
+	}
+}
+
+// TestMeetContextBackgroundMatchesPlain pins that the context variants
+// are pure pass-throughs for a live context.
+func TestMeetContextBackgroundMatchesPlain(t *testing.T) {
+	s := bigStore(t)
+	oids := []bat.OID{5, 19, 33, 47, 61}
+	a, ua, err := MeetOIDs(s, oids, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, ub, err := MeetOIDsContext(context.Background(), s, oids, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resultsEqual(a, b) {
+		t.Fatalf("context variant diverged: %+v vs %+v", a, b)
+	}
+	if len(ua) != len(ub) {
+		t.Fatalf("unmatched diverged: %v vs %v", ua, ub)
+	}
+}
+
+// TestMeetScratchReuse hammers one store through the pooled scratch to
+// verify recycled buffers never leak state between queries.
+func TestMeetScratchReuse(t *testing.T) {
+	s := fig1Store(t)
+	want, wantUn, err := MeetOIDs(s, []bat.OID{8, 12, 19}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		got, gotUn, err := MeetOIDs(s, []bat.OID{8, 12, 19}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !resultsEqual(got, want) || len(gotUn) != len(wantUn) {
+			t.Fatalf("iteration %d: scratch reuse changed the answer: %+v vs %+v", i, got, want)
+		}
+		// Interleave a differently shaped query on the same pool.
+		if _, _, err := MeetMulti(s, [][]bat.OID{{15}, {15, 17}}, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,24 @@
+//go:build !race
+
+package fulltext
+
+// Built out under -race: the detector's instrumentation changes
+// allocation counts.
+
+import "testing"
+
+// TestSearchSingleAlloc pins the core claim of the compact postings:
+// a warm single-token search is a slice view plus exactly one copy —
+// the returned []Hit — however many associations the token has.
+func TestSearchSingleAlloc(t *testing.T) {
+	idx := fig1Index(t)
+	idx.Search("1999") // warm
+	got := testing.AllocsPerRun(200, func() {
+		if len(idx.Search("1999")) != 2 {
+			t.Fatal("unexpected hit count")
+		}
+	})
+	if got > 1 {
+		t.Errorf("warm single-token Search allocates %.0f/op, pinned at <= 1", got)
+	}
+}

@@ -7,7 +7,17 @@
 // the character data of cdata nodes and all attribute values — in an
 // inverted index keyed by lower-cased token. Substring search, the
 // semantics of the paper's `contains` predicate, is answered by a scan
-// over the path-partitioned string relations.
+// over the distinct stored values.
+//
+// The index is columnar, matching the path-partitioned binary-relation
+// layout it is built over: all associations live in one table of
+// parallel columns (owner OID, attribute path, value id) sorted by
+// (owner, path), string values are interned once in a shared value
+// table — one 4-byte value id per association instead of one string
+// copy per token×association — and each posting list is a sorted
+// slice of row ids into that table. Single-token search is a single
+// gather pass over one posting list; phrase and substring search
+// narrow candidates by merging sorted postings before verification.
 //
 // A hit identifies the node carrying the string: the cdata node's OID
 // for character data, the owning element's OID for attribute values.
@@ -20,10 +30,12 @@ import (
 	"sort"
 	"strings"
 	"unicode"
+	"unicode/utf8"
 
 	"ncq/internal/bat"
 	"ncq/internal/monetx"
 	"ncq/internal/pathsum"
+	"slices"
 )
 
 // Hit is one matched string association.
@@ -33,39 +45,157 @@ type Hit struct {
 	Value string         // the full stored string
 }
 
+// valueID indexes the shared value table: every stored string is
+// interned once and referenced by id from the association columns.
+type valueID uint32
+
 // Index is an inverted index over all string associations of a store.
 type Index struct {
-	store *monetx.Store
-	post  map[string][]Hit // token -> hits, in index-build order
+	store  *monetx.Store
+	values []string // interned distinct strings, in first-seen order
+
+	// The association table: one row per stored string association,
+	// sorted by (owner, path). Predicate scans sweep it instead of
+	// re-walking the store's string relations, evaluating the
+	// predicate once per distinct value.
+	owners []bat.OID
+	paths  []pathsum.PathID
+	vals   []valueID
+
+	// post maps a token to the sorted row ids of the associations
+	// containing it — the compact posting lists. Row order is
+	// (owner, path) order, so a posting list materialises into an
+	// ordered result with a single gather pass, and intersecting two
+	// postings is a linear merge of sorted ints.
+	post map[string][]int32
 }
 
 // Tokenize splits s into lower-cased maximal runs of letters and
-// digits. "Hacking & RSI" tokenizes to ["hacking", "rsi"].
+// digits. "Hacking & RSI" tokenizes to ["hacking", "rsi"]. Tokens are
+// cloned, so retaining one does not pin s in memory.
 func Tokenize(s string) []string {
-	var out []string
-	var cur strings.Builder
-	flush := func() {
-		if cur.Len() > 0 {
-			out = append(out, cur.String())
-			cur.Reset()
+	toks := appendTokens(nil, s)
+	for i, t := range toks {
+		toks[i] = strings.Clone(t)
+	}
+	return toks
+}
+
+// appendTokens appends the tokens of s to dst. Tokens are sliced out
+// of s (or of one lower-cased copy when s contains upper-case runes)
+// rather than built rune by rune, so tokenizing allocates at most once
+// per value instead of once per token. The tokens alias s — fine for
+// the index build, which retains every value in the value table
+// anyway; the exported Tokenize clones them instead.
+func appendTokens(dst []string, s string) []string {
+	lower := true
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c >= utf8.RuneSelf || ('A' <= c && c <= 'Z') {
+			lower = false
+			break
 		}
 	}
-	for _, r := range s {
+	if !lower {
+		// Per-rune lowering preserves letter/digit runs, so token
+		// boundaries in the lowered copy match those in s.
+		s = strings.Map(unicode.ToLower, s)
+	}
+	start := -1
+	for i, r := range s {
 		if unicode.IsLetter(r) || unicode.IsDigit(r) {
-			cur.WriteRune(unicode.ToLower(r))
-		} else {
-			flush()
+			if start < 0 {
+				start = i
+			}
+			continue
+		}
+		if start >= 0 {
+			dst = append(dst, s[start:i])
+			start = -1
 		}
 	}
-	flush()
-	return out
+	if start >= 0 {
+		dst = append(dst, s[start:])
+	}
+	return dst
+}
+
+// firstToken returns the first token of s lower-cased, the remainder
+// of s after it, and whether a token was found. For terms that are
+// already lower-case it allocates nothing.
+func firstToken(s string) (tok, rest string, ok bool) {
+	start := -1
+	for i, r := range s {
+		if unicode.IsLetter(r) || unicode.IsDigit(r) {
+			if start < 0 {
+				start = i
+			}
+			continue
+		}
+		if start >= 0 {
+			return lowerToken(s[start:i]), s[i:], true
+		}
+	}
+	if start >= 0 {
+		return lowerToken(s[start:]), "", true
+	}
+	return "", "", false
+}
+
+func lowerToken(t string) string {
+	for i := 0; i < len(t); i++ {
+		c := t[i]
+		if c >= utf8.RuneSelf || ('A' <= c && c <= 'Z') {
+			return strings.Map(unicode.ToLower, t)
+		}
+	}
+	return t
+}
+
+// dedupTokens removes duplicate tokens in place, keeping first
+// occurrences in order. Values carry a handful of tokens almost
+// always, so the small-slice sweep beats a per-association set
+// allocation (which used to dominate index build on token-dense
+// corpora); token-heavy values (long cdata passages) fall back to a
+// set so one big string cannot make the build quadratic.
+func dedupTokens(toks []string) []string {
+	const smallDedup = 32
+	if len(toks) > smallDedup {
+		seen := make(map[string]struct{}, len(toks))
+		w := 0
+		for _, t := range toks {
+			if _, dup := seen[t]; !dup {
+				seen[t] = struct{}{}
+				toks[w] = t
+				w++
+			}
+		}
+		return toks[:w]
+	}
+	w := 0
+	for _, t := range toks {
+		dup := false
+		for j := 0; j < w; j++ {
+			if toks[j] == t {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			toks[w] = t
+			w++
+		}
+	}
+	return toks[:w]
 }
 
 // New builds the inverted index for the store by scanning every string
 // relation in the path summary's catalogue.
 func New(store *monetx.Store) *Index {
-	idx := &Index{store: store, post: make(map[string][]Hit)}
+	idx := &Index{store: store, post: make(map[string][]int32)}
 	sum := store.Summary()
+	intern := make(map[string]valueID)
+	var valueToks [][]string // tokens per interned value, deduplicated
 	for _, pid := range sum.AllPaths() {
 		if sum.Kind(pid) != pathsum.Attr {
 			continue
@@ -76,17 +206,63 @@ func New(store *monetx.Store) *Index {
 		}
 		for i := 0; i < rel.Len(); i++ {
 			owner, value := rel.Head(i), rel.Tail(i)
-			seen := map[string]bool{}
-			for _, tok := range Tokenize(value) {
-				if seen[tok] {
-					continue
-				}
-				seen[tok] = true
-				idx.post[tok] = append(idx.post[tok], Hit{Owner: owner, Path: pid, Value: value})
+			vid, ok := intern[value]
+			if !ok {
+				vid = valueID(len(idx.values))
+				intern[value] = vid
+				idx.values = append(idx.values, value)
+				valueToks = append(valueToks, dedupTokens(appendTokens(nil, value)))
+			}
+			row := int32(len(idx.owners))
+			idx.owners = append(idx.owners, owner)
+			idx.paths = append(idx.paths, pid)
+			idx.vals = append(idx.vals, vid)
+			for _, tok := range valueToks[vid] {
+				idx.post[tok] = append(idx.post[tok], row)
 			}
 		}
 	}
+	idx.sortRows()
 	return idx
+}
+
+// sortRows orders the association table by (owner, path) and rewrites
+// every posting list into the new row order. The build scans relations
+// in path order with ascending owners inside each relation, so a token
+// occurring under a single path — the common case — needs no sort
+// after remapping; the O(n) sortedness check skips it.
+func (idx *Index) sortRows() {
+	n := len(idx.owners)
+	// The scan emits rows per relation in ascending path-id order, so
+	// for one owner the original row order already is path order:
+	// sorting packed (owner, row) keys sorts by (owner, path) — and an
+	// (owner, path) pair identifies at most one association, so the
+	// order is total — while keeping the permutation in the low bits.
+	keys := make([]uint64, n)
+	for i := range keys {
+		keys[i] = uint64(idx.owners[i])<<32 | uint64(uint32(i))
+	}
+	slices.Sort(keys)
+	owners := make([]bat.OID, n)
+	paths := make([]pathsum.PathID, n)
+	vals := make([]valueID, n)
+	inv := make([]int32, n)
+	for newPos, key := range keys {
+		old := int32(uint32(key))
+		owners[newPos] = idx.owners[old]
+		paths[newPos] = idx.paths[old]
+		vals[newPos] = idx.vals[old]
+		inv[old] = int32(newPos)
+	}
+	idx.owners, idx.paths, idx.vals = owners, paths, vals
+	for _, rows := range idx.post {
+		for i, r := range rows {
+			rows[i] = inv[r]
+		}
+		if !slices.IsSorted(rows) {
+			slices.Sort(rows)
+		}
+	}
 }
 
 // Store returns the store the index was built over.
@@ -95,88 +271,166 @@ func (idx *Index) Store() *monetx.Store { return idx.store }
 // Terms returns the number of distinct tokens in the index.
 func (idx *Index) Terms() int { return len(idx.post) }
 
-// Search returns the associations containing term as a token,
-// case-insensitively. The result is ordered by owner OID.
-func (idx *Index) Search(term string) []Hit {
-	toks := Tokenize(term)
-	if len(toks) == 0 {
+// hits materialises a posting list (sorted association row ids) as
+// Hits. Postings are sorted at build time, so this is the single copy
+// a search result costs.
+func (idx *Index) hits(rows []int32) []Hit {
+	if len(rows) == 0 {
 		return nil
 	}
-	if len(toks) == 1 {
-		return sortHits(append([]Hit(nil), idx.post[toks[0]]...))
+	out := make([]Hit, len(rows))
+	for i, r := range rows {
+		out[i] = Hit{Owner: idx.owners[r], Path: idx.paths[r], Value: idx.values[idx.vals[r]]}
 	}
-	// Multi-token term: all tokens must occur in the same association;
-	// verify the full phrase by substring on the candidates.
-	cand := idx.post[toks[0]]
+	return out
+}
+
+// Search returns the associations containing term as a token,
+// case-insensitively (the result is ordered by owner OID). A
+// single-token search is one gather pass over one pre-sorted posting
+// list; a multi-token term must occur as a phrase in one association,
+// located by intersecting the candidate postings smallest-first and
+// verifying the phrase on the survivors.
+func (idx *Index) Search(term string) []Hit {
+	tok, rest, ok := firstToken(term)
+	if !ok {
+		return nil
+	}
+	if _, _, more := firstToken(rest); !more {
+		// Single-token fast path: no token slice, no sort, one copy.
+		return idx.hits(idx.post[tok])
+	}
+	toks := Tokenize(term)
+	// Candidates must contain the leading token as a complete token
+	// (the pinned phrase semantics) and every interior token too: an
+	// interior token is bounded by non-alphanumerics inside the
+	// phrase, so any value containing the phrase contains it as a
+	// complete token. The trailing token may extend to the right
+	// ("Byte" matching "Bytes"), so its posting cannot narrow.
+	cand, ok := idx.intersectPostings(toks[:len(toks)-1])
+	if !ok {
+		return nil
+	}
+	needle := strings.ToLower(term)
 	var out []Hit
-	for _, h := range cand {
-		if containsFold(h.Value, term) {
-			out = append(out, h)
+	for _, r := range cand {
+		if v := idx.values[idx.vals[r]]; strings.Contains(strings.ToLower(v), needle) {
+			out = append(out, Hit{Owner: idx.owners[r], Path: idx.paths[r], Value: v})
 		}
 	}
-	return sortHits(out)
+	return out
+}
+
+// intersectPostings merges the posting lists of the given tokens,
+// starting from the smallest. The second return is false when some
+// token has no posting at all.
+func (idx *Index) intersectPostings(toks []string) ([]int32, bool) {
+	smallest := 0
+	for i, tok := range toks {
+		p, ok := idx.post[tok]
+		if !ok || len(p) == 0 {
+			return nil, false
+		}
+		if len(p) < len(idx.post[toks[smallest]]) {
+			smallest = i
+		}
+	}
+	cand := idx.post[toks[smallest]]
+	// Ping-pong two buffers through the narrowing merges: the write
+	// target never aliases cand (a shared posting list, or the other
+	// buffer), and a k-token query costs at most two intermediates.
+	var bufs [2][]int32
+	cur := 0
+	for i, tok := range toks {
+		if i == smallest {
+			continue
+		}
+		bufs[cur] = bat.IntersectSorted(bufs[cur][:0], cand, idx.post[tok])
+		cand = bufs[cur]
+		cur ^= 1
+		if len(cand) == 0 {
+			return nil, false
+		}
+	}
+	return cand, true
 }
 
 // SearchSubstring returns the associations whose value contains sub as
 // a case-sensitive substring — the semantics of the paper's
-// `contains` predicate ("o & contains 'Bit'"). It scans the string
-// relations directly.
+// `contains` predicate ("o & contains 'Bit'"). Substrings spanning
+// three or more tokens are narrowed through the posting lists first
+// (the interior tokens must occur verbatim); otherwise the distinct
+// value table is scanned, each stored string tested once however many
+// associations carry it.
 func (idx *Index) SearchSubstring(sub string) []Hit {
 	if sub == "" {
 		return nil
 	}
+	if toks := Tokenize(sub); len(toks) >= 3 {
+		// A value containing sub contains each interior token bounded
+		// by the same non-alphanumerics, i.e. as a complete token.
+		cand, ok := idx.intersectPostings(toks[1 : len(toks)-1])
+		if !ok {
+			return nil
+		}
+		var out []Hit
+		for _, r := range cand {
+			if v := idx.values[idx.vals[r]]; strings.Contains(v, sub) {
+				out = append(out, Hit{Owner: idx.owners[r], Path: idx.paths[r], Value: v})
+			}
+		}
+		return out
+	}
 	return idx.scan(func(v string) bool { return strings.Contains(v, sub) })
 }
 
-// SearchFunc returns the associations whose value satisfies pred.
+// SearchFunc returns the associations whose value satisfies pred. The
+// predicate is evaluated once per distinct stored value.
 func (idx *Index) SearchFunc(pred func(string) bool) []Hit {
 	return idx.scan(pred)
 }
 
 func (idx *Index) scan(pred func(string) bool) []Hit {
-	sum := idx.store.Summary()
-	var out []Hit
-	for _, pid := range sum.AllPaths() {
-		if sum.Kind(pid) != pathsum.Attr {
-			continue
-		}
-		rel := idx.store.Strings(pid)
-		if rel == nil {
-			continue
-		}
-		for i := 0; i < rel.Len(); i++ {
-			if pred(rel.Tail(i)) {
-				out = append(out, Hit{Owner: rel.Head(i), Path: pid, Value: rel.Tail(i)})
-			}
+	matched := make([]bool, len(idx.values))
+	any := false
+	for vid, v := range idx.values {
+		if pred(v) {
+			matched[vid] = true
+			any = true
 		}
 	}
-	return sortHits(out)
+	if !any {
+		return nil
+	}
+	var out []Hit
+	for i, vid := range idx.vals {
+		if matched[vid] {
+			out = append(out, Hit{Owner: idx.owners[i], Path: idx.paths[i], Value: idx.values[vid]})
+		}
+	}
+	return out
 }
 
 // Owners extracts the distinct owner OIDs of hits, in ascending order.
 func Owners(hits []Hit) []bat.OID {
-	seen := bat.NewSet()
-	for _, h := range hits {
-		seen.Add(h.Owner)
+	out := make([]bat.OID, len(hits))
+	for i, h := range hits {
+		out[i] = h.Owner
 	}
-	return seen.Slice()
+	return bat.SortDedup(out)
 }
 
 // Groups partitions the distinct owner OIDs of hits by the owners'
 // element path: the R_1 … R_n input relations of the general meet
 // (Figure 5). OIDs within a group are in ascending order.
 func (idx *Index) Groups(hits []Hit) map[pathsum.PathID][]bat.OID {
-	perPath := make(map[pathsum.PathID]*bat.Set)
+	out := make(map[pathsum.PathID][]bat.OID)
 	for _, h := range hits {
 		p := idx.store.PathOf(h.Owner)
-		if perPath[p] == nil {
-			perPath[p] = bat.NewSet()
-		}
-		perPath[p].Add(h.Owner)
+		out[p] = append(out[p], h.Owner)
 	}
-	out := make(map[pathsum.PathID][]bat.OID, len(perPath))
-	for p, s := range perPath {
-		out[p] = s.Slice()
+	for p, oids := range out {
+		out[p] = bat.SortDedup(oids)
 	}
 	return out
 }
@@ -189,8 +443,4 @@ func sortHits(hits []Hit) []Hit {
 		return hits[i].Path < hits[j].Path
 	})
 	return hits
-}
-
-func containsFold(haystack, needle string) bool {
-	return strings.Contains(strings.ToLower(haystack), strings.ToLower(needle))
 }

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // PathID identifies an interned path. IDs are dense indices starting at
@@ -56,6 +57,12 @@ type key struct {
 type Summary struct {
 	nodes []node
 	byKey map[key]PathID
+
+	// dfMu guards the lazily built DeepestFirst cache. Interning
+	// invalidates it; concurrent readers of a fully loaded summary
+	// share one computation (mirroring the BAT's lazy head index).
+	dfMu    sync.Mutex
+	dfCache []PathID
 }
 
 // New returns an empty summary.
@@ -91,6 +98,9 @@ func (s *Summary) Intern(parent PathID, label string, kind Kind) (PathID, error)
 	id := PathID(len(s.nodes))
 	s.nodes = append(s.nodes, node{parent: parent, label: label, kind: kind, depth: depth})
 	s.byKey[k] = id
+	s.dfMu.Lock()
+	s.dfCache = nil
+	s.dfMu.Unlock()
 	if parent != Invalid {
 		if kind == Attr {
 			s.nodes[parent].attrs = append(s.nodes[parent].attrs, id)
@@ -226,7 +236,15 @@ func (s *Summary) Leq(p, q PathID) bool { return s.IsPrefix(q, p) }
 // general meet algorithm: every path appears after all of its summary
 // children, so rolling up in this order contracts leaves repeatedly
 // until the root is reached (Figure 5 of the paper).
+//
+// The order is computed once and cached (interning invalidates it);
+// the returned slice is shared and must not be modified.
 func (s *Summary) DeepestFirst() []PathID {
+	s.dfMu.Lock()
+	defer s.dfMu.Unlock()
+	if s.dfCache != nil {
+		return s.dfCache
+	}
 	out := make([]PathID, 0, len(s.nodes))
 	for id := range s.nodes {
 		if s.nodes[id].kind == Elem {
@@ -240,6 +258,7 @@ func (s *Summary) DeepestFirst() []PathID {
 		}
 		return out[i] < out[j]
 	})
+	s.dfCache = out
 	return out
 }
 

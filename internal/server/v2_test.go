@@ -274,9 +274,12 @@ func TestQueryV2Validation(t *testing.T) {
 func TestQueryV2Deadline(t *testing.T) {
 	s := newTestServer(t)
 	// A heavyweight corpus: broad terms over several sharded documents.
+	// Sized so the query body outlasts 1ms even on the columnar hot
+	// path (the postings rebuild made 2500-record members finish
+	// before the deadline timer could ever fire).
 	for i := 0; i < 3; i++ {
 		name := fmt.Sprintf("big%d", i)
-		if rec := do(t, s, "PUT", "/v1/docs/"+name+"?shards=4", shardedBib(2500)); rec.Code != http.StatusCreated {
+		if rec := do(t, s, "PUT", "/v1/docs/"+name+"?shards=4", shardedBib(20000)); rec.Code != http.StatusCreated {
 			t.Fatalf("put %s: %d", name, rec.Code)
 		}
 	}

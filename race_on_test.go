@@ -1,0 +1,8 @@
+//go:build race
+
+package ncq
+
+// raceEnabled reports that this test binary was built with the race
+// detector, whose instrumentation changes allocation counts; the
+// allocation-pinning tests skip themselves when it is set.
+const raceEnabled = true

@@ -94,7 +94,10 @@ func (db *Database) termMeets(ctx context.Context, terms []string, opt *Options,
 	if err := ctx.Err(); err != nil {
 		return nil, 0, nil, err
 	}
-	results, un, err := core.MeetMulti(db.store, sets, copt)
+	// The context threads into the roll-up itself (checked per
+	// contracted level), so a deadline interrupts one huge member
+	// mid-meet, not just between members.
+	results, un, err := core.MeetMultiContext(ctx, db.store, sets, copt)
 	if err != nil {
 		return nil, 0, nil, fmt.Errorf("ncq: %w", err)
 	}

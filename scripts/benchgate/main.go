@@ -1,9 +1,12 @@
 // Command benchgate compares two `go test -bench` outputs (a baseline
 // and a head run, each typically produced with -count N) and exits
-// non-zero when a gated benchmark's median ns/op regressed by more
-// than the threshold. CI runs it after benchstat: benchstat renders
-// the human table, benchgate is the machine-checkable gate, with no
-// dependency outside the standard library.
+// non-zero when a gated benchmark's median regressed by more than the
+// threshold in any tracked metric: ns/op always, and — when the runs
+// were produced with -benchmem — B/op and allocs/op as well, so an
+// allocation regression on the serving path fails the build even when
+// wall-clock noise hides it. CI runs it after benchstat: benchstat
+// renders the human table, benchgate is the machine-checkable gate,
+// with no dependency outside the standard library.
 //
 // Usage:
 //
@@ -14,18 +17,23 @@
 // "BenchmarkServerQuery" gates BenchmarkServerQuery/cold-4 and
 // BenchmarkServerQuery/cached-4 alike, but not
 // BenchmarkServerQueryExtra. Benchmarks present in only one file are
-// reported but never gate.
+// reported but never gate; a metric present in only one run never
+// gates either.
 package main
 
 import (
 	"bufio"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"sort"
 	"strconv"
 	"strings"
 )
+
+// units are the tracked metrics, in report order.
+var units = []string{"ns/op", "B/op", "allocs/op"}
 
 func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
@@ -34,7 +42,7 @@ func main() {
 func run(argv []string, stdout, stderr *os.File) int {
 	fs := flag.NewFlagSet("benchgate", flag.ContinueOnError)
 	fs.SetOutput(stderr)
-	threshold := fs.Float64("threshold", 20, "maximum allowed regression in percent")
+	threshold := fs.Float64("threshold", 20, "maximum allowed regression in percent (per metric)")
 	gate := fs.String("gate", "", "comma-separated benchmark base names to gate, sub-benchmarks included (empty = all)")
 	if err := fs.Parse(argv); err != nil {
 		return 2
@@ -71,21 +79,32 @@ func gatePrefixes(s string) []string {
 	return out
 }
 
-// parseFile extracts ns/op samples per benchmark name from go test
-// -bench output.
-func parseFile(path string) (map[string][]float64, error) {
+// samples holds one benchmark's measurements per tracked unit.
+type samples map[string][]float64
+
+// parseFile extracts the tracked metrics per benchmark name from go
+// test -bench output.
+func parseFile(path string) (map[string]samples, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
 	defer f.Close()
-	out := make(map[string][]float64)
+	out := make(map[string]samples)
 	sc := bufio.NewScanner(f)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for sc.Scan() {
-		name, ns, ok := parseLine(sc.Text())
-		if ok {
-			out[name] = append(out[name], ns)
+		name, vals, ok := parseLine(sc.Text())
+		if !ok {
+			continue
+		}
+		s := out[name]
+		if s == nil {
+			s = make(samples)
+			out[name] = s
+		}
+		for unit, v := range vals {
+			s[unit] = append(s[unit], v)
 		}
 	}
 	if err := sc.Err(); err != nil {
@@ -97,23 +116,41 @@ func parseFile(path string) (map[string][]float64, error) {
 	return out, nil
 }
 
-// parseLine reads one "BenchmarkName-P  N  123.4 ns/op  ..." line.
-func parseLine(line string) (name string, nsPerOp float64, ok bool) {
+// parseLine reads one "BenchmarkName-P  N  123.4 ns/op  56 B/op ..."
+// line, returning every tracked metric present. A line counts only
+// when it carries ns/op (every go test bench line does).
+func parseLine(line string) (name string, vals map[string]float64, ok bool) {
 	fields := strings.Fields(line)
 	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
-		return "", 0, false
+		return "", nil, false
 	}
 	for i := 2; i+1 < len(fields); i += 2 {
-		if fields[i+1] != "ns/op" {
+		unit := fields[i+1]
+		if !tracked(unit) {
 			continue
 		}
 		v, err := strconv.ParseFloat(fields[i], 64)
 		if err != nil {
-			return "", 0, false
+			return "", nil, false
 		}
-		return fields[0], v, true
+		if vals == nil {
+			vals = make(map[string]float64, len(units))
+		}
+		vals[unit] = v
 	}
-	return "", 0, false
+	if _, hasNS := vals["ns/op"]; !hasNS {
+		return "", nil, false
+	}
+	return fields[0], vals, true
+}
+
+func tracked(unit string) bool {
+	for _, u := range units {
+		if u == unit {
+			return true
+		}
+	}
+	return false
 }
 
 func median(xs []float64) float64 {
@@ -151,9 +188,10 @@ func gated(name string, prefixes []string) bool {
 	return false
 }
 
-// compare renders a delta table and reports whether any gated
-// benchmark regressed beyond threshold percent.
-func compare(base, head map[string][]float64, threshold float64, prefixes []string) (string, bool) {
+// compare renders a delta table per tracked metric and reports whether
+// any gated benchmark regressed beyond threshold percent in any of
+// them.
+func compare(base, head map[string]samples, threshold float64, prefixes []string) (string, bool) {
 	names := make([]string, 0, len(base))
 	for n := range base {
 		names = append(names, n)
@@ -167,17 +205,31 @@ func compare(base, head map[string][]float64, threshold float64, prefixes []stri
 			fmt.Fprintf(&b, "%-60s missing from head run\n", n)
 			continue
 		}
-		bm, hm := median(base[n]), median(hs)
-		delta := 100 * (hm - bm) / bm
-		mark := " "
-		if gated(n, prefixes) {
-			mark = "·"
-			if delta > threshold {
-				mark = "✗"
-				failed = true
+		for _, unit := range units {
+			bxs, hxs := base[n][unit], hs[unit]
+			if len(bxs) == 0 || len(hxs) == 0 {
+				continue // metric absent from one run: report nothing, gate nothing
 			}
+			bm, hm := median(bxs), median(hxs)
+			var delta float64
+			switch {
+			case bm != 0:
+				delta = 100 * (hm - bm) / bm
+			case hm != 0:
+				// From zero to anything: an unbounded regression, so
+				// no finite threshold can wave it through.
+				delta = math.Inf(1)
+			}
+			mark := " "
+			if gated(n, prefixes) {
+				mark = "·"
+				if delta > threshold {
+					mark = "✗"
+					failed = true
+				}
+			}
+			fmt.Fprintf(&b, "%s %-58s %12.0f -> %12.0f %-9s %+6.1f%%\n", mark, n, bm, hm, unit, delta)
 		}
-		fmt.Fprintf(&b, "%s %-58s %12.0f -> %12.0f ns/op  %+6.1f%%\n", mark, n, bm, hm, delta)
 	}
 	for n := range head {
 		if _, ok := base[n]; !ok {

@@ -11,21 +11,40 @@ func TestParseLine(t *testing.T) {
 	cases := []struct {
 		line string
 		name string
-		ns   float64
+		vals map[string]float64
 		ok   bool
 	}{
-		{"BenchmarkServerQuery/cold-4         	     100	   1104213 ns/op", "BenchmarkServerQuery/cold-4", 1104213, true},
-		{"BenchmarkSnapshotSave-4   10  9.5 ns/op  120 MB/s", "BenchmarkSnapshotSave-4", 9.5, true},
-		{"BenchmarkFig7CaseStudy/yearLow=1999-4  3  2000 ns/op  42 results", "BenchmarkFig7CaseStudy/yearLow=1999-4", 2000, true},
-		{"PASS", "", 0, false},
-		{"ok  	ncq	0.6s", "", 0, false},
-		{"goos: linux", "", 0, false},
+		{
+			"BenchmarkServerQuery/cold-4         	     100	   1104213 ns/op",
+			"BenchmarkServerQuery/cold-4", map[string]float64{"ns/op": 1104213}, true,
+		},
+		{
+			"BenchmarkSnapshotSave-4   10  9.5 ns/op  120 MB/s", "BenchmarkSnapshotSave-4",
+			map[string]float64{"ns/op": 9.5}, true,
+		},
+		{
+			"BenchmarkFig7CaseStudy/yearLow=1999-4  3  2000 ns/op  42 results",
+			"BenchmarkFig7CaseStudy/yearLow=1999-4", map[string]float64{"ns/op": 2000}, true,
+		},
+		{
+			"BenchmarkSearch-4  500  2100 ns/op  1024 B/op  1 allocs/op",
+			"BenchmarkSearch-4", map[string]float64{"ns/op": 2100, "B/op": 1024, "allocs/op": 1}, true,
+		},
+		{"PASS", "", nil, false},
+		{"ok  	ncq	0.6s", "", nil, false},
+		{"goos: linux", "", nil, false},
 	}
 	for _, c := range cases {
-		name, ns, ok := parseLine(c.line)
-		if name != c.name || ns != c.ns || ok != c.ok {
+		name, vals, ok := parseLine(c.line)
+		if name != c.name || ok != c.ok || len(vals) != len(c.vals) {
 			t.Errorf("parseLine(%q) = (%q, %v, %t), want (%q, %v, %t)",
-				c.line, name, ns, ok, c.name, c.ns, c.ok)
+				c.line, name, vals, ok, c.name, c.vals, c.ok)
+			continue
+		}
+		for unit, want := range c.vals {
+			if vals[unit] != want {
+				t.Errorf("parseLine(%q)[%s] = %v, want %v", c.line, unit, vals[unit], want)
+			}
 		}
 	}
 }
@@ -48,17 +67,21 @@ func TestGated(t *testing.T) {
 	}
 }
 
+func mkSamples(unit string, xs ...float64) samples {
+	return samples{unit: xs}
+}
+
 func TestCompareGate(t *testing.T) {
-	base := map[string][]float64{
-		"BenchmarkServerQuery/cold-4": {100, 110, 105},
-		"BenchmarkBatchQuery/cold-4":  {100, 100, 100},
-		"BenchmarkOnlyInBase-4":       {1},
+	base := map[string]samples{
+		"BenchmarkServerQuery/cold-4": mkSamples("ns/op", 100, 110, 105),
+		"BenchmarkBatchQuery/cold-4":  mkSamples("ns/op", 100, 100, 100),
+		"BenchmarkOnlyInBase-4":       mkSamples("ns/op", 1),
 	}
 	// Within threshold: +10% on the gated benchmark.
-	head := map[string][]float64{
-		"BenchmarkServerQuery/cold-4": {115, 116, 114},
-		"BenchmarkBatchQuery/cold-4":  {900}, // ungated: may regress freely
-		"BenchmarkOnlyInHead-4":       {1},
+	head := map[string]samples{
+		"BenchmarkServerQuery/cold-4": mkSamples("ns/op", 115, 116, 114),
+		"BenchmarkBatchQuery/cold-4":  mkSamples("ns/op", 900), // ungated: may regress freely
+		"BenchmarkOnlyInHead-4":       mkSamples("ns/op", 1),
 	}
 	report, failed := compare(base, head, 20, []string{"BenchmarkServerQuery"})
 	if failed {
@@ -69,13 +92,48 @@ func TestCompareGate(t *testing.T) {
 	}
 
 	// Beyond threshold fails.
-	head["BenchmarkServerQuery/cold-4"] = []float64{140, 141, 139}
+	head["BenchmarkServerQuery/cold-4"] = mkSamples("ns/op", 140, 141, 139)
 	report, failed = compare(base, head, 20, []string{"BenchmarkServerQuery"})
 	if !failed {
 		t.Fatalf("+33%% passed the 20%% gate:\n%s", report)
 	}
 	if !strings.Contains(report, "FAIL") {
 		t.Errorf("failing report lacks FAIL line:\n%s", report)
+	}
+}
+
+func TestCompareGatesMemoryMetrics(t *testing.T) {
+	base := map[string]samples{
+		"BenchmarkServerQuery/cold-4": {
+			"ns/op": {100, 101}, "B/op": {1000, 1000}, "allocs/op": {50, 50},
+		},
+	}
+	// ns/op steady, allocs/op doubled: the gate must fail.
+	head := map[string]samples{
+		"BenchmarkServerQuery/cold-4": {
+			"ns/op": {100, 100}, "B/op": {1010, 1010}, "allocs/op": {100, 100},
+		},
+	}
+	report, failed := compare(base, head, 20, []string{"BenchmarkServerQuery"})
+	if !failed {
+		t.Fatalf("allocs/op doubling passed the gate:\n%s", report)
+	}
+	if !strings.Contains(report, "allocs/op") {
+		t.Errorf("report lacks allocs/op line:\n%s", report)
+	}
+
+	// A metric present only in the head run (e.g. baseline ran without
+	// -benchmem) must not gate.
+	base["BenchmarkServerQuery/cold-4"] = samples{"ns/op": {100, 101}}
+	if report, failed := compare(base, head, 20, []string{"BenchmarkServerQuery"}); failed {
+		t.Fatalf("head-only metric gated:\n%s", report)
+	}
+
+	// Zero-to-nonzero on a gated metric counts as a regression.
+	base["BenchmarkServerQuery/cold-4"] = samples{"ns/op": {100}, "allocs/op": {0}}
+	head["BenchmarkServerQuery/cold-4"] = samples{"ns/op": {100}, "allocs/op": {3}}
+	if report, failed := compare(base, head, 20, []string{"BenchmarkServerQuery"}); !failed {
+		t.Fatalf("0 -> 3 allocs/op passed the gate:\n%s", report)
 	}
 }
 
@@ -90,19 +148,23 @@ func TestRunEndToEnd(t *testing.T) {
 	}
 	base := write("base.txt", `
 goos: linux
-BenchmarkServerQuery/cold-4   100  1000 ns/op
-BenchmarkServerQuery/cold-4   100  1020 ns/op
+BenchmarkServerQuery/cold-4   100  1000 ns/op  2000 B/op  20 allocs/op
+BenchmarkServerQuery/cold-4   100  1020 ns/op  2000 B/op  20 allocs/op
 BenchmarkOther-4              100  500 ns/op
 PASS
 `)
 	good := write("good.txt", `
-BenchmarkServerQuery/cold-4   100  1100 ns/op
-BenchmarkServerQuery/cold-4   100  1090 ns/op
+BenchmarkServerQuery/cold-4   100  1100 ns/op  2050 B/op  20 allocs/op
+BenchmarkServerQuery/cold-4   100  1090 ns/op  2050 B/op  20 allocs/op
 BenchmarkOther-4              100  5000 ns/op
 `)
 	bad := write("bad.txt", `
-BenchmarkServerQuery/cold-4   100  2000 ns/op
-BenchmarkServerQuery/cold-4   100  2100 ns/op
+BenchmarkServerQuery/cold-4   100  2000 ns/op  2000 B/op  20 allocs/op
+BenchmarkServerQuery/cold-4   100  2100 ns/op  2000 B/op  20 allocs/op
+`)
+	badMem := write("badmem.txt", `
+BenchmarkServerQuery/cold-4   100  1000 ns/op  9000 B/op  220 allocs/op
+BenchmarkServerQuery/cold-4   100  1010 ns/op  9000 B/op  220 allocs/op
 `)
 	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
 	if err != nil {
@@ -115,6 +177,9 @@ BenchmarkServerQuery/cold-4   100  2100 ns/op
 	}
 	if code := run(append(gate, base, bad), devnull, devnull); code != 1 {
 		t.Errorf("bad head: exit %d", code)
+	}
+	if code := run(append(gate, base, badMem), devnull, devnull); code != 1 {
+		t.Errorf("memory-regressed head: exit %d", code)
 	}
 	if code := run([]string{base}, devnull, devnull); code != 2 {
 		t.Errorf("missing arg: exit %d", code)
