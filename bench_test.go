@@ -621,6 +621,55 @@ func BenchmarkQueryV2(b *testing.B) {
 	})
 }
 
+// BenchmarkStreamFirstMeet measures time-to-first-result on a
+// multi-member corpus with a cold cache: the consumer takes the first
+// globally ranked meet off the Results sequence and abandons the rest.
+// Under the k-way merge this is bounded by the slowest member's first
+// answer (compute + O(n) heapify), with no global sort and no full
+// drain — the latency the streaming surfaces put in front of users.
+func BenchmarkStreamFirstMeet(b *testing.B) {
+	c := benchCorpus(b, 8)
+	ctx := context.Background()
+	req := ncq.Request{Terms: []string{"ICDE", "1999"}, Options: ncq.ExcludeRoot()}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		got := false
+		for _, err := range c.Results(ctx, req) {
+			if err != nil {
+				b.Fatal(err)
+			}
+			got = true
+			break
+		}
+		if !got {
+			b.Fatal("no meets")
+		}
+	}
+}
+
+// BenchmarkResultsDrain measures the full incremental path end to end:
+// fan-out, per-member lazy ranking, k-way merge, and a complete drain
+// of the sequence — the streaming equivalent of an unlimited Run.
+func BenchmarkResultsDrain(b *testing.B) {
+	c := benchCorpus(b, 4)
+	ctx := context.Background()
+	req := ncq.Request{Terms: []string{"ICDE", "1999"}, Options: ncq.ExcludeRoot()}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := 0
+		for _, err := range c.Results(ctx, req) {
+			if err != nil {
+				b.Fatal(err)
+			}
+			n++
+		}
+		if n == 0 {
+			b.Fatal("no meets")
+		}
+	}
+}
+
 // BenchmarkQueryParseOnly isolates the query compiler.
 func BenchmarkQueryParseOnly(b *testing.B) {
 	const q = `SELECT meet(e1, e2; EXCLUDE /dblp, WITHIN 6)

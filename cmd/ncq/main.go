@@ -14,16 +14,27 @@
 //	ncq -f doc.xml -save-snapshot doc.snap stats   # persist the store
 //	ncq -snap doc.snap meet Bit 1999               # reload without parsing
 //
+//	ncq -f doc.xml -stream meet Bit 1999           # print meets as they rank
+//	ncq -server http://localhost:8334 -stream meet Bit 1999
+//
 // meet accepts the options -exclude-root, -within and -show to control
-// the operator and result rendering.
+// the operator and result rendering. -stream switches meet to
+// incremental output: each nearest concept is printed the moment the
+// ranked stream yields it, with the summary line last. -server runs
+// the meet against a running ncqd instead of a local file — with
+// -stream it consumes the daemon's NDJSON endpoint
+// (POST /v2/query?stream=1), printing each line as it arrives.
 package main
 
 import (
 	"bufio"
+	"bytes"
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
 	"os"
 	"os/signal"
 	"strings"
@@ -48,15 +59,50 @@ func run(argv []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		excludeRoot = fs.Bool("exclude-root", true, "meet: discard matches at the document root")
 		within      = fs.Int("within", 0, "meet: maximum witness distance (0 = unbounded)")
 		show        = fs.Bool("show", false, "meet: print the matched subtrees")
+		stream      = fs.Bool("stream", false, "meet: print results incrementally as the ranked stream yields them")
+		serverURL   = fs.String("server", "", "run meet against a running ncqd at this base URL instead of a local file")
 	)
 	if err := fs.Parse(argv); err != nil {
 		return 2
 	}
 	args := fs.Args()
-	if (*file == "") == (*snap == "") || len(args) == 0 {
+	usage := func() int {
 		fmt.Fprintln(stderr,
-			"usage: ncq {-f doc.xml | -snap doc.snap} {stats | paths | transform [N] | search TERM... | meet TERM... | query SQL | repl}")
+			"usage: ncq {-f doc.xml | -snap doc.snap} [-stream] {stats | paths | transform [N] | search TERM... | meet TERM... | query SQL | repl}\n"+
+				"       ncq -server URL [-stream] meet TERM...")
 		return 2
+	}
+	if len(args) == 0 {
+		return usage()
+	}
+	if *serverURL != "" {
+		if args[0] != "meet" {
+			fmt.Fprintln(stderr, "ncq: -server supports the meet command only")
+			return usage()
+		}
+		if len(args) < 2 {
+			fmt.Fprintln(stderr, "ncq: meet needs at least one term")
+			return usage()
+		}
+		if *show {
+			// Rendering a subtree needs the loaded document, which only
+			// the daemon holds; don't accept the flag and drop it.
+			fmt.Fprintln(stderr, "ncq: -show needs a local document (-f or -snap); ignored with -server")
+		}
+		if *file != "" || *snap != "" {
+			fmt.Fprintln(stderr, "ncq: -f/-snap are ignored with -server; the query runs against the daemon's corpus")
+		}
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+		defer stop()
+		mf := meetFlags{*excludeRoot, *within, *show, *stream}
+		if err := remoteMeet(ctx, *serverURL, args[1:], mf, stdout); err != nil {
+			fmt.Fprintf(stderr, "ncq: %v\n", err)
+			return 1
+		}
+		return 0
+	}
+	if (*file == "") == (*snap == "") {
+		return usage()
 	}
 
 	db, err := load(*file, *snap)
@@ -79,7 +125,7 @@ func run(argv []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	defer stop()
 
 	cmd, rest := args[0], args[1:]
-	if err := dispatch(ctx, db, cmd, rest, meetFlags{*excludeRoot, *within, *show}, stdin, stdout); err != nil {
+	if err := dispatch(ctx, db, cmd, rest, meetFlags{*excludeRoot, *within, *show, *stream}, stdin, stdout); err != nil {
 		fmt.Fprintf(stderr, "ncq: %v\n", err)
 		return 1
 	}
@@ -119,6 +165,7 @@ type meetFlags struct {
 	excludeRoot bool
 	within      int
 	show        bool
+	stream      bool
 }
 
 func (mf meetFlags) options() *ncq.Options {
@@ -173,19 +220,16 @@ func dispatch(ctx context.Context, db *ncq.Database, cmd string, rest []string, 
 		if len(rest) < 1 {
 			return fmt.Errorf("meet needs at least one term")
 		}
+		if mf.stream {
+			return streamMeet(ctx, db, rest, mf, stdout)
+		}
 		res, err := db.Run(ctx, ncq.Request{Terms: rest, Options: mf.options()})
 		if err != nil {
 			return err
 		}
 		fmt.Fprintf(stdout, "%d nearest concept(s), %d unmatched input(s)\n", len(res.Meets), res.Unmatched)
 		for _, m := range res.Meets {
-			fmt.Fprintf(stdout, "  <%s> node %d  distance %d  witnesses %v  (%s)\n",
-				m.Tag, m.Node, m.Distance, m.Witnesses, m.Path)
-			if mf.show {
-				if xml, err := db.Subtree(m.Node); err == nil {
-					fmt.Fprintf(stdout, "    %s\n", xml)
-				}
-			}
+			printMeet(stdout, db, m, mf)
 		}
 		return nil
 	case "query":
@@ -204,6 +248,144 @@ func dispatch(ctx context.Context, db *ncq.Database, cmd string, rest []string, 
 	default:
 		return fmt.Errorf("unknown command %q", cmd)
 	}
+}
+
+// printMeet renders one nearest concept in the meet command's format.
+func printMeet(stdout io.Writer, db *ncq.Database, m ncq.CorpusMeet, mf meetFlags) {
+	fmt.Fprintf(stdout, "  <%s> node %d  distance %d  witnesses %v  (%s)\n",
+		m.Tag, m.Node, m.Distance, m.Witnesses, m.Path)
+	if mf.show && db != nil {
+		if xml, err := db.Subtree(m.Node); err == nil {
+			fmt.Fprintf(stdout, "    %s\n", xml)
+		}
+	}
+}
+
+// streamMeet is the -stream form of the meet command: each nearest
+// concept prints the moment the incrementally merged sequence yields
+// it, and the summary line — known complete only at the end — comes
+// last.
+func streamMeet(ctx context.Context, db *ncq.Database, terms []string, mf meetFlags, stdout io.Writer) error {
+	seq, stats := db.ResultsWithStats(ctx, ncq.Request{Terms: terms, Options: mf.options()})
+	n := 0
+	for m, err := range seq {
+		if err != nil {
+			return err
+		}
+		printMeet(stdout, db, m, mf)
+		n++
+	}
+	fmt.Fprintf(stdout, "%d nearest concept(s), %d unmatched input(s)\n", n, stats.Unmatched)
+	return nil
+}
+
+// remoteMeet runs the meet against a running ncqd. With -stream it
+// consumes the NDJSON endpoint, printing each meet line as it arrives;
+// otherwise it issues a plain v2 query and prints the envelope's
+// answer.
+func remoteMeet(ctx context.Context, base string, terms []string, mf meetFlags, stdout io.Writer) error {
+	reqBody := map[string]any{"terms": terms}
+	if mf.excludeRoot {
+		reqBody["exclude_root"] = true
+	}
+	if mf.within > 0 {
+		reqBody["within"] = mf.within
+	}
+	body, err := json.Marshal(reqBody)
+	if err != nil {
+		return err
+	}
+	url := strings.TrimRight(base, "/") + "/v2/query"
+	if mf.stream {
+		url += "?stream=1"
+	}
+	req, err := http.NewRequestWithContext(ctx, "POST", url, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var e struct {
+			Error string `json:"error"`
+		}
+		_ = json.NewDecoder(resp.Body).Decode(&e)
+		return fmt.Errorf("server: %s (%s)", e.Error, resp.Status)
+	}
+	if mf.stream {
+		return printNDJSON(resp.Body, stdout)
+	}
+	// The corpus-wide wire result carries no unmatched count (a v1
+	// compatibility constraint); only the streaming trailer does.
+	var envelope struct {
+		Result struct {
+			Meets []ncq.CorpusMeet `json:"meets"`
+		} `json:"result"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&envelope); err != nil {
+		return fmt.Errorf("decode response: %w", err)
+	}
+	fmt.Fprintf(stdout, "%d nearest concept(s)\n", len(envelope.Result.Meets))
+	for _, m := range envelope.Result.Meets {
+		printRemoteMeet(stdout, m)
+	}
+	return nil
+}
+
+// printNDJSON consumes one NDJSON stream: meets print as their lines
+// arrive, the trailer becomes the summary, an error line becomes the
+// command's error. A stream that ends without a trailer was cut short
+// — the printed meets are a prefix, not the answer — and fails.
+func printNDJSON(r io.Reader, stdout io.Writer) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	n := 0
+	for sc.Scan() {
+		var line struct {
+			Meet      *ncq.CorpusMeet `json:"meet"`
+			Trailer   bool            `json:"trailer"`
+			Unmatched int             `json:"unmatched"`
+			Truncated bool            `json:"truncated"`
+			TookMS    float64         `json:"took_ms"`
+			Error     string          `json:"error"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
+			return fmt.Errorf("bad stream line %q: %w", sc.Text(), err)
+		}
+		switch {
+		case line.Error != "":
+			return fmt.Errorf("server: %s", line.Error)
+		case line.Trailer:
+			fmt.Fprintf(stdout, "%d nearest concept(s), %d unmatched input(s), %.1f ms\n",
+				n, line.Unmatched, line.TookMS)
+			return nil
+		case line.Meet != nil:
+			printRemoteMeet(stdout, *line.Meet)
+			n++
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	return fmt.Errorf("stream ended without a trailer after %d meet(s); the answer is incomplete", n)
+}
+
+// printRemoteMeet renders one meet of a remote answer; node IDs are
+// only meaningful together with their source (and shard).
+func printRemoteMeet(stdout io.Writer, m ncq.CorpusMeet) {
+	origin := m.Source
+	if m.Shard > 0 {
+		origin = fmt.Sprintf("%s/shard%d", m.Source, m.Shard)
+	}
+	if origin == "" {
+		origin = "corpus"
+	}
+	fmt.Fprintf(stdout, "  <%s> %s node %d  distance %d  witnesses %v  (%s)\n",
+		m.Tag, origin, m.Node, m.Distance, m.Witnesses, m.Path)
 }
 
 // repl reads commands from stdin: `search …`, `meet …`, `show N`,

@@ -2,10 +2,13 @@ package main
 
 import (
 	"bytes"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"ncq/internal/server"
 )
 
 const fig1XML = `<bibliography><institute>
@@ -192,5 +195,64 @@ func TestCLIReplEOF(t *testing.T) {
 	// EOF without quit terminates cleanly.
 	if code, _, _ := exec(t, "meet Ben", "-f", f, "repl"); code != 0 {
 		t.Errorf("exit %d", code)
+	}
+}
+
+// TestCLIMeetStream pins the local -stream mode: same concepts as the
+// batch meet, printed result-lines-first with the summary last.
+func TestCLIMeetStream(t *testing.T) {
+	f := writeFixture(t)
+	code, out, _ := exec(t, "", "-f", f, "-stream", "meet", "Bit", "1999")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if !strings.Contains(out, "<article> node 3") || !strings.Contains(out, "distance 5") {
+		t.Errorf("stream meet output:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if !strings.Contains(lines[len(lines)-1], "nearest concept(s)") {
+		t.Errorf("summary line not last:\n%s", out)
+	}
+}
+
+// TestCLIRemoteMeet runs the CLI against a live ncqd handler: the
+// plain v2 round trip and the NDJSON -stream consumption.
+func TestCLIRemoteMeet(t *testing.T) {
+	srv := server.New(nil)
+	rec := httptest.NewRecorder()
+	req := httptest.NewRequest("PUT", "/v1/docs/fig1", strings.NewReader(fig1XML))
+	srv.Handler().ServeHTTP(rec, req)
+	if rec.Code != 201 {
+		t.Fatalf("PUT: %d %s", rec.Code, rec.Body)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	code, out, _ := exec(t, "", "-server", ts.URL, "meet", "Bit", "1999")
+	if code != 0 {
+		t.Fatalf("remote meet exit %d:\n%s", code, out)
+	}
+	if !strings.Contains(out, "<article> fig1 node 3") {
+		t.Errorf("remote meet output:\n%s", out)
+	}
+
+	code, out, _ = exec(t, "", "-server", ts.URL, "-stream", "meet", "Bit", "1999")
+	if code != 0 {
+		t.Fatalf("remote stream exit %d:\n%s", code, out)
+	}
+	if !strings.Contains(out, "<article> fig1 node 3") ||
+		!strings.Contains(out, "unmatched input(s)") {
+		t.Errorf("remote stream output:\n%s", out)
+	}
+
+	// Server-side errors surface as CLI diagnostics, not panics.
+	code, _, errOut := exec(t, "", "-server", ts.URL, "-stream", "meet", "")
+	if code != 1 || !strings.Contains(errOut, "server:") {
+		t.Errorf("remote error: code %d, stderr %q", code, errOut)
+	}
+
+	// -server supports meet only.
+	if code, _, errOut := exec(t, "", "-server", ts.URL, "stats"); code != 2 || !strings.Contains(errOut, "meet command only") {
+		t.Errorf("remote stats: code %d, stderr %q", code, errOut)
 	}
 }

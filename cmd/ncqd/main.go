@@ -13,7 +13,11 @@
 //	                       "limit":N,"cursor":...,"timeout_ms":N} or
 //	                       {"batch":[{...},{...}]} — single doc, whole corpus
 //	                       and batches in one schema, with cursor pagination
-//	                       and per-request deadlines
+//	                       (410 Gone when a cursor outlives a corpus
+//	                       mutation) and per-request deadlines; ?stream=1
+//	                       streams a term request as NDJSON — one meet per
+//	                       line the moment the global rank yields it, then
+//	                       a {"trailer":true,...} line with the counters
 //	POST   /v1/query       {"terms":["Bit","1999"],"exclude_root":true}
 //	                       or {"doc":"bib","query":"SELECT meet(e1,e2) FROM ..."}
 //	POST   /v1/query/batch {"queries":[{...},{...}]} — many queries, one round trip

@@ -200,6 +200,25 @@ func TestServeAndShutdown(t *testing.T) {
 		t.Errorf("query: %d %s", resp.StatusCode, body)
 	}
 
+	// The streaming form serves the same answer as NDJSON over a real
+	// connection: meet lines first, one trailer line last.
+	resp, err = http.Post(base+"/v2/query?stream=1", "application/json",
+		strings.NewReader(`{"doc":"bib","terms":["Bit","1999"],"exclude_root":true}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK ||
+		resp.Header.Get("Content-Type") != "application/x-ndjson" {
+		t.Errorf("stream query: %d %q", resp.StatusCode, resp.Header.Get("Content-Type"))
+	}
+	lines := strings.Split(strings.TrimSpace(string(body)), "\n")
+	if len(lines) < 2 || !strings.Contains(lines[0], `"meet"`) ||
+		!strings.Contains(lines[len(lines)-1], `"trailer":true`) {
+		t.Errorf("stream body:\n%s", body)
+	}
+
 	if err := syscall.Kill(syscall.Getpid(), syscall.SIGTERM); err != nil {
 		t.Fatal(err)
 	}

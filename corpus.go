@@ -287,8 +287,10 @@ type member struct {
 
 // snapshot captures the flattened membership under the read lock so
 // queries run against a consistent view without blocking writers.
-// Members appear in insertion order with their shards contiguous.
-func (c *Corpus) snapshot() (members []member, workers int) {
+// Members appear in insertion order with their shards contiguous. The
+// returned generation identifies the captured membership — the mark
+// minted cursors carry for staleness detection.
+func (c *Corpus) snapshot() (members []member, workers int, gen uint64) {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
 	for _, n := range c.names {
@@ -304,12 +306,12 @@ func (c *Corpus) snapshot() (members []member, workers int) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	return members, workers
+	return members, workers, c.gen
 }
 
 // memberOf is snapshot restricted to one logical name; found reports
 // whether the name is registered.
-func (c *Corpus) memberOf(name string) (members []member, workers int, found bool) {
+func (c *Corpus) memberOf(name string) (members []member, workers int, gen uint64, found bool) {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
 	if db, ok := c.dbs[name]; ok {
@@ -319,13 +321,13 @@ func (c *Corpus) memberOf(name string) (members []member, workers int, found boo
 			members = append(members, member{name: name, shard: i + 1, db: db})
 		}
 	} else {
-		return nil, 0, false
+		return nil, 0, 0, false
 	}
 	workers = c.workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	return members, workers, true
+	return members, workers, c.gen, true
 }
 
 // forEachDoc runs fn(i) for every document index with at most workers

@@ -54,6 +54,28 @@ func ExampleQuerier_Run() {
 	// <article> at distance 5
 }
 
+// The iterator-native surface: ranked meets as an incremental
+// sequence. On a corpus the meets flow as soon as every member has
+// produced its first answer; breaking out of the range ends execution
+// early.
+func ExampleQuerier_Results() {
+	db, err := ncq.OpenString(bib)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for m, err := range db.Results(context.Background(), ncq.Request{
+		Terms: []string{"Bit", "1999"},
+	}) {
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("<%s> at distance %d\n", m.Tag, m.Distance)
+		break // the pushed-down limit: stop after the best concept
+	}
+	// Output:
+	// <article> at distance 5
+}
+
 // The paper's SQL variant with meet as a declarative aggregation.
 func ExampleDatabase_Query() {
 	db, err := ncq.OpenString(bib)

@@ -22,3 +22,31 @@ func TestSearchSingleAlloc(t *testing.T) {
 		t.Errorf("warm single-token Search allocates %.0f/op, pinned at <= 1", got)
 	}
 }
+
+// TestScanAllocsSteadyState pins the pooled-bitset scan: once the pool
+// is warm, a predicate query that matches nothing allocates nothing at
+// all, and a matching one allocates only its result slice — O(results),
+// like the posting-list searches.
+func TestScanAllocsSteadyState(t *testing.T) {
+	idx := fig1Index(t)
+	idx.SearchFunc(func(string) bool { return false }) // warm the pool
+	got := testing.AllocsPerRun(200, func() {
+		if idx.SearchFunc(func(string) bool { return false }) != nil {
+			t.Fatal("unexpected hits")
+		}
+	})
+	// Steady state is 0; allow one re-allocation in case a GC empties
+	// the pool mid-run.
+	if got > 1 {
+		t.Errorf("warm no-match scan allocates %.0f/op, pinned at <= 1", got)
+	}
+	got = testing.AllocsPerRun(200, func() {
+		if len(idx.SearchFunc(func(v string) bool { return v == "1999" })) != 2 {
+			t.Fatal("unexpected hit count")
+		}
+	})
+	// The appends growing the two-hit result slice, plus pool headroom.
+	if got > 3 {
+		t.Errorf("warm matching scan allocates %.0f/op, pinned at <= 3", got)
+	}
+}

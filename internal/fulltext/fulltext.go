@@ -29,6 +29,7 @@ package fulltext
 import (
 	"sort"
 	"strings"
+	"sync"
 	"unicode"
 	"unicode/utf8"
 
@@ -390,12 +391,39 @@ func (idx *Index) SearchFunc(pred func(string) bool) []Hit {
 	return idx.scan(pred)
 }
 
+// scanBits pools the distinct-value bitsets of scan, so a warm
+// predicate query allocates O(results) instead of one []bool over the
+// value table per call — the same allocation story as the posting-list
+// searches.
+var scanBits = sync.Pool{New: func() any { return new(bitset) }}
+
+// bitset is a plain word-packed bit vector sized per use.
+type bitset struct {
+	words []uint64
+}
+
+// reset prepares the bitset to hold n cleared bits.
+func (b *bitset) reset(n int) {
+	need := (n + 63) / 64
+	if cap(b.words) < need {
+		b.words = make([]uint64, need)
+		return
+	}
+	b.words = b.words[:need]
+	clear(b.words)
+}
+
+func (b *bitset) set(i int)      { b.words[i>>6] |= 1 << (i & 63) }
+func (b *bitset) get(i int) bool { return b.words[i>>6]&(1<<(i&63)) != 0 }
+
 func (idx *Index) scan(pred func(string) bool) []Hit {
-	matched := make([]bool, len(idx.values))
+	matched := scanBits.Get().(*bitset)
+	defer scanBits.Put(matched)
+	matched.reset(len(idx.values))
 	any := false
 	for vid, v := range idx.values {
 		if pred(v) {
-			matched[vid] = true
+			matched.set(vid)
 			any = true
 		}
 	}
@@ -404,7 +432,7 @@ func (idx *Index) scan(pred func(string) bool) []Hit {
 	}
 	var out []Hit
 	for i, vid := range idx.vals {
-		if matched[vid] {
+		if matched.get(int(vid)) {
 			out = append(out, Hit{Owner: idx.owners[i], Path: idx.paths[i], Value: idx.values[vid]})
 		}
 	}

@@ -79,16 +79,20 @@ var errEncodeResult = errors.New("encode result")
 
 // statusOf maps an execution failure to its HTTP status: a document
 // that is not registered is 404, a cursor from another request is 400,
-// an expired per-request deadline is 504, a client that went away is
-// 499 (the de-facto "client closed request" code), a result that
-// failed to serialise is 500; everything else is input-driven
-// (unparsable queries, bad path patterns) and therefore 400.
+// a cursor minted before a corpus mutation is 410 Gone (the page it
+// pointed into no longer exists), an expired per-request deadline is
+// 504, a client that went away is 499 (the de-facto "client closed
+// request" code), a result that failed to serialise is 500; everything
+// else is input-driven (unparsable queries, bad path patterns) and
+// therefore 400.
 func statusOf(err error) int {
 	switch {
 	case errors.Is(err, ncq.ErrUnknownDoc):
 		return http.StatusNotFound
 	case errors.Is(err, ncq.ErrBadCursor):
 		return http.StatusBadRequest
+	case errors.Is(err, ncq.ErrStaleCursor):
+		return http.StatusGone
 	case errors.Is(err, context.DeadlineExceeded):
 		return http.StatusGatewayTimeout
 	case errors.Is(err, context.Canceled):

@@ -4,7 +4,10 @@
 //
 //	POST   /v2/query       the unified endpoint: single doc, whole corpus
 //	                       or batch in one schema, with cursor pagination
-//	                       and a per-request deadline (see v2.go)
+//	                       and a per-request deadline (see v2.go);
+//	                       ?stream=1 switches term requests to NDJSON —
+//	                       one meet per line, flushed as produced, plus
+//	                       a trailer record (see stream.go)
 //	POST   /v1/query       query one document or the whole corpus
 //	POST   /v1/query/batch many queries in one round trip
 //	PUT    /v1/docs/{name} load (or replace) a document from an XML body;

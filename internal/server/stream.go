@@ -1,0 +1,133 @@
+package server
+
+// POST /v2/query?stream=1 — the incremental form of the unified
+// endpoint. Instead of one JSON envelope computed in full before the
+// first byte leaves the handler, the response is NDJSON
+// (application/x-ndjson): one meet per line in the global (distance,
+// source, shard, node) rank, each line flushed as it is produced, then
+// one trailer line with the stream counters:
+//
+//	{"meet":{"source":"bib","node":4,"tag":"book","distance":2,...}}
+//	{"meet":{...}}
+//	{"trailer":true,"unmatched":1,"truncated":true,"next_cursor":"...","took_ms":1.7}
+//
+// The first line is observable as soon as every fan-out member has
+// produced its first answer — bounded by the slowest member's first
+// result, not by its full answer set — which is the whole point of the
+// endpoint: on a wide corpus the client renders nearest concepts while
+// the long tail is still being merged.
+//
+// Only term requests stream (a query-language answer's unit is a
+// per-source row set, not a meet) and "batch" cannot stream; both are
+// rejected with 400. Errors before the first meet use the ordinary
+// JSON error envelope and statusOf mapping (404 unknown doc, 410 stale
+// cursor, ...); an error after bytes have left — a mid-stream
+// cancellation or deadline — is reported as a final {"error": ...}
+// line, since the status line is long gone. Streaming responses bypass
+// the result cache: the value of the endpoint is the incremental
+// production, which splicing cached bytes would fake but not deliver.
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"time"
+
+	"ncq"
+)
+
+// meetLine is one streamed result record.
+type meetLine struct {
+	Meet *ncq.CorpusMeet `json:"meet"`
+}
+
+// errorLine reports a failure after the stream has started.
+type errorLine struct {
+	Error string `json:"error"`
+}
+
+// trailerLine closes a stream: the counters Run would have carried in
+// its envelope. Unlike the batch wire result, unmatched is reported
+// for corpus-wide streams too (as a count over all members).
+type trailerLine struct {
+	Trailer    bool    `json:"trailer"`
+	Unmatched  int     `json:"unmatched"`
+	Truncated  bool    `json:"truncated,omitempty"`
+	NextCursor string  `json:"next_cursor,omitempty"`
+	TookMS     float64 `json:"took_ms"`
+}
+
+// wantsStream reports whether the request selects the NDJSON form.
+func wantsStream(r *http.Request) bool {
+	v := r.URL.Query().Get("stream")
+	return v == "1" || v == "true"
+}
+
+// handleStreamV2 answers the ?stream=1 form of /v2/query. req has been
+// decoded but not yet validated; ctx already carries the per-request
+// deadline.
+func (s *Server) handleStreamV2(ctx context.Context, w http.ResponseWriter, start time.Time, req *v2Request) {
+	if len(req.Batch) > 0 {
+		writeError(w, http.StatusBadRequest,
+			"\"batch\" cannot stream; issue one streaming query at a time")
+		return
+	}
+	if err := req.validate(); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid request: %v", err)
+		return
+	}
+	if strings.TrimSpace(req.Query) != "" {
+		writeError(w, http.StatusBadRequest,
+			"only \"terms\" requests stream; run query-language requests without stream=1")
+		return
+	}
+	s.queries.Add(1)
+	seq, stats := s.corpus.ResultsWithStats(ctx, req.toV2Request())
+	flusher, _ := w.(http.Flusher)
+	started := false
+	writeLine := func(v any) bool {
+		line, err := json.Marshal(v)
+		if err != nil {
+			return false
+		}
+		if _, err := w.Write(append(line, '\n')); err != nil {
+			return false
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		return true
+	}
+	ensureStarted := func() {
+		if started {
+			return
+		}
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		w.Header().Set("X-NCQ-Cache", "bypass")
+		w.WriteHeader(http.StatusOK)
+		started = true
+	}
+	for m, err := range seq {
+		if err != nil {
+			if !started {
+				writeError(w, statusOf(err), "%v", err)
+			} else {
+				writeLine(errorLine{Error: err.Error()})
+			}
+			return
+		}
+		ensureStarted()
+		if !writeLine(meetLine{Meet: &m}) {
+			return // client went away; execution stops with the range
+		}
+	}
+	ensureStarted()
+	writeLine(trailerLine{
+		Trailer:    true,
+		Unmatched:  stats.Unmatched,
+		Truncated:  stats.Truncated,
+		NextCursor: stats.NextCursor,
+		TookMS:     msSince(start),
+	})
+}

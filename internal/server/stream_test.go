@@ -1,0 +1,216 @@
+package server
+
+import (
+	"bufio"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"ncq"
+)
+
+// flushRecorder wraps httptest.ResponseRecorder and snapshots the body
+// length at every Flush — the "flush-recording client" of the
+// streaming contract: each snapshot is a moment at which bytes were
+// pushed to the client while the handler was still running.
+type flushRecorder struct {
+	*httptest.ResponseRecorder
+	flushLens []int
+}
+
+func (f *flushRecorder) Flush() {
+	f.flushLens = append(f.flushLens, f.Body.Len())
+}
+
+func doStream(t *testing.T, s *Server, body string) *flushRecorder {
+	t.Helper()
+	req := httptest.NewRequest("POST", "/v2/query?stream=1", strings.NewReader(body))
+	rec := &flushRecorder{ResponseRecorder: httptest.NewRecorder()}
+	s.Handler().ServeHTTP(rec, req)
+	return rec
+}
+
+// streamLines decodes an NDJSON body into meet lines and the trailer.
+func streamLines(t *testing.T, body string) (meets []ncq.CorpusMeet, trailer trailerLine) {
+	t.Helper()
+	sc := bufio.NewScanner(strings.NewReader(body))
+	sawTrailer := false
+	for sc.Scan() {
+		if sawTrailer {
+			t.Fatalf("line after trailer: %s", sc.Text())
+		}
+		var line struct {
+			Meet    *ncq.CorpusMeet `json:"meet"`
+			Trailer bool            `json:"trailer"`
+			Error   string          `json:"error"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", sc.Text(), err)
+		}
+		switch {
+		case line.Error != "":
+			t.Fatalf("error line: %s", line.Error)
+		case line.Trailer:
+			if err := json.Unmarshal(sc.Bytes(), &trailer); err != nil {
+				t.Fatal(err)
+			}
+			sawTrailer = true
+		case line.Meet != nil:
+			meets = append(meets, *line.Meet)
+		default:
+			t.Fatalf("unrecognised line: %s", sc.Text())
+		}
+	}
+	if !sawTrailer {
+		t.Fatalf("stream ended without a trailer:\n%s", body)
+	}
+	return meets, trailer
+}
+
+// TestQueryV2Stream pins the NDJSON contract: the streamed meets equal
+// the batch endpoint's answer in the same order, the trailer carries
+// the counters, and — the incremental-delivery assertion — the first
+// line was flushed to the client on its own, before the handler wrote
+// the rest of the response.
+func TestQueryV2Stream(t *testing.T) {
+	s := newTestServer(t)
+	loadDocs(t, s)
+	body := `{"terms":["Bit","1999"],"exclude_root":true}`
+	rec := doStream(t, s, body)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d %s", rec.Code, rec.Body)
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	meets, trailer := streamLines(t, rec.Body.String())
+	if len(meets) == 0 {
+		t.Fatal("no meets streamed")
+	}
+	if trailer.TookMS < 0 || trailer.Truncated {
+		t.Errorf("trailer = %+v", trailer)
+	}
+
+	// Same answers, same order, as the non-streaming endpoint.
+	batch := do(t, s, "POST", "/v2/query", body)
+	if batch.Code != http.StatusOK {
+		t.Fatalf("plain v2: %d", batch.Code)
+	}
+	resp := decode[wireV2Response](t, batch)
+	if len(resp.Result.Meets) != len(meets) {
+		t.Fatalf("stream %d meets, batch %d", len(meets), len(resp.Result.Meets))
+	}
+	for i := range meets {
+		if meets[i].Source != resp.Result.Meets[i].Source ||
+			meets[i].Node != resp.Result.Meets[i].Node ||
+			meets[i].Distance != resp.Result.Meets[i].Distance {
+			t.Errorf("meet %d: stream %+v vs batch %+v", i, meets[i], resp.Result.Meets[i])
+		}
+	}
+
+	// Incremental delivery: one flush per line (meets + trailer), and
+	// the first flush pushed exactly the first line — a complete,
+	// parseable record observable before the handler wrote any more.
+	if want := len(meets) + 1; len(rec.flushLens) != want {
+		t.Fatalf("flushes = %d, want %d (one per line)", len(rec.flushLens), want)
+	}
+	firstChunk := rec.Body.String()[:rec.flushLens[0]]
+	if !strings.HasSuffix(firstChunk, "\n") || strings.Count(firstChunk, "\n") != 1 {
+		t.Fatalf("first flush is not exactly one line: %q", firstChunk)
+	}
+	var first meetLine
+	if err := json.Unmarshal([]byte(firstChunk), &first); err != nil || first.Meet == nil {
+		t.Fatalf("first flushed line is not a meet: %q (%v)", firstChunk, err)
+	}
+	if rec.flushLens[0] >= rec.Body.Len() {
+		t.Fatal("first flush already held the complete response — nothing streamed")
+	}
+}
+
+// TestQueryV2StreamLimitAndCursor walks a streamed result across pages
+// via the trailer's cursor.
+func TestQueryV2StreamLimitAndCursor(t *testing.T) {
+	s := newTestServer(t)
+	loadDocs(t, s)
+	full, _ := streamLines(t, doStream(t, s, `{"terms":["Bit","1999"],"exclude_root":true}`).Body.String())
+	if len(full) < 2 {
+		t.Fatalf("workload too small: %d meets", len(full))
+	}
+	var collected []ncq.CorpusMeet
+	cursor := ""
+	for pages := 0; ; pages++ {
+		body := `{"terms":["Bit","1999"],"exclude_root":true,"limit":1`
+		if cursor != "" {
+			body += `,"cursor":"` + cursor + `"`
+		}
+		body += `}`
+		rec := doStream(t, s, body)
+		if rec.Code != http.StatusOK {
+			t.Fatalf("page %d: %d %s", pages, rec.Code, rec.Body)
+		}
+		meets, trailer := streamLines(t, rec.Body.String())
+		collected = append(collected, meets...)
+		if trailer.NextCursor == "" {
+			break
+		}
+		cursor = trailer.NextCursor
+		if pages > len(full) {
+			t.Fatal("pagination does not terminate")
+		}
+	}
+	if len(collected) != len(full) {
+		t.Fatalf("paged stream returned %d meets, full stream %d", len(collected), len(full))
+	}
+}
+
+// TestQueryV2StreamRejects pins the 400 family: batch bodies and
+// query-language requests cannot stream.
+func TestQueryV2StreamRejects(t *testing.T) {
+	s := newTestServer(t)
+	loadDocs(t, s)
+	if rec := doStream(t, s, `{"batch":[{"terms":["Bit"]}]}`); rec.Code != http.StatusBadRequest {
+		t.Errorf("batch stream: %d", rec.Code)
+	}
+	if rec := doStream(t, s, `{"query":"SELECT tag(e) FROM //author AS e"}`); rec.Code != http.StatusBadRequest {
+		t.Errorf("query-language stream: %d", rec.Code)
+	}
+	if rec := doStream(t, s, `{"doc":"ghost","terms":["Bit"]}`); rec.Code != http.StatusNotFound {
+		t.Errorf("unknown doc stream: %d", rec.Code)
+	}
+}
+
+// TestQueryV2StaleCursorGone pins the mutation contract of v2 cursors:
+// a page cursor presented after the corpus changed answers 410 Gone —
+// on the plain endpoint and the streaming one — instead of silently
+// cutting a page from a re-ranked answer set.
+func TestQueryV2StaleCursorGone(t *testing.T) {
+	s := newTestServer(t)
+	loadDocs(t, s)
+	rec := do(t, s, "POST", "/v2/query", `{"terms":["Bit","1999"],"exclude_root":true,"limit":1}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("first page: %d %s", rec.Code, rec.Body)
+	}
+	resp := decode[wireV2Response](t, rec)
+	if resp.NextCursor == "" {
+		t.Fatal("first page minted no cursor")
+	}
+	next := `{"terms":["Bit","1999"],"exclude_root":true,"limit":1,"cursor":"` + resp.NextCursor + `"}`
+
+	// Before any mutation the cursor pages on fine.
+	if rec := do(t, s, "POST", "/v2/query", next); rec.Code != http.StatusOK {
+		t.Fatalf("second page: %d %s", rec.Code, rec.Body)
+	}
+
+	// Mutate the corpus; the cursor's generation no longer matches.
+	if rec := do(t, s, "PUT", "/v1/docs/extra", bibArticle); rec.Code != http.StatusCreated {
+		t.Fatalf("PUT: %d", rec.Code)
+	}
+	if rec := do(t, s, "POST", "/v2/query", next); rec.Code != http.StatusGone {
+		t.Errorf("stale cursor on /v2/query: %d %s", rec.Code, rec.Body)
+	}
+	if rec := doStream(t, s, next); rec.Code != http.StatusGone {
+		t.Errorf("stale cursor on stream: %d %s", rec.Code, rec.Body)
+	}
+}

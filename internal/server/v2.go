@@ -15,8 +15,10 @@ package server
 // endpoints share one cache, keyed by the request's canonical
 // encoding) plus the page metadata: a truncated flag and the cursor of
 // the next page. Errors map to statuses uniformly: 404 for an unknown
-// document, 400 for invalid input or a foreign cursor, 504 for an
-// expired per-request deadline.
+// document, 400 for invalid input or a foreign cursor, 410 for a
+// cursor minted before a corpus mutation, 504 for an expired
+// per-request deadline. With ?stream=1 a term request streams its
+// meets incrementally as NDJSON instead (stream.go).
 
 import (
 	"context"
@@ -109,6 +111,10 @@ func (s *Server) handleQueryV2(w http.ResponseWriter, r *http.Request) {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, time.Duration(req.TimeoutMS)*time.Millisecond)
 		defer cancel()
+	}
+	if wantsStream(r) {
+		s.handleStreamV2(ctx, w, start, &req)
+		return
 	}
 	if len(req.Batch) > 0 {
 		// Any inline query field alongside "batch" is a malformed

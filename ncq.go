@@ -20,6 +20,13 @@
 // Underneath, documents are shredded into the path-partitioned binary
 // relations of the Monet XML storage scheme; the meet algorithms of the
 // paper's Figures 3-5 run directly on those relations.
+//
+// At scale, the unified Querier surface (Run, Results, RunStream over
+// a Database or a multi-document Corpus) executes term queries as an
+// incrementally merged, globally ranked sequence: with Results
+// (range-over-func) the first nearest concept reaches the caller as
+// soon as every corpus member has produced its locally best answer,
+// and abandoning the range abandons the rest of the work.
 package ncq
 
 import (

@@ -13,6 +13,7 @@ import (
 	"errors"
 	"fmt"
 	"hash/fnv"
+	"iter"
 	"sort"
 	"strconv"
 	"strings"
@@ -23,6 +24,15 @@ import (
 // a cursor produced by a previous Result, or belongs to a different
 // request.
 var ErrBadCursor = errors.New("invalid cursor")
+
+// ErrStaleCursor is returned (wrapped) by corpus runs when
+// Request.Cursor was minted against an earlier corpus generation: a
+// mutation between pages re-ranks the answer set, so resuming the old
+// position would silently repeat or skip answers. Re-issue the request
+// without a cursor to start a fresh ranking. The ncqd v2 endpoint maps
+// it to HTTP 410 Gone. Database cursors never go stale (a loaded
+// document is immutable).
+var ErrStaleCursor = errors.New("stale cursor")
 
 // Request is one nearest-concept query addressed to any Querier.
 // Exactly one of Terms (a raw term meet) or Query (the paper's SQL
@@ -59,10 +69,10 @@ type Request struct {
 	// Cursor resumes a paginated run where a previous Result's
 	// NextCursor left off. Cursors are opaque and bound to the request
 	// that produced them: reusing one with different terms, options or
-	// limit fails with ErrBadCursor. They are positions, not
-	// snapshots: a corpus mutation between pages re-ranks the answer
-	// set, and the next page is cut from the new ranking (answers may
-	// repeat or be skipped across the mutation).
+	// limit fails with ErrBadCursor. They also carry the corpus
+	// generation they were minted at: presenting one after a corpus
+	// mutation fails with ErrStaleCursor instead of silently cutting
+	// the next page from a re-ranked answer set.
 	Cursor string `json:"cursor,omitempty"`
 }
 
@@ -100,12 +110,21 @@ type Result struct {
 // and *Corpus: one entry point for every request shape, honouring
 // context cancellation and deadlines.
 //
-// RunStream delivers the ranked meets of a term request one at a time;
-// returning false from yield stops the stream early. Query-language
+// Results is the iterator-native surface: the ranked meets of a term
+// request as an incremental sequence, in the exact (distance, source,
+// shard, node) total order of Run, flowing as soon as every fan-out
+// member has produced its first answer. Breaking out of the range ends
+// execution early (this is how Limit is pushed down); an execution or
+// context error arrives as the sequence's final yield. Query-language
 // requests are not streamable (their unit is a per-source answer, not
-// a meet).
+// a meet) and yield a single error.
+//
+// Run drains the same sequence into one paginated Result. RunStream is
+// a pre-iterator adapter over Results, kept for compatibility:
+// returning false from yield stops the stream early.
 type Querier interface {
 	Run(ctx context.Context, req Request) (*Result, error)
+	Results(ctx context.Context, req Request) iter.Seq2[CorpusMeet, error]
 	RunStream(ctx context.Context, req Request, yield func(CorpusMeet) bool) error
 }
 
@@ -163,14 +182,21 @@ func (r *Request) canonicalBase() string {
 // equivalent requests — modulo query whitespace, option-pattern order
 // and cursor spelling — map to the same string. The ncqd server keys
 // its result cache by (corpus generation, Canonical()), so the v1 and
-// v2 endpoints share cache entries for equivalent requests.
+// v2 endpoints share cache entries for equivalent requests. A cursor
+// contributes its resume offset and the generation it was minted at,
+// so a stale cursor can never splice into a fresh cursor's cache
+// entry.
 func (r *Request) Canonical() string {
-	off, err := r.offset()
+	off, gen, err := r.page()
 	if err != nil {
 		// An undecodable cursor cannot execute; keep the key unique.
 		return r.canonicalBase() + " cur=" + strconv.Quote(r.Cursor)
 	}
-	return r.canonicalBase() + " off=" + strconv.Itoa(off)
+	s := r.canonicalBase() + " off=" + strconv.Itoa(off)
+	if r.Cursor != "" {
+		s += " cgen=" + strconv.FormatUint(gen, 10)
+	}
+	return s
 }
 
 // fingerprint binds cursors to the request that produced them.
@@ -180,39 +206,35 @@ func (r *Request) fingerprint() uint32 {
 	return h.Sum32()
 }
 
-// encodeCursor renders a resume position as an opaque cursor.
-func encodeCursor(offset int, fp uint32) string {
+// encodeCursor renders a resume position as an opaque cursor, stamped
+// with the corpus generation it was computed against (0 for Database
+// runs, which cannot mutate).
+func encodeCursor(offset int, fp uint32, gen uint64) string {
 	return base64.RawURLEncoding.EncodeToString(
-		[]byte(fmt.Sprintf("v1 %d %08x", offset, fp)))
+		[]byte(fmt.Sprintf("v2 %d %08x %d", offset, fp, gen)))
 }
 
-// offset decodes the request's cursor into a result offset (0 when no
-// cursor is set), failing with ErrBadCursor on garbage or on a cursor
-// minted for a different request.
-func (r *Request) offset() (int, error) {
+// page decodes the request's cursor into a result offset plus the
+// corpus generation the cursor was minted at (both 0 when no cursor is
+// set), failing with ErrBadCursor on garbage or on a cursor minted for
+// a different request. Staleness — a minted generation that no longer
+// matches the corpus — is the executor's check: only it knows the
+// current generation.
+func (r *Request) page() (offset int, gen uint64, err error) {
 	if r.Cursor == "" {
-		return 0, nil
+		return 0, 0, nil
 	}
 	raw, err := base64.RawURLEncoding.DecodeString(r.Cursor)
 	if err != nil {
-		return 0, fmt.Errorf("ncq: %w: %v", ErrBadCursor, err)
+		return 0, 0, fmt.Errorf("ncq: %w: %v", ErrBadCursor, err)
 	}
 	var off int
 	var fp uint32
-	if _, err := fmt.Sscanf(string(raw), "v1 %d %x", &off, &fp); err != nil || off < 0 {
-		return 0, fmt.Errorf("ncq: %w", ErrBadCursor)
+	if _, err := fmt.Sscanf(string(raw), "v2 %d %x %d", &off, &fp, &gen); err != nil || off < 0 {
+		return 0, 0, fmt.Errorf("ncq: %w", ErrBadCursor)
 	}
 	if fp != r.fingerprint() {
-		return 0, fmt.Errorf("ncq: %w: cursor belongs to a different request", ErrBadCursor)
+		return 0, 0, fmt.Errorf("ncq: %w: cursor belongs to a different request", ErrBadCursor)
 	}
-	return off, nil
-}
-
-// pageNeed returns how many ranked results execution must materialise
-// to serve the page at offset: 0 means "all" (no limit).
-func pageNeed(offset, limit int) int {
-	if limit <= 0 {
-		return 0
-	}
-	return offset + limit
+	return off, gen, nil
 }

@@ -534,7 +534,7 @@ func TestRequestCanonical(t *testing.T) {
 	}
 	// Pages of one request differ only in the offset.
 	paged := a
-	paged.Cursor = encodeCursor(3, paged.fingerprint())
+	paged.Cursor = encodeCursor(3, paged.fingerprint(), 0)
 	if a.Canonical() == paged.Canonical() {
 		t.Error("cursor page shares the first page's encoding")
 	}

@@ -1,0 +1,420 @@
+package ncq
+
+// The iterator-native execution core. Every term request — Run,
+// RunStream, the NDJSON endpoint, the CLIs — executes through one
+// incremental pipeline:
+//
+//   1. termMeetsStream: each member (a database, or one shard of a
+//      sharded member) computes its meet and heapifies the answers by
+//      the local (distance, node) rank — O(n), against the O(n log n)
+//      of a full sort — so its locally best meet is ready the moment
+//      the roll-up finishes and the rest rank lazily, one heap pop per
+//      pull.
+//   2. merger: a k-way heap merge over the per-member ranked streams.
+//      Globally ordered meets flow as soon as every member has
+//      produced its head, so the first answer reaches the caller
+//      bounded by the slowest member's first result, not by its full
+//      answer set and never by a global sort.
+//
+// The public entry point is Results (range-over-func); Run drains the
+// same sequence and attaches the page metadata, and a pushed-down
+// Limit is nothing more than the consumer stopping early.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"iter"
+
+	"ncq/internal/core"
+	"ncq/internal/fulltext"
+)
+
+// errStreamQuery rejects query-language requests on the streaming
+// surface: their unit is a per-source answer, not a meet.
+var errStreamQuery = errors.New("ncq: streaming supports term requests only; use Run for query-language requests")
+
+// StreamStats carries the stream-level counters of a Results drain.
+// The fields are populated once execution has fanned out — before the
+// first yield — so a consumer may read them between yields (the NDJSON
+// endpoint writes its trailer from them after the last meet).
+type StreamStats struct {
+	// Unmatched counts the inputs that found no partner, summed over
+	// the members the request fanned out to.
+	Unmatched int
+
+	// UnmatchedNodes lists the unmatched inputs of a Database stream.
+	// Corpus streams report only the count (node IDs are shard-local).
+	UnmatchedNodes []NodeID
+
+	// Total counts the full candidate answer set, before the cursor
+	// offset and Limit cut it.
+	Total int
+
+	// Truncated reports that Limit cuts the stream short; NextCursor
+	// then resumes at the next page.
+	Truncated  bool
+	NextCursor string
+}
+
+// rankedMeet pairs a meet with its emission index in the member's
+// document-order result, the final tie-break that makes the lazy heap
+// order reproduce a stable (distance, node) sort exactly.
+type rankedMeet struct {
+	m   Meet
+	seq int32
+}
+
+func lessRanked(a, b rankedMeet) bool {
+	if a.m.Distance != b.m.Distance {
+		return a.m.Distance < b.m.Distance
+	}
+	if a.m.Node != b.m.Node {
+		return a.m.Node < b.m.Node
+	}
+	return a.seq < b.seq
+}
+
+// memberStream is one member's locally-ranked answer stream: the meets
+// live in a binary min-heap, so the first pull costs O(n) heapify and
+// every later one O(log n) — a member drained only partially (an early
+// Limit, an abandoned stream) never pays for ranking its tail.
+type memberStream struct {
+	source    string // logical member name; empty for a Database run
+	shard     int    // 1-based shard; 0 for plain members
+	heap      []rankedMeet
+	unmatched []NodeID
+}
+
+// siftDown restores the min-heap property of h at index i under less;
+// heapify establishes it over the whole slice in O(n). Both member
+// streams and the k-way merge run on these.
+func siftDown[T any](h []T, i int, less func(a, b T) bool) {
+	n := len(h)
+	for {
+		child := 2*i + 1
+		if child >= n {
+			return
+		}
+		if r := child + 1; r < n && less(h[r], h[child]) {
+			child = r
+		}
+		if !less(h[child], h[i]) {
+			return
+		}
+		h[i], h[child] = h[child], h[i]
+		i = child
+	}
+}
+
+func heapify[T any](h []T, less func(a, b T) bool) {
+	for i := len(h)/2 - 1; i >= 0; i-- {
+		siftDown(h, i, less)
+	}
+}
+
+// newMemberStream heapifies meets (in document order, as the roll-up
+// emits them) under the member-local rank.
+func newMemberStream(meets []Meet, unmatched []NodeID) *memberStream {
+	s := &memberStream{unmatched: unmatched, heap: make([]rankedMeet, len(meets))}
+	for i, m := range meets {
+		s.heap[i] = rankedMeet{m: m, seq: int32(i)}
+	}
+	heapify(s.heap, lessRanked)
+	return s
+}
+
+// pop removes and returns the member's current best meet.
+func (s *memberStream) pop() (rankedMeet, bool) {
+	if len(s.heap) == 0 {
+		return rankedMeet{}, false
+	}
+	top := s.heap[0]
+	last := len(s.heap) - 1
+	s.heap[0] = s.heap[last]
+	s.heap[last] = rankedMeet{} // release the Witnesses slice
+	s.heap = s.heap[:last]
+	if last > 0 {
+		siftDown(s.heap, 0, lessRanked)
+	}
+	return top, true
+}
+
+func (s *memberStream) pending() int { return len(s.heap) }
+
+// termMeetsStream is termMeets' incremental mode: one full-text search
+// per term, the multi-set meet, and the member's answers delivered as
+// a lazily-ranked stream instead of a sorted slice. The unmatched set
+// and the total are known as soon as it returns; the ranking cost is
+// paid per pull.
+func (db *Database) termMeetsStream(ctx context.Context, terms []string, opt *Options) (*memberStream, error) {
+	copt, err := opt.compile(db)
+	if err != nil {
+		return nil, err
+	}
+	sets := make([][]NodeID, 0, len(terms))
+	for _, t := range terms {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		sets = append(sets, fulltext.Owners(db.index.SearchSubstring(t)))
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	// The context threads into the roll-up itself (checked per
+	// contracted level), so a deadline interrupts one huge member
+	// mid-meet, not just between members.
+	results, un, err := core.MeetMultiContext(ctx, db.store, sets, copt)
+	if err != nil {
+		return nil, fmt.Errorf("ncq: %w", err)
+	}
+	return newMemberStream(db.wrapResults(results), un), nil
+}
+
+// testStreamPull, when set, is invoked every time the merge pulls the
+// next meet from a member's local stream to replace a consumed head;
+// remaining is how many meets the member still holds before the pull.
+// Tests use it to slow one member's drain and observe that globally
+// ranked meets flow while that member's stream is still mid-flight.
+var testStreamPull func(source string, shard, remaining int)
+
+// head is one entry of the k-way merge: a member's current best meet.
+type head struct {
+	m      CorpusMeet
+	seq    int32
+	stream *memberStream
+}
+
+// lessHead orders merge heads by the global lessCorpusMeet rank, with
+// the member-local emission index as the final tie-break — the exact
+// total order lessCorpusMeet + stable sort used to produce. Full
+// lessCorpusMeet ties can only occur within one member (each member
+// owns a distinct (source, shard)), where seq decides.
+func lessHead(a, b head) bool {
+	if lessCorpusMeet(a.m, b.m) {
+		return true
+	}
+	if lessCorpusMeet(b.m, a.m) {
+		return false
+	}
+	return a.seq < b.seq
+}
+
+// merger merges the per-member ranked streams into the global rank: a
+// heap of member heads, refilled from the owning member as heads are
+// consumed. Construction needs every member's head — the global
+// minimum cannot be known sooner — which is exactly the "slowest
+// member's first result" latency bound.
+type merger struct {
+	heads []head
+}
+
+func newMerger(streams []*memberStream) *merger {
+	g := &merger{heads: make([]head, 0, len(streams))}
+	for _, s := range streams {
+		if rm, ok := s.pop(); ok {
+			g.heads = append(g.heads, head{m: s.wrap(rm.m), seq: rm.seq, stream: s})
+		}
+	}
+	heapify(g.heads, lessHead)
+	return g
+}
+
+func (s *memberStream) wrap(m Meet) CorpusMeet {
+	return CorpusMeet{Source: s.source, Shard: s.shard, Meet: m}
+}
+
+// next yields the globally next-ranked meet and refills the consumed
+// head from its member's stream.
+func (g *merger) next() (CorpusMeet, bool) {
+	if len(g.heads) == 0 {
+		return CorpusMeet{}, false
+	}
+	out := g.heads[0].m
+	s := g.heads[0].stream
+	if hook := testStreamPull; hook != nil {
+		hook(s.source, s.shard, s.pending())
+	}
+	if rm, ok := s.pop(); ok {
+		g.heads[0] = head{m: s.wrap(rm.m), seq: rm.seq, stream: s}
+	} else {
+		last := len(g.heads) - 1
+		g.heads[0] = g.heads[last]
+		g.heads = g.heads[:last]
+	}
+	if len(g.heads) > 0 {
+		siftDown(g.heads, 0, lessHead)
+	}
+	return out, true
+}
+
+// fillStats publishes the counters known at fan-out completion and
+// mints the resume cursor of a truncated stream.
+func fillStats(stats *StreamStats, req *Request, offset int, gen uint64, total, unmatched int, unmatchedNodes []NodeID) {
+	stats.Total = total
+	stats.Unmatched = unmatched
+	stats.UnmatchedNodes = unmatchedNodes
+	if req.Limit > 0 && total > offset+req.Limit {
+		stats.Truncated = true
+		stats.NextCursor = encodeCursor(offset+req.Limit, req.fingerprint(), gen)
+	}
+}
+
+// drain runs the page window over the merged stream: skip offset
+// meets, yield up to limit (0 = all), checking ctx between yields so a
+// cancelled consumer stops mid-stream with the context's error.
+func drain(ctx context.Context, g *merger, offset, limit int, yield func(CorpusMeet, error) bool) {
+	for i := 0; i < offset; i++ {
+		if _, ok := g.next(); !ok {
+			return
+		}
+	}
+	for n := 0; limit <= 0 || n < limit; n++ {
+		if err := ctx.Err(); err != nil {
+			yield(CorpusMeet{}, err)
+			return
+		}
+		m, ok := g.next()
+		if !ok {
+			return
+		}
+		if !yield(m, nil) {
+			return
+		}
+	}
+}
+
+// Results implements Querier: the ranked meets of a term request as an
+// incremental sequence. See ResultsWithStats for the full contract.
+func (db *Database) Results(ctx context.Context, req Request) iter.Seq2[CorpusMeet, error] {
+	seq, _ := db.ResultsWithStats(ctx, req)
+	return seq
+}
+
+// ResultsWithStats is Results plus the stream-level counters: the
+// returned stats are zero until the sequence's execution has fanned
+// out and complete before its first yield. The sequence is single-use:
+// ranging over it a second time re-executes the request. Source and
+// Shard are empty in every yielded meet (a Database is one anonymous
+// document); Request.Cursor skips into the ranked stream and
+// Request.Limit ends it early, exactly like one Run page.
+func (db *Database) ResultsWithStats(ctx context.Context, req Request) (iter.Seq2[CorpusMeet, error], *StreamStats) {
+	stats := &StreamStats{}
+	seq := func(yield func(CorpusMeet, error) bool) {
+		if req.isQuery() {
+			yield(CorpusMeet{}, errStreamQuery)
+			return
+		}
+		if err := req.validate(); err != nil {
+			yield(CorpusMeet{}, err)
+			return
+		}
+		if req.Doc != "" {
+			yield(CorpusMeet{}, fmt.Errorf("ncq: %w %q: a Database holds a single document; clear Request.Doc or run against a Corpus", ErrUnknownDoc, req.Doc))
+			return
+		}
+		// A Database never mutates, so a cursor can never go stale; the
+		// generation it carries is not checked.
+		offset, _, err := req.page()
+		if err != nil {
+			yield(CorpusMeet{}, err)
+			return
+		}
+		s, err := db.termMeetsStream(ctx, req.Terms, req.Options)
+		if err != nil {
+			yield(CorpusMeet{}, err)
+			return
+		}
+		fillStats(stats, &req, offset, 0, s.pending(), len(s.unmatched), s.unmatched)
+		drain(ctx, newMerger([]*memberStream{s}), offset, req.Limit, yield)
+	}
+	return seq, stats
+}
+
+// Results implements Querier: the globally ranked meets of a corpus
+// term request as an incremental sequence. See ResultsWithStats for
+// the full contract.
+func (c *Corpus) Results(ctx context.Context, req Request) iter.Seq2[CorpusMeet, error] {
+	seq, _ := c.ResultsWithStats(ctx, req)
+	return seq
+}
+
+// ResultsWithStats is Results plus the stream-level counters. The
+// members of the request — the whole membership, or the shards of the
+// named document — compute and locally rank their answers in parallel
+// (bounded by SetParallelism); the yielded sequence is their k-way
+// merge in the exact (distance, source, shard, node) total order of
+// Run, flowing as soon as every member has produced its head. The
+// returned stats are zero until that fan-out completes and are
+// published before the first yield. The sequence is single-use:
+// ranging over it a second time re-executes the request.
+//
+// Request.Cursor skips into the ranked stream — failing with
+// ErrStaleCursor if the corpus has mutated since the cursor was minted
+// — and Request.Limit ends the sequence early, exactly like one Run
+// page. A context error surfaces as the sequence's final yield.
+func (c *Corpus) ResultsWithStats(ctx context.Context, req Request) (iter.Seq2[CorpusMeet, error], *StreamStats) {
+	stats := &StreamStats{}
+	seq := func(yield func(CorpusMeet, error) bool) {
+		if req.isQuery() {
+			yield(CorpusMeet{}, errStreamQuery)
+			return
+		}
+		if err := req.validate(); err != nil {
+			yield(CorpusMeet{}, err)
+			return
+		}
+		offset, curGen, err := req.page()
+		if err != nil {
+			yield(CorpusMeet{}, err)
+			return
+		}
+		members, workers, gen, err := c.resolve(req.Doc)
+		if err != nil {
+			yield(CorpusMeet{}, err)
+			return
+		}
+		if req.Cursor != "" && curGen != gen {
+			yield(CorpusMeet{}, fmt.Errorf("ncq: %w: the corpus changed since this cursor was minted", ErrStaleCursor))
+			return
+		}
+		streams := make([]*memberStream, len(members))
+		err = forEachDoc(ctx, len(members), workers, func(i int) error {
+			s, err := members[i].db.termMeetsStream(ctx, req.Terms, req.Options)
+			if err != nil {
+				return fmt.Errorf("ncq: corpus %q: %w", members[i].name, err)
+			}
+			s.source, s.shard = members[i].name, members[i].shard
+			streams[i] = s
+			return nil
+		})
+		if err != nil {
+			yield(CorpusMeet{}, err)
+			return
+		}
+		total, unmatched := 0, 0
+		for _, s := range streams {
+			total += s.pending()
+			unmatched += len(s.unmatched)
+		}
+		fillStats(stats, &req, offset, gen, total, unmatched, nil)
+		drain(ctx, newMerger(streams), offset, req.Limit, yield)
+	}
+	return seq, stats
+}
+
+// streamMeets implements RunStream as a thin adapter over Results,
+// kept for compatibility with the pre-iterator surface: yield
+// semantics (return false to stop) map directly onto the sequence.
+func streamMeets(ctx context.Context, q Querier, req Request, yield func(CorpusMeet) bool) error {
+	for m, err := range q.Results(ctx, req) {
+		if err != nil {
+			return err
+		}
+		if !yield(m) {
+			return nil
+		}
+	}
+	return nil
+}

@@ -1,19 +1,16 @@
 package ncq
 
 // Run and RunStream — the Querier implementations of Database and
-// Corpus. Execution threads the caller's context through the full-text
-// searches and the shard/member fan-out, and pushes Limit down so a
-// page never materialises more of the ranked answer set than it needs.
+// Corpus. Term execution is iterator-native (results.go): Run drains
+// the same incrementally merged sequence the streaming surfaces
+// consume and attaches the page metadata; query-language execution
+// evaluates per member and pages over the concatenated answer rows.
 
 import (
 	"context"
-	"errors"
 	"fmt"
-	"sort"
 	"time"
 
-	"ncq/internal/core"
-	"ncq/internal/fulltext"
 	"ncq/internal/query"
 )
 
@@ -27,37 +24,27 @@ func (db *Database) Run(ctx context.Context, req Request) (*Result, error) {
 	if req.Doc != "" {
 		return nil, fmt.Errorf("ncq: %w %q: a Database holds a single document; clear Request.Doc or run against a Corpus", ErrUnknownDoc, req.Doc)
 	}
-	offset, err := req.offset()
-	if err != nil {
-		return nil, err
-	}
-	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
-	res := &Result{}
+	var res *Result
 	if req.isQuery() {
+		offset, _, err := req.page()
+		if err != nil {
+			return nil, err
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		ans, err := db.engine.Query(req.Query)
 		if err != nil {
 			return nil, err
 		}
-		res.Answers = []CorpusAnswer{{Answer: ans}}
-		pageAnswerRows(res, offset, req.Limit, req.fingerprint(), true)
+		res = &Result{Answers: []CorpusAnswer{{Answer: ans}}}
+		pageAnswerRows(res, offset, req.Limit, req.fingerprint(), 0, true)
 	} else {
-		need := pageNeed(offset, req.Limit)
-		meets, total, unmatched, err := db.termMeets(ctx, req.Terms, req.Options, need)
+		var err error
+		res, err = drainResults(db.ResultsWithStats(ctx, req))
 		if err != nil {
 			return nil, err
 		}
-		if need == 0 {
-			RankMeets(meets) // termMeets only ranks when it truncates
-		}
-		ranked := make([]CorpusMeet, len(meets))
-		for i, m := range meets {
-			ranked[i] = CorpusMeet{Meet: m}
-		}
-		res.Meets, res.Truncated, res.NextCursor = pageMeets(ranked, total, offset, req.Limit, req.fingerprint())
-		res.Unmatched = len(unmatched)
-		res.UnmatchedNodes = unmatched
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, err
@@ -71,50 +58,28 @@ func (db *Database) RunStream(ctx context.Context, req Request, yield func(Corpu
 	return streamMeets(ctx, db, req, yield)
 }
 
-// termMeets is the per-database unit of term execution: one full-text
-// search per term followed by the multi-set meet. When need > 0 the
-// meets are ranked by (distance, document order) and truncated to the
-// first need entries — the pushed-down limit — while total still
-// counts the full candidate set; with need == 0 they stay in document
-// order (callers that want every meet ranked sort once themselves, so
-// an unlimited corpus run is not sorted twice). The context is checked
-// between the searches so a cancelled query stops mid-document.
-func (db *Database) termMeets(ctx context.Context, terms []string, opt *Options, need int) (meets []Meet, total int, unmatched []NodeID, err error) {
-	copt, err := opt.compile(db)
-	if err != nil {
-		return nil, 0, nil, err
-	}
-	sets := make([][]NodeID, 0, len(terms))
-	for _, t := range terms {
-		if err := ctx.Err(); err != nil {
-			return nil, 0, nil, err
+// drainResults is the batch view of the incremental core: consume the
+// whole (already offset- and limit-windowed) sequence and attach the
+// stream counters as page metadata — "Run is drain plus paginate".
+func drainResults(seq func(func(CorpusMeet, error) bool), stats *StreamStats) (*Result, error) {
+	res := &Result{}
+	for m, err := range seq {
+		if err != nil {
+			return nil, err
 		}
-		sets = append(sets, fulltext.Owners(db.index.SearchSubstring(t)))
+		res.Meets = append(res.Meets, m)
 	}
-	if err := ctx.Err(); err != nil {
-		return nil, 0, nil, err
-	}
-	// The context threads into the roll-up itself (checked per
-	// contracted level), so a deadline interrupts one huge member
-	// mid-meet, not just between members.
-	results, un, err := core.MeetMultiContext(ctx, db.store, sets, copt)
-	if err != nil {
-		return nil, 0, nil, fmt.Errorf("ncq: %w", err)
-	}
-	meets = db.wrapResults(results)
-	total = len(meets)
-	if need > 0 {
-		RankMeets(meets)
-		if len(meets) > need {
-			meets = meets[:need]
-		}
-	}
-	return meets, total, un, nil
+	res.Unmatched = stats.Unmatched
+	res.UnmatchedNodes = stats.UnmatchedNodes
+	res.Truncated = stats.Truncated
+	res.NextCursor = stats.NextCursor
+	return res, nil
 }
 
 // lessCorpusMeet is the global ranking of merged answers: ascending
 // distance, ties by source name, shard, then document order — the
-// total order every page of a paginated run is cut from.
+// total order every page of a paginated run is cut from (the k-way
+// merge of results.go yields in exactly this order).
 func lessCorpusMeet(a, b CorpusMeet) bool {
 	if a.Distance != b.Distance {
 		return a.Distance < b.Distance
@@ -128,36 +93,14 @@ func lessCorpusMeet(a, b CorpusMeet) bool {
 	return a.Node < b.Node
 }
 
-// pageMeets cuts the page at offset from the ranked list. ranked holds
-// at least min(total, offset+limit) entries — everything when limit is
-// 0 — and total counts the full candidate set, so the truncation flag
-// is exact even though the tail was never materialised.
-func pageMeets(ranked []CorpusMeet, total, offset, limit int, fp uint32) (page []CorpusMeet, truncated bool, next string) {
-	page = ranked
-	if offset > 0 {
-		if offset >= len(page) {
-			page = nil
-		} else {
-			page = page[offset:]
-		}
-	}
-	if limit > 0 && len(page) > limit {
-		page = page[:limit]
-	}
-	if limit > 0 && total > offset+limit {
-		truncated = true
-		next = encodeCursor(offset+limit, fp)
-	}
-	return page, truncated, next
-}
-
 // pageAnswerRows applies offset and limit to a query-language result:
 // the page window runs over the concatenated rows of all answers, in
 // answer order. keepEmpty retains answers whose rows were consumed by
 // the offset (a run against one named document always reports its
 // single answer); a corpus-wide run drops them, matching the
-// omit-empty-answers contract of Corpus.Query.
-func pageAnswerRows(res *Result, offset, limit int, fp uint32, keepEmpty bool) {
+// omit-empty-answers contract of Corpus.Query. gen is stamped into the
+// minted cursor so a later page can detect a corpus mutation.
+func pageAnswerRows(res *Result, offset, limit int, fp uint32, gen uint64, keepEmpty bool) {
 	if offset > 0 {
 		kept := res.Answers[:0]
 		skip := offset
@@ -202,7 +145,7 @@ func pageAnswerRows(res *Result, offset, limit int, fp uint32, keepEmpty bool) {
 		for _, a := range res.Answers {
 			delivered += len(a.Answer.Rows)
 		}
-		res.NextCursor = encodeCursor(offset+delivered, fp)
+		res.NextCursor = encodeCursor(offset+delivered, fp, gen)
 	}
 }
 
@@ -215,15 +158,12 @@ func (c *Corpus) Run(ctx context.Context, req Request) (*Result, error) {
 	if err := req.validate(); err != nil {
 		return nil, err
 	}
-	offset, err := req.offset()
-	if err != nil {
-		return nil, err
-	}
 	var res *Result
+	var err error
 	if req.isQuery() {
-		res, err = c.runQuery(ctx, req, offset)
+		res, err = c.runQuery(ctx, req)
 	} else {
-		res, err = c.runTerms(ctx, req, offset)
+		res, err = drainResults(c.ResultsWithStats(ctx, req))
 	}
 	if err != nil {
 		return nil, err
@@ -237,74 +177,39 @@ func (c *Corpus) RunStream(ctx context.Context, req Request, yield func(CorpusMe
 	return streamMeets(ctx, c, req, yield)
 }
 
-// resolve returns the fan-out units of the request: the whole
-// membership, or the shards of the named member.
-func (c *Corpus) resolve(doc string) ([]member, int, error) {
+// resolve returns the fan-out units of the request — the whole
+// membership, or the shards of the named member — plus the corpus
+// generation the snapshot was taken at (the staleness mark of minted
+// cursors).
+func (c *Corpus) resolve(doc string) ([]member, int, uint64, error) {
 	if doc == "" {
-		members, workers := c.snapshot()
-		return members, workers, nil
+		members, workers, gen := c.snapshot()
+		return members, workers, gen, nil
 	}
-	members, workers, found := c.memberOf(doc)
+	members, workers, gen, found := c.memberOf(doc)
 	if !found {
-		return nil, 0, fmt.Errorf("ncq: corpus: %w %q", ErrUnknownDoc, doc)
+		return nil, 0, 0, fmt.Errorf("ncq: corpus: %w %q", ErrUnknownDoc, doc)
 	}
-	return members, workers, nil
-}
-
-// runTerms fans the term meet over the members, each member ranking
-// and truncating locally to what the page needs, and merges the
-// per-member heads into the globally ranked page. The top offset+limit
-// answers of the union are always contained in the union of each
-// member's top offset+limit answers, so the pushed-down truncation
-// returns exactly the answers a full rank-then-cut would.
-func (c *Corpus) runTerms(ctx context.Context, req Request, offset int) (*Result, error) {
-	members, workers, err := c.resolve(req.Doc)
-	if err != nil {
-		return nil, err
-	}
-	need := pageNeed(offset, req.Limit)
-	type perDoc struct {
-		meets     []Meet
-		total     int
-		unmatched int
-	}
-	per := make([]perDoc, len(members))
-	err = forEachDoc(ctx, len(members), workers, func(i int) error {
-		meets, total, un, err := members[i].db.termMeets(ctx, req.Terms, req.Options, need)
-		if err != nil {
-			return fmt.Errorf("ncq: corpus %q: %w", members[i].name, err)
-		}
-		per[i] = perDoc{meets: meets, total: total, unmatched: len(un)}
-		return nil
-	})
-	if err != nil {
-		return nil, err
-	}
-	var merged []CorpusMeet
-	res := &Result{}
-	total := 0
-	for i, pd := range per {
-		total += pd.total
-		res.Unmatched += pd.unmatched
-		for _, m := range pd.meets {
-			merged = append(merged, CorpusMeet{Source: members[i].name, Shard: members[i].shard, Meet: m})
-		}
-	}
-	sort.SliceStable(merged, func(i, j int) bool { return lessCorpusMeet(merged[i], merged[j]) })
-	res.Meets, res.Truncated, res.NextCursor = pageMeets(merged, total, offset, req.Limit, req.fingerprint())
-	return res, nil
+	return members, workers, gen, nil
 }
 
 // runQuery evaluates a query-language request: parsed once, evaluated
 // per member concurrently, shard answers merged per logical name.
-func (c *Corpus) runQuery(ctx context.Context, req Request, offset int) (*Result, error) {
+func (c *Corpus) runQuery(ctx context.Context, req Request) (*Result, error) {
+	offset, curGen, err := req.page()
+	if err != nil {
+		return nil, err
+	}
 	q, err := query.Parse(req.Query)
 	if err != nil {
 		return nil, err
 	}
-	members, workers, err := c.resolve(req.Doc)
+	members, workers, gen, err := c.resolve(req.Doc)
 	if err != nil {
 		return nil, err
+	}
+	if req.Cursor != "" && curGen != gen {
+		return nil, fmt.Errorf("ncq: %w: the corpus changed since this cursor was minted", ErrStaleCursor)
 	}
 	answers := make([]*Answer, len(members))
 	err = forEachDoc(ctx, len(members), workers, func(i int) error {
@@ -338,30 +243,6 @@ func (c *Corpus) runQuery(ctx context.Context, req Request, offset int) (*Result
 			i = j
 		}
 	}
-	pageAnswerRows(res, offset, req.Limit, req.fingerprint(), req.Doc != "")
+	pageAnswerRows(res, offset, req.Limit, req.fingerprint(), gen, req.Doc != "")
 	return res, nil
-}
-
-// streamMeets implements RunStream on top of Run: the meets are
-// computed and ranked in full (ranking is global, so the first meet is
-// only known once every member answered), then streamed; the yield
-// callback stops consumption early, and the context is honoured both
-// during execution and between yields.
-func streamMeets(ctx context.Context, q Querier, req Request, yield func(CorpusMeet) bool) error {
-	if req.isQuery() {
-		return errors.New("ncq: RunStream supports term requests only; use Run for query-language requests")
-	}
-	res, err := q.Run(ctx, req)
-	if err != nil {
-		return err
-	}
-	for _, m := range res.Meets {
-		if err := ctx.Err(); err != nil {
-			return err
-		}
-		if !yield(m) {
-			return nil
-		}
-	}
-	return nil
 }
