@@ -35,6 +35,21 @@
 // -shards shards apiece. -pprof-addr serves net/http/pprof on a
 // separate listener (off by default) so a live daemon can be profiled
 // without exposing the profiler on the query port.
+//
+// Cluster mode: with -coordinator the daemon serves no corpus of its
+// own. Instead -workers names a comma-separated list of worker nodes
+// (plain ncqd daemons); documents are placed on workers by consistent
+// hashing of their names and /v2/query scatter-gathers every worker's
+// NDJSON stream into one exact globally ranked answer:
+//
+//	ncqd -addr :8334 -node-name w1          # worker 1
+//	ncqd -addr :8335 -node-name w2          # worker 2
+//	ncqd -addr :8333 -coordinator -workers localhost:8334,localhost:8335
+//
+// -node-name and -role label the node on /v1/healthz and /v1/stats;
+// -worker-timeout, -retry and -poll-interval tune the coordinator's
+// per-worker deadline, its bounded retry of idempotent reads, and how
+// often it refreshes the worker generation vector.
 package main
 
 import (
@@ -48,11 +63,13 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
 
 	"ncq"
+	"ncq/internal/cluster"
 	"ncq/internal/server"
 	"ncq/internal/shard"
 )
@@ -71,17 +88,24 @@ func run(argv []string, stderr io.Writer, ready chan<- string) int {
 		cacheBytes = fs.Int64("cache-bytes", 64<<20, "query result cache budget in bytes (0 disables)")
 		cacheTTL   = fs.Duration("cache-ttl", 0, "query result cache TTL (0 = entries never expire by age)")
 		maxBody    = fs.Int64("max-body", 32<<20, "maximum document upload size in bytes")
-		workers    = fs.Int("workers", 0, "corpus query fan-out width (0 = GOMAXPROCS)")
+		workers    = fs.String("workers", "", "corpus query fan-out width (single node, 0 = GOMAXPROCS); with -coordinator, the comma-separated worker addresses")
 		load       = fs.String("load", "", "glob of XML files to preload")
 		shards     = fs.Int("shards", 1, "shards per preloaded document (1 = unsharded)")
 		gracePeri  = fs.Duration("grace", 5*time.Second, "shutdown grace period")
 		pprofAddr  = fs.String("pprof-addr", "", "serve net/http/pprof on this separate address (empty = disabled)")
+
+		coordinator  = fs.Bool("coordinator", false, "run as a cluster coordinator over -workers instead of serving a local corpus")
+		nodeName     = fs.String("node-name", "", "node identity on /v1/healthz, /v1/stats and stream headers (default \"ncqd\")")
+		role         = fs.String("role", "", "topology label on /v1/healthz and /v1/stats (\"single\", \"worker\"; coordinators are always \"coordinator\")")
+		workerTimout = fs.Duration("worker-timeout", 30*time.Second, "coordinator: per-worker deadline, spanning a whole streamed answer")
+		retries      = fs.Int("retry", 1, "coordinator: retries of idempotent worker reads after a transport error or 5xx")
+		pollInterval = fs.Duration("poll-interval", 2*time.Second, "coordinator: how often to refresh the worker generation vector")
 	)
 	if err := fs.Parse(argv); err != nil {
 		return 2
 	}
 	if fs.NArg() != 0 {
-		fmt.Fprintln(stderr, "usage: ncqd [-addr :8334] [-cache-bytes N] [-cache-ttl D] [-max-body N] [-workers N] [-load GLOB] [-shards K] [-pprof-addr ADDR]")
+		fmt.Fprintln(stderr, "usage: ncqd [-addr :8334] [-cache-bytes N] [-cache-ttl D] [-max-body N] [-workers N] [-load GLOB] [-shards K] [-pprof-addr ADDR]\n       ncqd -coordinator -workers HOST:PORT,HOST:PORT,... [-addr :8334] [-worker-timeout D] [-retry N] [-poll-interval D]")
 		return 2
 	}
 	if *cacheTTL < 0 {
@@ -93,29 +117,68 @@ func run(argv []string, stderr io.Writer, ready chan<- string) int {
 		return 2
 	}
 
-	corpus := ncq.NewCorpus()
-	corpus.SetParallelism(*workers)
-	if *load != "" {
-		n, err := preload(corpus, *load, *shards)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	var handler http.Handler
+	if *coordinator {
+		if *load != "" {
+			fmt.Fprintln(stderr, "ncqd: -load does not apply to a coordinator; load documents through PUT /v1/docs/{name}")
+			return 2
+		}
+		wks, err := cluster.ParseWorkers(*workers)
+		if err != nil {
+			fmt.Fprintf(stderr, "ncqd: -workers: %v\n", err)
+			return 2
+		}
+		coord, err := cluster.New(cluster.Config{
+			NodeName:      *nodeName,
+			Workers:       wks,
+			WorkerTimeout: *workerTimout,
+			Retries:       *retries,
+			CacheBytes:    *cacheBytes,
+			CacheTTL:      *cacheTTL,
+			PollInterval:  *pollInterval,
+		})
 		if err != nil {
 			fmt.Fprintf(stderr, "ncqd: %v\n", err)
 			return 1
 		}
-		fmt.Fprintf(stderr, "ncqd: preloaded %d document(s)\n", n)
+		go coord.Poll(ctx)
+		fmt.Fprintf(stderr, "ncqd: coordinating %d worker(s)\n", len(wks))
+		handler = coord.Handler()
+	} else {
+		fanout := 0
+		if *workers != "" {
+			n, err := strconv.Atoi(*workers)
+			if err != nil || n < 0 {
+				fmt.Fprintf(stderr, "ncqd: -workers must be a non-negative fan-out width (or a worker list with -coordinator)\n")
+				return 2
+			}
+			fanout = n
+		}
+		corpus := ncq.NewCorpus()
+		corpus.SetParallelism(fanout)
+		if *load != "" {
+			n, err := preload(corpus, *load, *shards)
+			if err != nil {
+				fmt.Fprintf(stderr, "ncqd: %v\n", err)
+				return 1
+			}
+			fmt.Fprintf(stderr, "ncqd: preloaded %d document(s)\n", n)
+		}
+		handler = server.New(corpus,
+			server.WithCacheBytes(*cacheBytes),
+			server.WithCacheTTL(*cacheTTL),
+			server.WithMaxBody(*maxBody),
+			server.WithNodeName(*nodeName),
+			server.WithRole(*role)).Handler()
 	}
-
-	srv := server.New(corpus,
-		server.WithCacheBytes(*cacheBytes),
-		server.WithCacheTTL(*cacheTTL),
-		server.WithMaxBody(*maxBody))
 	httpSrv := &http.Server{
 		Addr:              *addr,
-		Handler:           srv.Handler(),
+		Handler:           handler,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
-
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
 
 	if *pprofAddr != "" {
 		pprofSrv, err := servePprof(*pprofAddr, stderr)

@@ -1,0 +1,584 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ncq"
+	"ncq/internal/cache"
+)
+
+const (
+	defaultWorkerTimeout = 30 * time.Second
+	defaultRetries       = 1
+	defaultCacheBytes    = 64 << 20
+	defaultPollInterval  = 2 * time.Second
+)
+
+// Config configures a Coordinator.
+type Config struct {
+	// NodeName is the coordinator's identity on /v1/healthz, /v1/stats
+	// and its own stream headers. Default "ncqd".
+	NodeName string
+
+	// Workers is the cluster membership. Placement and scatter targets
+	// derive from it; it is fixed for the coordinator's lifetime.
+	Workers []Worker
+
+	// WorkerTimeout bounds every call to a worker — for a streamed
+	// query, the whole stream. Default 30s.
+	WorkerTimeout time.Duration
+
+	// Retries is how many times an idempotent read is re-attempted
+	// against a worker after a transport error or 5xx before the
+	// failure policy applies. Mutations are never retried. Default 1.
+	Retries int
+
+	// CacheBytes bounds the coordinator's result cache; 0 disables it.
+	CacheBytes int64
+
+	// CacheTTL expires cached results by age; 0 means no expiry.
+	CacheTTL time.Duration
+
+	// PollInterval is how often Poll refreshes the tracked generation
+	// vector from worker health checks, bounding how long a mutation
+	// applied directly to a worker (bypassing the coordinator) can keep
+	// serving cached coordinator results. Default 2s.
+	PollInterval time.Duration
+}
+
+// Coordinator fronts a cluster of worker nodes: it places documents by
+// consistent hashing, scatter-gathers queries over the workers'
+// NDJSON streams, and serves the same /v2/query and /v1/docs surface
+// as a single node. Create one with New and mount Handler.
+type Coordinator struct {
+	cfg     config
+	ring    *Ring
+	workers []Worker
+	byName  map[string]Worker
+	client  *http.Client
+	cache   *cache.LRU
+	mux     *http.ServeMux
+	started time.Time
+
+	queries   atomic.Uint64
+	mutations atomic.Uint64
+
+	mu   sync.Mutex
+	gens map[string]uint64 // tracked generation per worker
+}
+
+// config is Config with the defaults applied.
+type config struct {
+	Config
+	cacheBytes int64
+}
+
+// New builds a Coordinator over the configured workers.
+func New(cfg Config) (*Coordinator, error) {
+	if len(cfg.Workers) == 0 {
+		return nil, errors.New("cluster: a coordinator needs at least one worker")
+	}
+	c := &Coordinator{
+		cfg:     config{Config: cfg, cacheBytes: cfg.CacheBytes},
+		workers: append([]Worker(nil), cfg.Workers...),
+		byName:  make(map[string]Worker, len(cfg.Workers)),
+		client:  &http.Client{},
+		started: time.Now(),
+		gens:    make(map[string]uint64, len(cfg.Workers)),
+	}
+	if c.cfg.NodeName == "" {
+		c.cfg.NodeName = "ncqd"
+	}
+	if c.cfg.WorkerTimeout <= 0 {
+		c.cfg.WorkerTimeout = defaultWorkerTimeout
+	}
+	if c.cfg.Retries < 0 {
+		c.cfg.Retries = defaultRetries
+	}
+	if c.cfg.PollInterval <= 0 {
+		c.cfg.PollInterval = defaultPollInterval
+	}
+	names := make([]string, 0, len(c.workers))
+	for _, w := range c.workers {
+		if w.Name == "" || w.URL == "" {
+			return nil, fmt.Errorf("cluster: worker %+v needs a name and a URL", w)
+		}
+		if _, dup := c.byName[w.Name]; dup {
+			return nil, fmt.Errorf("cluster: duplicate worker %q", w.Name)
+		}
+		c.byName[w.Name] = w
+		names = append(names, w.Name)
+	}
+	c.ring = NewRing(names)
+	c.cache = cache.New(c.cfg.cacheBytes, cache.WithTTL(c.cfg.CacheTTL))
+	c.routes()
+	return c, nil
+}
+
+// Handler returns the coordinator's root handler.
+func (c *Coordinator) Handler() http.Handler { return c.mux }
+
+// Owner returns the worker owning the logical document name.
+func (c *Coordinator) Owner(name string) Worker {
+	return c.byName[c.ring.Owner(name)]
+}
+
+// noteGen records a worker generation observed on a response — a
+// stream header, a routed mutation's X-NCQ-Generation, a health poll.
+// Generations are monotone per worker, so only advances are kept; a
+// slow response carrying an older generation cannot roll the vector
+// back.
+func (c *Coordinator) noteGen(worker string, gen uint64) {
+	c.mu.Lock()
+	if gen > c.gens[worker] {
+		c.gens[worker] = gen
+	}
+	c.mu.Unlock()
+}
+
+// genHash folds a generation vector into the single uint64 a cursor
+// carries: FNV-64a over the sorted name=generation pairs. Any worker
+// mutating changes its generation, hence the hash — the distributed
+// analogue of the single corpus generation.
+func genHash(gens map[string]uint64) uint64 {
+	names := make([]string, 0, len(gens))
+	for n := range gens {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	h := fnv.New64a()
+	for _, n := range names {
+		fmt.Fprintf(h, "%s=%d\n", n, gens[n])
+	}
+	return h.Sum64()
+}
+
+// trackedHash returns the hash of the tracked generation vector
+// restricted to the given workers — the cache generation key of a
+// query over exactly those targets.
+func (c *Coordinator) trackedHash(targets []Worker) uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	gens := make(map[string]uint64, len(targets))
+	for _, w := range targets {
+		gens[w.Name] = c.gens[w.Name]
+	}
+	return genHash(gens)
+}
+
+// clusterQuery is the coordinator's /v2/query wire schema: the worker
+// schema plus allow_partial. The shared fields are forwarded to
+// workers verbatim, which is what keeps the two surfaces one API.
+type clusterQuery struct {
+	Doc   string   `json:"doc,omitempty"`
+	Query string   `json:"query,omitempty"`
+	Terms []string `json:"terms,omitempty"`
+
+	ExcludeRoot bool     `json:"exclude_root,omitempty"`
+	Exclude     []string `json:"exclude,omitempty"`
+	Restrict    []string `json:"restrict,omitempty"`
+	Nearest     bool     `json:"nearest,omitempty"`
+	Within      int      `json:"within,omitempty"`
+	MaxLift     int      `json:"max_lift,omitempty"`
+
+	Limit  int    `json:"limit,omitempty"`
+	Cursor string `json:"cursor,omitempty"`
+
+	// AllowPartial degrades worker failures instead of failing the
+	// query: the response carries the surviving workers' exact merged
+	// ranking, marked incomplete, with per-worker error detail. Strict
+	// mode (the default) maps any worker failure to 502.
+	AllowPartial bool `json:"allow_partial,omitempty"`
+}
+
+// clusterRequest is the full POST /v2/query body on the coordinator.
+type clusterRequest struct {
+	clusterQuery
+	Batch     []clusterQuery `json:"batch,omitempty"`
+	TimeoutMS int            `json:"timeout_ms,omitempty"`
+}
+
+func (q *clusterQuery) validate() error {
+	hasQuery := strings.TrimSpace(q.Query) != ""
+	if hasQuery == (len(q.Terms) > 0) {
+		return errors.New("exactly one of \"query\" or \"terms\" must be set")
+	}
+	for _, t := range q.Terms {
+		if t == "" {
+			return errors.New("empty term")
+		}
+	}
+	if q.Within < 0 || q.MaxLift < 0 || q.Limit < 0 {
+		return errors.New("\"within\", \"max_lift\" and \"limit\" must be non-negative")
+	}
+	return nil
+}
+
+// options mirrors the wire fields into an ncq.Options — used only to
+// canonicalise the request for cursors and cache keys; execution
+// happens on the workers.
+func (q *clusterQuery) options() *ncq.Options {
+	opt := &ncq.Options{}
+	if q.ExcludeRoot {
+		opt.ExcludeRoot()
+	}
+	for _, p := range q.Exclude {
+		opt.ExcludePattern(p)
+	}
+	for _, p := range q.Restrict {
+		opt.Restrict(p)
+	}
+	if q.Nearest {
+		opt.Nearest()
+	}
+	if q.Within > 0 {
+		opt.Within(q.Within)
+	}
+	if q.MaxLift > 0 {
+		opt.MaxLift(q.MaxLift)
+	}
+	return opt
+}
+
+// base is the canonical page-independent encoding of the query — what
+// the coordinator's cursors are fingerprinted against. It reuses
+// ncq.Request.Canonical so equivalent spellings (whitespace, option
+// order) share cursors and cache entries exactly as on a single node.
+func (q *clusterQuery) base() string {
+	r := ncq.Request{Doc: q.Doc, Limit: q.Limit}
+	if len(q.Terms) > 0 {
+		r.Terms = q.Terms
+		r.Options = q.options()
+	} else {
+		r.Query = strings.TrimSpace(q.Query)
+	}
+	return r.Canonical()
+}
+
+// workerBody renders the query as the body scattered to each worker:
+// coordinator-only fields stripped, the page window folded into a
+// pushed-down limit. The coordinator handles the offset itself (a
+// worker cannot know which of its meets fall in the global window),
+// so each worker is asked for the first offset+limit of its own
+// ranking — the most any single worker can contribute to the page.
+func workerBody(q *clusterQuery, offset int) []byte {
+	wire := *q
+	wire.Cursor = ""
+	wire.AllowPartial = false
+	if q.Limit > 0 {
+		wire.Limit = offset + q.Limit
+	}
+	body, err := json.Marshal(&wire)
+	if err != nil {
+		panic(fmt.Sprintf("cluster: marshal worker body: %v", err)) // plain data struct; cannot fail
+	}
+	return body
+}
+
+// targetsFor returns the workers a query scatters to: the owner alone
+// for a doc-scoped query, the whole cluster otherwise.
+func (c *Coordinator) targetsFor(q *clusterQuery) []Worker {
+	if q.Doc != "" {
+		return []Worker{c.Owner(q.Doc)}
+	}
+	return c.workers
+}
+
+// gather is the result of a scatter: the surviving worker streams as
+// merge sources, their aggregated header counters, and the gathered
+// generation vector. Close releases every stream.
+type gather struct {
+	streams   []*workerStream
+	sources   []ncq.MeetSource
+	total     int
+	unmatched int
+	gens      map[string]uint64
+	hash      uint64
+
+	mu     sync.Mutex
+	failed map[string]string // worker -> failure detail (allow_partial)
+}
+
+func (g *gather) Close() {
+	for _, s := range g.streams {
+		s.close()
+	}
+}
+
+func (g *gather) recordFailure(w Worker, err error) {
+	g.mu.Lock()
+	g.failed[w.Name] = err.Error()
+	g.mu.Unlock()
+}
+
+// incomplete reports whether any worker failed (allow_partial mode).
+func (g *gather) incomplete() bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return len(g.failed) > 0
+}
+
+func (g *gather) failures() map[string]string {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if len(g.failed) == 0 {
+		return nil
+	}
+	out := make(map[string]string, len(g.failed))
+	for k, v := range g.failed {
+		out[k] = v
+	}
+	return out
+}
+
+// scatterQuery opens the query's worker streams in parallel and reads
+// every header — totals and generations are known before the first
+// merged yield. Worker failures follow the query's policy: strict
+// mode aborts on the first failure; allow_partial records it and
+// continues with the survivors (failing only when no worker
+// survives). A worker answering 4xx is a deterministic request error
+// and aborts in either mode.
+func (c *Coordinator) scatterQuery(ctx context.Context, q *clusterQuery, offset int) (*gather, error) {
+	targets := c.targetsFor(q)
+	body := workerBody(q, offset)
+	streams := make([]*workerStream, len(targets))
+	errs := make([]error, len(targets))
+	var wg sync.WaitGroup
+	for i, wk := range targets {
+		wg.Add(1)
+		go func(i int, wk Worker) {
+			defer wg.Done()
+			streams[i], errs[i] = c.openStream(ctx, wk, body)
+		}(i, wk)
+	}
+	wg.Wait()
+
+	g := &gather{
+		gens:   make(map[string]uint64, len(targets)),
+		failed: make(map[string]string),
+	}
+	abort := func(err error) (*gather, error) {
+		g.Close()
+		return nil, err
+	}
+	var lastErr error
+	for i, wk := range targets {
+		if err := errs[i]; err != nil {
+			var he *workerHTTPError
+			if errors.As(err, &he) && he.status < 500 {
+				return abort(err) // the request itself is bad; every worker agrees
+			}
+			if !q.AllowPartial {
+				return abort(err)
+			}
+			g.recordFailure(wk, err)
+			lastErr = err
+			continue
+		}
+		ws := streams[i]
+		g.streams = append(g.streams, ws)
+		g.sources = append(g.sources, ws)
+		g.total += ws.header.Total
+		g.unmatched += ws.header.Unmatched
+		g.gens[wk.Name] = ws.header.Generation
+		if q.AllowPartial {
+			ws.onFail = func(w Worker, err error) error {
+				g.recordFailure(w, err)
+				return nil // end this source quietly; the merge continues
+			}
+		}
+	}
+	if len(g.streams) == 0 {
+		return abort(fmt.Errorf("all %d workers failed: %w", len(targets), lastErr))
+	}
+	g.hash = genHash(g.gens)
+	for w, gen := range g.gens {
+		c.noteGen(w, gen)
+	}
+	return g, nil
+}
+
+// pageOutcome is one executed coordinator page, ready for any
+// envelope (single response, batch item).
+type pageOutcome struct {
+	raw        json.RawMessage
+	cached     bool
+	hash       uint64
+	truncated  bool
+	nextCursor string
+	incomplete bool
+	failed     map[string]string
+}
+
+// clusterResult is the coordinator's result payload — field-for-field
+// the single-node "terms" payload, so a distributed answer is
+// byte-identical to the answer one node holding the whole corpus
+// would give.
+type clusterResult struct {
+	Mode      string           `json:"mode"`
+	Meets     []ncq.CorpusMeet `json:"meets,omitempty"`
+	Unmatched int              `json:"unmatched,omitempty"`
+	Truncated bool             `json:"truncated,omitempty"`
+}
+
+// errQueryLanguage rejects query-language requests on the coordinator.
+var errQueryLanguage = errors.New("query-language requests are not supported in coordinator mode; send \"terms\" requests, or query a worker directly")
+
+// cachedPage is the cache value: everything a response envelope needs.
+type cachedPage struct {
+	raw        json.RawMessage
+	truncated  bool
+	nextCursor string
+}
+
+// runPage executes one term query page: resolve the cursor, serve
+// from cache when the tracked generation vector still matches,
+// otherwise scatter, verify the cursor against the gathered vector
+// (mismatch → ErrStaleCursor, the distributed 410), merge the worker
+// streams into the exact global ranking and mint the next cursor.
+// Partial results are never cached and never mint a cursor — a page
+// chain is always exact.
+func (c *Coordinator) runPage(ctx context.Context, q *clusterQuery) (*pageOutcome, error) {
+	if strings.TrimSpace(q.Query) != "" {
+		return nil, errQueryLanguage
+	}
+	base := q.base()
+	offset, curGen, err := ncq.ResolveCursor(q.Cursor, base)
+	if err != nil {
+		return nil, err
+	}
+	c.queries.Add(1)
+	targets := c.targetsFor(q)
+	pageKey := fmt.Sprintf("%s page=%d", base, offset)
+	tracked := c.trackedHash(targets)
+	if q.Cursor == "" || curGen == tracked {
+		if v, ok := c.cache.Get(cache.Key{Gen: tracked, Query: pageKey}); ok {
+			p := v.(*cachedPage)
+			return &pageOutcome{raw: p.raw, cached: true, hash: tracked,
+				truncated: p.truncated, nextCursor: p.nextCursor}, nil
+		}
+	}
+	g, err := c.scatterQuery(ctx, q, offset)
+	if err != nil {
+		return nil, err
+	}
+	defer g.Close()
+	if q.Cursor != "" && curGen != g.hash {
+		return nil, fmt.Errorf("ncq: %w: the cluster changed since this cursor was minted", ncq.ErrStaleCursor)
+	}
+	out := &pageOutcome{hash: g.hash}
+	res := clusterResult{Mode: "terms"}
+	for m, err := range ncq.MergeMeets(ctx, g.sources, offset, q.Limit) {
+		if err != nil {
+			return nil, err
+		}
+		res.Meets = append(res.Meets, m)
+	}
+	if q.Doc != "" {
+		// Single-node semantics: the unmatched count is reported for
+		// doc-scoped results only (the doc lives wholly on its owner).
+		res.Unmatched = g.unmatched
+	}
+	out.incomplete = g.incomplete()
+	out.failed = g.failures()
+	if q.Limit > 0 && g.total > offset+q.Limit {
+		res.Truncated = true
+		out.truncated = true
+		if !out.incomplete {
+			out.nextCursor = ncq.MintCursor(offset+q.Limit, base, g.hash)
+		}
+	}
+	raw, err := json.Marshal(&res)
+	if err != nil {
+		return nil, fmt.Errorf("encode result: %v", err)
+	}
+	out.raw = raw
+	if !out.incomplete {
+		c.cache.Put(cache.Key{Gen: g.hash, Query: pageKey},
+			&cachedPage{raw: raw, truncated: out.truncated, nextCursor: out.nextCursor}, len(raw))
+	}
+	return out, nil
+}
+
+// workerHealth is one worker's health as seen by the coordinator.
+type workerHealth struct {
+	Name       string `json:"name"`
+	URL        string `json:"url"`
+	Status     string `json:"status"` // "ok" or "unreachable"
+	Generation uint64 `json:"generation,omitempty"`
+	Docs       int    `json:"docs,omitempty"`
+	Error      string `json:"error,omitempty"`
+}
+
+// PollOnce health-checks every worker in parallel, refreshing the
+// tracked generation vector from the responses, and returns the
+// per-worker view.
+func (c *Coordinator) PollOnce(ctx context.Context) []workerHealth {
+	out := make([]workerHealth, len(c.workers))
+	var wg sync.WaitGroup
+	for i, wk := range c.workers {
+		wg.Add(1)
+		go func(i int, wk Worker) {
+			defer wg.Done()
+			out[i] = c.pollWorker(ctx, wk)
+		}(i, wk)
+	}
+	wg.Wait()
+	return out
+}
+
+func (c *Coordinator) pollWorker(ctx context.Context, wk Worker) workerHealth {
+	h := workerHealth{Name: wk.Name, URL: wk.URL, Status: "unreachable"}
+	wctx, cancel := context.WithTimeout(ctx, c.cfg.WorkerTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(wctx, http.MethodGet, wk.URL+"/v1/healthz", nil)
+	if err != nil {
+		h.Error = err.Error()
+		return h
+	}
+	resp, err := c.client.Do(req)
+	if err != nil {
+		h.Error = err.Error()
+		return h
+	}
+	defer resp.Body.Close()
+	var body struct {
+		Status     string `json:"status"`
+		Generation uint64 `json:"generation"`
+		Docs       int    `json:"docs"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil || resp.StatusCode != http.StatusOK {
+		h.Error = fmt.Sprintf("health check failed (status %d)", resp.StatusCode)
+		return h
+	}
+	h.Status, h.Generation, h.Docs = "ok", body.Generation, body.Docs
+	c.noteGen(wk.Name, body.Generation)
+	return h
+}
+
+// Poll refreshes the tracked generation vector every PollInterval
+// until ctx is cancelled. Run it in a goroutine next to the HTTP
+// server; it bounds how stale the coordinator's cache can serve when
+// workers are mutated behind its back.
+func (c *Coordinator) Poll(ctx context.Context) {
+	t := time.NewTicker(c.cfg.PollInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			c.PollOnce(ctx)
+		}
+	}
+}

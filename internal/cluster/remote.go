@@ -1,0 +1,273 @@
+package cluster
+
+// The remote member: a worker's /v2/query?stream=1&header=1 NDJSON
+// response consumed incrementally as an ncq.MeetSource. Each line is
+// decoded as it arrives and handed to the k-way merge — the
+// coordinator never buffers a worker's answer set, so its first global
+// result is bounded by the slowest worker's first answer, exactly like
+// the in-process fan-out it mirrors.
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+
+	"ncq"
+)
+
+// Worker is one worker node of the cluster.
+type Worker struct {
+	Name string // identity used on the ring and in error detail
+	URL  string // base URL, e.g. "http://db2:7171"
+}
+
+// ParseWorkers parses the -workers flag: a comma-separated list of
+// worker addresses. A bare host:port gets the http scheme; the
+// host:port is the worker's name.
+func ParseWorkers(s string) ([]Worker, error) {
+	var workers []Worker
+	seen := make(map[string]bool)
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			return nil, errors.New("empty worker address")
+		}
+		if !strings.Contains(part, "://") {
+			part = "http://" + part
+		}
+		u, err := url.Parse(part)
+		if err != nil || u.Host == "" {
+			return nil, fmt.Errorf("invalid worker address %q", part)
+		}
+		if seen[u.Host] {
+			return nil, fmt.Errorf("duplicate worker %q", u.Host)
+		}
+		seen[u.Host] = true
+		workers = append(workers, Worker{Name: u.Host, URL: strings.TrimSuffix(u.String(), "/")})
+	}
+	if len(workers) == 0 {
+		return nil, errors.New("no workers configured")
+	}
+	return workers, nil
+}
+
+// workerHTTPError is a non-200 response from a worker. A 4xx is a
+// deterministic request error — the coordinator relays it verbatim
+// instead of retrying or degrading, since every retry and every other
+// worker would fail the same way for the same input.
+type workerHTTPError struct {
+	worker string
+	status int
+	msg    string
+}
+
+func (e *workerHTTPError) Error() string {
+	return fmt.Sprintf("worker %s: %s (status %d)", e.worker, e.msg, e.status)
+}
+
+// wireLine is the union of the NDJSON line shapes a worker stream
+// carries: header, meet, trailer, error.
+type wireLine struct {
+	Header     bool            `json:"header"`
+	Node       string          `json:"node"`
+	Generation uint64          `json:"generation"`
+	Total      int             `json:"total"`
+	Unmatched  int             `json:"unmatched"`
+	Meet       *ncq.CorpusMeet `json:"meet"`
+	Trailer    bool            `json:"trailer"`
+	Error      string          `json:"error"`
+}
+
+func (ln *wireLine) kind() string {
+	switch {
+	case ln.Meet != nil:
+		return "meet"
+	case ln.Header:
+		return "header"
+	case ln.Trailer:
+		return "trailer"
+	default:
+		return "error"
+	}
+}
+
+// testLineDecode, when set, is invoked for every NDJSON line decoded
+// from a worker stream, with the worker's name and the line kind
+// ("header", "meet", "trailer", "error"). Tests use it to observe that
+// the coordinator's first merged yield happens before any worker's
+// trailer has been decoded — i.e. before any stream fully drains.
+var testLineDecode func(worker, kind string)
+
+// scanBufSize bounds one NDJSON line; meets can carry whole XML
+// subtrees, so the cap is generous.
+const scanBufSize = 16 << 20
+
+// workerStream is one worker's open NDJSON stream, consumed line by
+// line as an ncq.MeetSource. The header has already been read by
+// openStream; Next yields meets until the trailer. Failures — a broken
+// connection, a mid-stream error line — are routed through onFail,
+// which implements the partial-results policy: return the error to
+// abort the whole merge (strict mode), or record it and return nil to
+// end just this source (allow_partial).
+type workerStream struct {
+	worker Worker
+	header wireLine
+	body   io.ReadCloser
+	sc     *bufio.Scanner
+	cancel context.CancelFunc
+	done   bool
+	onFail func(w Worker, err error) error
+}
+
+func (s *workerStream) Next() (ncq.CorpusMeet, bool, error) {
+	if s.done {
+		return ncq.CorpusMeet{}, false, nil
+	}
+	if s.sc.Scan() {
+		var ln wireLine
+		if err := json.Unmarshal(s.sc.Bytes(), &ln); err != nil {
+			return s.fail(fmt.Errorf("decode stream line: %w", err))
+		}
+		if hook := testLineDecode; hook != nil {
+			hook(s.worker.Name, ln.kind())
+		}
+		switch {
+		case ln.Meet != nil:
+			return *ln.Meet, true, nil
+		case ln.Trailer:
+			s.close()
+			return ncq.CorpusMeet{}, false, nil
+		case ln.Error != "":
+			return s.fail(errors.New(ln.Error))
+		default:
+			return s.fail(fmt.Errorf("unexpected stream line %q", s.sc.Text()))
+		}
+	}
+	// The stream ended without a trailer: the worker died mid-answer.
+	err := s.sc.Err()
+	if err == nil {
+		err = io.ErrUnexpectedEOF
+	}
+	return s.fail(err)
+}
+
+// fail closes the stream and applies the failure policy.
+func (s *workerStream) fail(err error) (ncq.CorpusMeet, bool, error) {
+	s.close()
+	err = fmt.Errorf("worker %s: %w", s.worker.Name, err)
+	if s.onFail != nil {
+		err = s.onFail(s.worker, err)
+	}
+	return ncq.CorpusMeet{}, false, err
+}
+
+// close releases the stream's connection; idempotent.
+func (s *workerStream) close() {
+	if s.done {
+		return
+	}
+	s.done = true
+	s.body.Close()
+	s.cancel()
+}
+
+// openStream POSTs the query body to the worker's streaming endpoint
+// and reads the header line — which the worker emits once its fan-out
+// has completed and its counters are final, i.e. together with its
+// first answer. Transport errors and 5xx responses are retried up to
+// retries times (the read is idempotent; no meet has been consumed
+// yet); a 4xx is returned immediately as a workerHTTPError. The
+// returned stream owns a context bounded by timeout spanning its whole
+// life.
+func (c *Coordinator) openStream(ctx context.Context, w Worker, body []byte) (*workerStream, error) {
+	var lastErr error
+	for attempt := 0; attempt <= c.cfg.Retries; attempt++ {
+		if err := ctx.Err(); err != nil {
+			if lastErr != nil {
+				return nil, lastErr
+			}
+			return nil, err
+		}
+		ws, err := c.dialStream(ctx, w, body)
+		if err == nil {
+			return ws, nil
+		}
+		lastErr = err
+		var he *workerHTTPError
+		if errors.As(err, &he) && he.status < 500 {
+			return nil, err // deterministic request error; retrying cannot help
+		}
+	}
+	return nil, lastErr
+}
+
+// dialStream is one attempt of openStream.
+func (c *Coordinator) dialStream(ctx context.Context, w Worker, body []byte) (*workerStream, error) {
+	wctx, cancel := context.WithTimeout(ctx, c.cfg.WorkerTimeout)
+	req, err := http.NewRequestWithContext(wctx, http.MethodPost,
+		w.URL+"/v2/query?stream=1&header=1", bytes.NewReader(body))
+	if err != nil {
+		cancel()
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.client.Do(req)
+	if err != nil {
+		cancel()
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		msg := readErrorBody(resp.Body)
+		resp.Body.Close()
+		cancel()
+		return nil, &workerHTTPError{worker: w.Name, status: resp.StatusCode, msg: msg}
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 64<<10), scanBufSize)
+	ws := &workerStream{worker: w, body: resp.Body, sc: sc, cancel: cancel}
+	if err := ws.readHeader(); err != nil {
+		ws.close()
+		return nil, err
+	}
+	return ws, nil
+}
+
+// readHeader consumes the stream's opening header line.
+func (s *workerStream) readHeader() error {
+	if !s.sc.Scan() {
+		if err := s.sc.Err(); err != nil {
+			return err
+		}
+		return io.ErrUnexpectedEOF
+	}
+	if err := json.Unmarshal(s.sc.Bytes(), &s.header); err != nil {
+		return fmt.Errorf("decode stream header: %w", err)
+	}
+	if hook := testLineDecode; hook != nil {
+		hook(s.worker.Name, s.header.kind())
+	}
+	if !s.header.Header {
+		return fmt.Errorf("stream did not open with a header line: %q", s.sc.Text())
+	}
+	return nil
+}
+
+// readErrorBody extracts the message of a JSON error envelope, falling
+// back to the raw body.
+func readErrorBody(r io.Reader) string {
+	raw, _ := io.ReadAll(io.LimitReader(r, 4<<10))
+	var e struct {
+		Error string `json:"error"`
+	}
+	if json.Unmarshal(raw, &e) == nil && e.Error != "" {
+		return e.Error
+	}
+	return strings.TrimSpace(string(raw))
+}

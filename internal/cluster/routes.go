@@ -1,0 +1,529 @@
+package cluster
+
+// The coordinator's HTTP surface — deliberately the same shape a
+// single ncqd node serves, so clients (and the CLIs) need no cluster
+// awareness:
+//
+//	POST   /v2/query       scatter-gather term query over all workers
+//	                       (?stream=1 merges the workers' NDJSON
+//	                       streams incrementally); "allow_partial"
+//	                       degrades worker failures instead of 502
+//	PUT    /v1/docs/{name} routed to the ring owner of the name
+//	GET    /v1/docs/{name} routed to the ring owner
+//	DELETE /v1/docs/{name} routed to the ring owner
+//	GET    /v1/docs        union of every worker's documents
+//	GET    /v1/healthz     live worker poll: ok / degraded
+//	GET    /v1/stats       coordinator counters + per-worker stats
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"ncq"
+)
+
+const (
+	maxRequestBody  = 8 << 20
+	maxBatchQueries = 256
+)
+
+func (c *Coordinator) routes() {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v2/query", c.handleQuery)
+	mux.HandleFunc("PUT /v1/docs/{name}", c.handleDocProxy)
+	mux.HandleFunc("GET /v1/docs/{name}", c.handleDocProxy)
+	mux.HandleFunc("DELETE /v1/docs/{name}", c.handleDocProxy)
+	mux.HandleFunc("GET /v1/docs", c.handleListDocs)
+	mux.HandleFunc("GET /v1/healthz", c.handleHealthz)
+	mux.HandleFunc("GET /v1/stats", c.handleStats)
+	c.mux = mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// statusOf maps a coordinator-side failure to its HTTP status. A
+// worker's 4xx is relayed verbatim (the request itself is bad); every
+// other worker failure is the coordinator's 502.
+func statusOf(err error) int {
+	var he *workerHTTPError
+	switch {
+	case errors.As(err, &he):
+		if he.status < 500 {
+			return he.status
+		}
+		return http.StatusBadGateway
+	case errors.Is(err, errQueryLanguage):
+		return http.StatusNotImplemented
+	case errors.Is(err, ncq.ErrBadCursor):
+		return http.StatusBadRequest
+	case errors.Is(err, ncq.ErrStaleCursor):
+		return http.StatusGone
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		return 499
+	default:
+		return http.StatusBadGateway
+	}
+}
+
+func msSince(start time.Time) float64 {
+	return float64(time.Since(start)) / float64(time.Millisecond)
+}
+
+// queryResponse is the coordinator's single-query envelope: the
+// single-node envelope plus the partial-result fields. Generation is
+// the hash of the gathered worker generation vector — the value the
+// response's cursors are stamped with.
+type queryResponse struct {
+	Cached       bool              `json:"cached"`
+	Generation   uint64            `json:"generation"`
+	TookMS       float64           `json:"took_ms"`
+	Truncated    bool              `json:"truncated,omitempty"`
+	NextCursor   string            `json:"next_cursor,omitempty"`
+	Incomplete   bool              `json:"incomplete,omitempty"`
+	WorkerErrors map[string]string `json:"worker_errors,omitempty"`
+	Result       json.RawMessage   `json:"result"`
+}
+
+type batchItem struct {
+	Status       int               `json:"status"`
+	Cached       bool              `json:"cached,omitempty"`
+	Error        string            `json:"error,omitempty"`
+	Truncated    bool              `json:"truncated,omitempty"`
+	NextCursor   string            `json:"next_cursor,omitempty"`
+	Incomplete   bool              `json:"incomplete,omitempty"`
+	WorkerErrors map[string]string `json:"worker_errors,omitempty"`
+	Result       json.RawMessage   `json:"result,omitempty"`
+}
+
+func wantsFlag(r *http.Request, name string) bool {
+	v := r.URL.Query().Get(name)
+	return v == "1" || v == "true"
+}
+
+func (c *Coordinator) handleQuery(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBody))
+	dec.DisallowUnknownFields()
+	var req clusterRequest
+	if err := dec.Decode(&req); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				"request exceeds the %d byte limit", tooLarge.Limit)
+			return
+		}
+		writeError(w, http.StatusBadRequest, "decode request: %v", err)
+		return
+	}
+	if req.TimeoutMS < 0 {
+		writeError(w, http.StatusBadRequest, "\"timeout_ms\" must be non-negative")
+		return
+	}
+	ctx := r.Context()
+	if req.TimeoutMS > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(req.TimeoutMS)*time.Millisecond)
+		defer cancel()
+	}
+	if wantsFlag(r, "stream") {
+		if len(req.Batch) > 0 {
+			writeError(w, http.StatusBadRequest,
+				"\"batch\" cannot stream; issue one streaming query at a time")
+			return
+		}
+		c.handleStream(ctx, w, start, &req.clusterQuery, wantsFlag(r, "header"))
+		return
+	}
+	if len(req.Batch) > 0 {
+		c.handleBatch(ctx, w, start, req.Batch)
+		return
+	}
+	if err := req.validate(); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid request: %v", err)
+		return
+	}
+	out, err := c.runPage(ctx, &req.clusterQuery)
+	if err != nil {
+		writeError(w, statusOf(err), "%v", err)
+		return
+	}
+	if out.cached {
+		w.Header().Set("X-NCQ-Cache", "hit")
+	} else {
+		w.Header().Set("X-NCQ-Cache", "miss")
+	}
+	writeJSON(w, http.StatusOK, queryResponse{
+		Cached:       out.cached,
+		Generation:   out.hash,
+		TookMS:       msSince(start),
+		Truncated:    out.truncated,
+		NextCursor:   out.nextCursor,
+		Incomplete:   out.incomplete,
+		WorkerErrors: out.failed,
+		Result:       out.raw,
+	})
+}
+
+func (c *Coordinator) handleBatch(ctx context.Context, w http.ResponseWriter, start time.Time, batch []clusterQuery) {
+	if len(batch) > maxBatchQueries {
+		writeError(w, http.StatusBadRequest,
+			"batch of %d queries exceeds the limit of %d", len(batch), maxBatchQueries)
+		return
+	}
+	items := make([]batchItem, len(batch))
+	for i := range batch {
+		q := &batch[i]
+		if err := q.validate(); err != nil {
+			items[i] = batchItem{Status: http.StatusBadRequest, Error: "invalid request: " + err.Error()}
+			continue
+		}
+		out, err := c.runPage(ctx, q)
+		if err != nil {
+			items[i] = batchItem{Status: statusOf(err), Error: err.Error()}
+			continue
+		}
+		items[i] = batchItem{
+			Status:       http.StatusOK,
+			Cached:       out.cached,
+			Truncated:    out.truncated,
+			NextCursor:   out.nextCursor,
+			Incomplete:   out.incomplete,
+			WorkerErrors: out.failed,
+			Result:       out.raw,
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"generation": c.trackedHash(c.workers),
+		"took_ms":    msSince(start),
+		"results":    items,
+	})
+}
+
+// coordinator stream line shapes; the meet lines are identical to a
+// worker's, the trailer adds the partial-result fields.
+type streamHeader struct {
+	Header     bool   `json:"header"`
+	Node       string `json:"node"`
+	Generation uint64 `json:"generation"`
+	Total      int    `json:"total"`
+	Unmatched  int    `json:"unmatched"`
+}
+
+type streamTrailer struct {
+	Trailer      bool              `json:"trailer"`
+	Unmatched    int               `json:"unmatched"`
+	Truncated    bool              `json:"truncated,omitempty"`
+	NextCursor   string            `json:"next_cursor,omitempty"`
+	Incomplete   bool              `json:"incomplete,omitempty"`
+	WorkerErrors map[string]string `json:"worker_errors,omitempty"`
+	TookMS       float64           `json:"took_ms"`
+}
+
+// handleStream is the coordinator's ?stream=1 form: the workers'
+// NDJSON streams merged line by line into the global rank, flushed as
+// produced. Like the single-node endpoint it bypasses the cache — the
+// value is the incremental production.
+func (c *Coordinator) handleStream(ctx context.Context, w http.ResponseWriter, start time.Time, q *clusterQuery, withHeader bool) {
+	if err := q.validate(); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid request: %v", err)
+		return
+	}
+	if strings.TrimSpace(q.Query) != "" {
+		writeError(w, statusOf(errQueryLanguage), "%v", errQueryLanguage)
+		return
+	}
+	base := q.base()
+	offset, curGen, err := ncq.ResolveCursor(q.Cursor, base)
+	if err != nil {
+		writeError(w, statusOf(err), "%v", err)
+		return
+	}
+	c.queries.Add(1)
+	g, err := c.scatterQuery(ctx, q, offset)
+	if err != nil {
+		writeError(w, statusOf(err), "%v", err)
+		return
+	}
+	defer g.Close()
+	if q.Cursor != "" && curGen != g.hash {
+		writeError(w, http.StatusGone,
+			"ncq: %v: the cluster changed since this cursor was minted", ncq.ErrStaleCursor)
+		return
+	}
+	flusher, _ := w.(http.Flusher)
+	started := false
+	writeLine := func(v any) bool {
+		line, err := json.Marshal(v)
+		if err != nil {
+			return false
+		}
+		if _, err := w.Write(append(line, '\n')); err != nil {
+			return false
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		return true
+	}
+	ensureStarted := func() {
+		if started {
+			return
+		}
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		w.Header().Set("X-NCQ-Cache", "bypass")
+		w.WriteHeader(http.StatusOK)
+		started = true
+		if withHeader {
+			writeLine(streamHeader{
+				Header:     true,
+				Node:       c.cfg.NodeName,
+				Generation: g.hash,
+				Total:      g.total,
+				Unmatched:  g.unmatched,
+			})
+		}
+	}
+	for m, err := range ncq.MergeMeets(ctx, g.sources, offset, q.Limit) {
+		if err != nil {
+			if !started {
+				writeError(w, statusOf(err), "%v", err)
+			} else {
+				writeLine(map[string]string{"error": err.Error()})
+			}
+			return
+		}
+		ensureStarted()
+		if !writeLine(map[string]*ncq.CorpusMeet{"meet": &m}) {
+			return // client went away
+		}
+	}
+	ensureStarted()
+	tr := streamTrailer{
+		Trailer:      true,
+		Unmatched:    g.unmatched,
+		Incomplete:   g.incomplete(),
+		WorkerErrors: g.failures(),
+		TookMS:       msSince(start),
+	}
+	if q.Limit > 0 && g.total > offset+q.Limit {
+		tr.Truncated = true
+		if !tr.Incomplete {
+			tr.NextCursor = ncq.MintCursor(offset+q.Limit, base, g.hash)
+		}
+	}
+	writeLine(tr)
+}
+
+// handleDocProxy routes a document read or mutation to the worker
+// that owns the name on the ring. Mutations are never retried (a
+// replayed PUT racing another client is not idempotent in effect);
+// the owner's generation stamp is folded into the tracked vector, so
+// the very next query's cursor already reflects the mutation.
+func (c *Coordinator) handleDocProxy(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	wk := c.Owner(name)
+	target := wk.URL + "/v1/docs/" + url.PathEscape(name)
+	if q := r.URL.RawQuery; q != "" {
+		target += "?" + q
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), c.cfg.WorkerTimeout)
+	defer cancel()
+	attempts := 1
+	if r.Method == http.MethodGet {
+		attempts += c.cfg.Retries // reads are safe to retry; mutations are not
+	}
+	var resp *http.Response
+	var err error
+	for i := 0; i < attempts; i++ {
+		var req *http.Request
+		req, err = http.NewRequestWithContext(ctx, r.Method, target, r.Body)
+		if err != nil {
+			break
+		}
+		if ct := r.Header.Get("Content-Type"); ct != "" {
+			req.Header.Set("Content-Type", ct)
+		}
+		req.ContentLength = r.ContentLength
+		resp, err = c.client.Do(req)
+		if err == nil {
+			break
+		}
+	}
+	if err != nil {
+		writeError(w, http.StatusBadGateway, "worker %s: %v", wk.Name, err)
+		return
+	}
+	defer resp.Body.Close()
+	if gen := resp.Header.Get("X-NCQ-Generation"); gen != "" {
+		if v, err := strconv.ParseUint(gen, 10, 64); err == nil {
+			c.noteGen(wk.Name, v)
+		}
+	}
+	mutation := r.Method == http.MethodPut || r.Method == http.MethodDelete
+	if mutation && resp.StatusCode < 300 {
+		c.mutations.Add(1)
+		c.cache.Purge()
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "" {
+		w.Header().Set("Content-Type", ct)
+	}
+	w.Header().Set("X-NCQ-Worker", wk.Name)
+	w.WriteHeader(resp.StatusCode)
+	_, _ = io.Copy(w, resp.Body)
+}
+
+// workerDoc is one document of the cluster listing: the worker's
+// docInfo plus which worker holds it.
+type workerDoc struct {
+	Name   string          `json:"name"`
+	Shards int             `json:"shards"`
+	Stats  json.RawMessage `json:"stats"`
+	Worker string          `json:"worker"`
+}
+
+func (c *Coordinator) handleListDocs(w http.ResponseWriter, r *http.Request) {
+	type listing struct {
+		docs []workerDoc
+		err  error
+	}
+	results := c.forEachWorker(func(ctx context.Context, wk Worker) any {
+		var out listing
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, wk.URL+"/v1/docs", nil)
+		if err != nil {
+			out.err = err
+			return out
+		}
+		resp, err := c.client.Do(req)
+		if err != nil {
+			out.err = err
+			return out
+		}
+		defer resp.Body.Close()
+		var body struct {
+			Docs       []workerDoc `json:"docs"`
+			Generation uint64      `json:"generation"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+			out.err = err
+			return out
+		}
+		if resp.StatusCode != http.StatusOK {
+			out.err = fmt.Errorf("status %d", resp.StatusCode)
+			return out
+		}
+		c.noteGen(wk.Name, body.Generation)
+		for i := range body.Docs {
+			body.Docs[i].Worker = wk.Name
+		}
+		out.docs = body.Docs
+		return out
+	})
+	docs := []workerDoc{}
+	workerErrors := map[string]string{}
+	for i, res := range results {
+		l := res.(listing)
+		if l.err != nil {
+			workerErrors[c.workers[i].Name] = l.err.Error()
+			continue
+		}
+		docs = append(docs, l.docs...)
+	}
+	sort.Slice(docs, func(i, j int) bool { return docs[i].Name < docs[j].Name })
+	body := map[string]any{
+		"docs":       docs,
+		"generation": c.trackedHash(c.workers),
+	}
+	if len(workerErrors) > 0 {
+		body["worker_errors"] = workerErrors
+	}
+	writeJSON(w, http.StatusOK, body)
+}
+
+// forEachWorker runs fn against every worker in parallel, each under
+// its own WorkerTimeout, and returns the results in worker order.
+func (c *Coordinator) forEachWorker(fn func(ctx context.Context, wk Worker) any) []any {
+	out := make([]any, len(c.workers))
+	done := make(chan int, len(c.workers))
+	for i, wk := range c.workers {
+		go func(i int, wk Worker) {
+			ctx, cancel := context.WithTimeout(context.Background(), c.cfg.WorkerTimeout)
+			defer cancel()
+			out[i] = fn(ctx, wk)
+			done <- i
+		}(i, wk)
+	}
+	for range c.workers {
+		<-done
+	}
+	return out
+}
+
+// handleHealthz reports the coordinator's liveness and a live poll of
+// every worker: "ok" when all workers answer, "degraded" otherwise.
+func (c *Coordinator) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	health := c.PollOnce(r.Context())
+	status := "ok"
+	for _, h := range health {
+		if h.Status != "ok" {
+			status = "degraded"
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":     status,
+		"node":       c.cfg.NodeName,
+		"role":       "coordinator",
+		"generation": c.trackedHash(c.workers),
+		"workers":    health,
+	})
+}
+
+func (c *Coordinator) handleStats(w http.ResponseWriter, r *http.Request) {
+	stats := c.forEachWorker(func(ctx context.Context, wk Worker) any {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, wk.URL+"/v1/stats", nil)
+		if err != nil {
+			return map[string]string{"name": wk.Name, "error": err.Error()}
+		}
+		resp, err := c.client.Do(req)
+		if err != nil {
+			return map[string]string{"name": wk.Name, "error": err.Error()}
+		}
+		defer resp.Body.Close()
+		raw, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+		if err != nil || resp.StatusCode != http.StatusOK {
+			return map[string]string{"name": wk.Name, "error": fmt.Sprintf("status %d", resp.StatusCode)}
+		}
+		return json.RawMessage(raw)
+	})
+	writeJSON(w, http.StatusOK, map[string]any{
+		"node":           c.cfg.NodeName,
+		"role":           "coordinator",
+		"uptime_seconds": time.Since(c.started).Seconds(),
+		"generation":     c.trackedHash(c.workers),
+		"workers":        len(c.workers),
+		"queries":        c.queries.Load(),
+		"mutations":      c.mutations.Load(),
+		"cache":          c.cache.Stats(),
+		"worker_stats":   stats,
+	})
+}

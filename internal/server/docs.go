@@ -98,6 +98,7 @@ func (s *Server) handlePutDoc(w http.ResponseWriter, r *http.Request) {
 		info.Shards, info.Stats = 1, db.Stats()
 	}
 	s.invalidate()
+	s.stampGeneration(w)
 	status := http.StatusCreated
 	if replaced {
 		status = http.StatusOK
@@ -134,6 +135,7 @@ func (s *Server) handleDeleteDoc(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.invalidate()
+	s.stampGeneration(w)
 	w.WriteHeader(http.StatusNoContent)
 }
 

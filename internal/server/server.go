@@ -32,6 +32,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"strconv"
 	"sync/atomic"
 	"time"
 
@@ -59,6 +60,8 @@ type Server struct {
 	cacheBytes int64
 	cacheTTL   time.Duration
 	maxBody    int64
+	nodeName   string
+	role       string
 	mux        *http.ServeMux
 	started    time.Time
 
@@ -92,6 +95,30 @@ func WithMaxBody(n int64) Option {
 	}
 }
 
+// WithNodeName names this node in /v1/healthz, /v1/stats and NDJSON
+// stream headers — the identity a cluster coordinator polls and
+// reports per worker. Default "ncqd".
+func WithNodeName(name string) Option {
+	return func(s *Server) {
+		if name != "" {
+			s.nodeName = name
+		}
+	}
+}
+
+// WithRole labels the node's place in a cluster topology ("single",
+// "worker", "coordinator") on /v1/healthz and /v1/stats. Purely
+// descriptive: a worker serves exactly the same surface as a
+// single-node daemon — that symmetry is what makes a remote worker the
+// same abstraction as a local corpus member. Default "single".
+func WithRole(role string) Option {
+	return func(s *Server) {
+		if role != "" {
+			s.role = role
+		}
+	}
+}
+
 // New builds a Server around corpus (a fresh empty corpus when nil).
 func New(corpus *ncq.Corpus, opts ...Option) *Server {
 	if corpus == nil {
@@ -101,6 +128,8 @@ func New(corpus *ncq.Corpus, opts ...Option) *Server {
 		corpus:     corpus,
 		cacheBytes: defaultCacheBytes,
 		maxBody:    defaultMaxBody,
+		nodeName:   "ncqd",
+		role:       "single",
 		started:    time.Now(),
 	}
 	for _, opt := range opts {
@@ -136,6 +165,14 @@ func (s *Server) invalidate() {
 	s.cache.Purge()
 }
 
+// stampGeneration reports the node's current corpus generation in the
+// X-NCQ-Generation response header. Mutation responses carry it so a
+// routing coordinator can update its generation vector from the
+// response it already has instead of a follow-up poll.
+func (s *Server) stampGeneration(w http.ResponseWriter) {
+	w.Header().Set("X-NCQ-Generation", strconv.FormatUint(s.corpus.Generation(), 10))
+}
+
 // writeJSON renders v with status code; encoding errors at this point
 // can only be connection failures, which the caller cannot act on.
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -154,17 +191,26 @@ func writeError(w http.ResponseWriter, status int, format string, args ...any) {
 	writeJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...)})
 }
 
+// handleHealthz reports liveness plus the node identity a cluster
+// coordinator health-checks: who the node is, its role, and the corpus
+// generation its answers are currently computed against.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{
-		"status": "ok",
-		"docs":   s.corpus.Len(),
+		"status":     "ok",
+		"node":       s.nodeName,
+		"role":       s.role,
+		"generation": s.corpus.Generation(),
+		"docs":       s.corpus.Len(),
 	})
 }
 
 // statsResponse is the /v1/stats payload.
 type statsResponse struct {
+	Node          string      `json:"node"`
+	Role          string      `json:"role"`
 	UptimeSeconds float64     `json:"uptime_seconds"`
 	Generation    uint64      `json:"generation"`
+	Workers       int         `json:"workers"` // query fan-out pool depth
 	Docs          int         `json:"docs"`
 	TotalShards   int         `json:"total_shards"`
 	TotalNodes    int         `json:"total_nodes"`
@@ -178,8 +224,11 @@ type statsResponse struct {
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	resp := statsResponse{
+		Node:          s.nodeName,
+		Role:          s.role,
 		UptimeSeconds: time.Since(s.started).Seconds(),
 		Generation:    s.corpus.Generation(),
+		Workers:       s.corpus.Parallelism(),
 		Queries:       s.queries.Load(),
 		Batches:       s.batches.Load(),
 		Mutations:     s.mutations.Load(),

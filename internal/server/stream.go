@@ -42,6 +42,21 @@ type meetLine struct {
 	Meet *ncq.CorpusMeet `json:"meet"`
 }
 
+// headerLine opens a stream when the client asks for it (?header=1):
+// the stream-level counters known before the first meet, the node's
+// identity, and the generation of the membership snapshot the answers
+// are computed against. A cluster coordinator consumes it to size and
+// staleness-check the global merge before any meet flows; plain
+// clients that do not ask never see it, keeping the original NDJSON
+// contract byte-compatible.
+type headerLine struct {
+	Header     bool   `json:"header"`
+	Node       string `json:"node"`
+	Generation uint64 `json:"generation"`
+	Total      int    `json:"total"`
+	Unmatched  int    `json:"unmatched"`
+}
+
 // errorLine reports a failure after the stream has started.
 type errorLine struct {
 	Error string `json:"error"`
@@ -64,10 +79,18 @@ func wantsStream(r *http.Request) bool {
 	return v == "1" || v == "true"
 }
 
+// wantsHeader reports whether the stream should open with a headerLine
+// (?header=1) — the coordinator-facing form.
+func wantsHeader(r *http.Request) bool {
+	v := r.URL.Query().Get("header")
+	return v == "1" || v == "true"
+}
+
 // handleStreamV2 answers the ?stream=1 form of /v2/query. req has been
 // decoded but not yet validated; ctx already carries the per-request
-// deadline.
-func (s *Server) handleStreamV2(ctx context.Context, w http.ResponseWriter, start time.Time, req *v2Request) {
+// deadline. withHeader selects the coordinator-facing form that opens
+// with a headerLine.
+func (s *Server) handleStreamV2(ctx context.Context, w http.ResponseWriter, start time.Time, req *v2Request, withHeader bool) {
 	if len(req.Batch) > 0 {
 		writeError(w, http.StatusBadRequest,
 			"\"batch\" cannot stream; issue one streaming query at a time")
@@ -107,6 +130,18 @@ func (s *Server) handleStreamV2(ctx context.Context, w http.ResponseWriter, star
 		w.Header().Set("X-NCQ-Cache", "bypass")
 		w.WriteHeader(http.StatusOK)
 		started = true
+		if withHeader {
+			// stats are complete before the first yield (and before the
+			// trailer of an empty stream), so the header always carries
+			// the final counters and the snapshot's generation.
+			writeLine(headerLine{
+				Header:     true,
+				Node:       s.nodeName,
+				Generation: stats.Generation,
+				Total:      stats.Total,
+				Unmatched:  stats.Unmatched,
+			})
+		}
 	}
 	for m, err := range seq {
 		if err != nil {

@@ -113,7 +113,7 @@ func (s *Server) handleQueryV2(w http.ResponseWriter, r *http.Request) {
 		defer cancel()
 	}
 	if wantsStream(r) {
-		s.handleStreamV2(ctx, w, start, &req)
+		s.handleStreamV2(ctx, w, start, &req, wantsHeader(r))
 		return
 	}
 	if len(req.Batch) > 0 {

@@ -199,11 +199,17 @@ func (r *Request) Canonical() string {
 	return s
 }
 
+// fingerprintOf hashes a canonical request encoding — the binding that
+// ties a cursor to the request that minted it.
+func fingerprintOf(base string) uint32 {
+	h := fnv.New32a()
+	h.Write([]byte(base))
+	return h.Sum32()
+}
+
 // fingerprint binds cursors to the request that produced them.
 func (r *Request) fingerprint() uint32 {
-	h := fnv.New32a()
-	h.Write([]byte(r.canonicalBase()))
-	return h.Sum32()
+	return fingerprintOf(r.canonicalBase())
 }
 
 // encodeCursor renders a resume position as an opaque cursor, stamped
@@ -212,6 +218,23 @@ func (r *Request) fingerprint() uint32 {
 func encodeCursor(offset int, fp uint32, gen uint64) string {
 	return base64.RawURLEncoding.EncodeToString(
 		[]byte(fmt.Sprintf("v2 %d %08x %d", offset, fp, gen)))
+}
+
+// decodeCursor reverses encodeCursor, failing with ErrBadCursor on
+// garbage or on a cursor whose fingerprint does not match fp.
+func decodeCursor(cursor string, fp uint32) (offset int, gen uint64, err error) {
+	raw, err := base64.RawURLEncoding.DecodeString(cursor)
+	if err != nil {
+		return 0, 0, fmt.Errorf("ncq: %w: %v", ErrBadCursor, err)
+	}
+	var got uint32
+	if _, err := fmt.Sscanf(string(raw), "v2 %d %x %d", &offset, &got, &gen); err != nil || offset < 0 {
+		return 0, 0, fmt.Errorf("ncq: %w", ErrBadCursor)
+	}
+	if got != fp {
+		return 0, 0, fmt.Errorf("ncq: %w: cursor belongs to a different request", ErrBadCursor)
+	}
+	return offset, gen, nil
 }
 
 // page decodes the request's cursor into a result offset plus the
@@ -224,17 +247,30 @@ func (r *Request) page() (offset int, gen uint64, err error) {
 	if r.Cursor == "" {
 		return 0, 0, nil
 	}
-	raw, err := base64.RawURLEncoding.DecodeString(r.Cursor)
-	if err != nil {
-		return 0, 0, fmt.Errorf("ncq: %w: %v", ErrBadCursor, err)
+	return decodeCursor(r.Cursor, r.fingerprint())
+}
+
+// MintCursor renders a resume position as an opaque cursor bound to
+// base — any canonical encoding of the request minus its page position
+// — and stamped with gen, the (possibly composite) generation of the
+// state it was computed against. It is the pagination primitive of
+// out-of-process executors: internal/cluster's coordinator mints its
+// page cursors with it, stamping them with the hash of its worker
+// generation vector, so distributed cursors carry the same binding and
+// staleness semantics as in-process ones.
+func MintCursor(offset int, base string, gen uint64) string {
+	return encodeCursor(offset, fingerprintOf(base), gen)
+}
+
+// ResolveCursor decodes a cursor minted by MintCursor against the same
+// base, returning the resume offset and the stamped generation (both 0
+// for an empty cursor). It fails with ErrBadCursor (wrapped) on
+// garbage or on a cursor minted against a different base; whether the
+// returned generation is stale is the caller's check — only the caller
+// knows the current state.
+func ResolveCursor(cursor, base string) (offset int, gen uint64, err error) {
+	if cursor == "" {
+		return 0, 0, nil
 	}
-	var off int
-	var fp uint32
-	if _, err := fmt.Sscanf(string(raw), "v2 %d %x %d", &off, &fp, &gen); err != nil || off < 0 {
-		return 0, 0, fmt.Errorf("ncq: %w", ErrBadCursor)
-	}
-	if fp != r.fingerprint() {
-		return 0, 0, fmt.Errorf("ncq: %w: cursor belongs to a different request", ErrBadCursor)
-	}
-	return off, gen, nil
+	return decodeCursor(cursor, fingerprintOf(base))
 }

@@ -51,6 +51,12 @@ type StreamStats struct {
 	// offset and Limit cut it.
 	Total int
 
+	// Generation is the corpus generation the request's membership
+	// snapshot was taken at (0 for a Database, which never mutates).
+	// Worker nodes stamp their stream headers with it so a distributed
+	// coordinator can detect cross-node skew between pages.
+	Generation uint64
+
 	// Truncated reports that Limit cuts the stream short; NextCursor
 	// then resumes at the next page.
 	Truncated  bool
@@ -75,11 +81,25 @@ func lessRanked(a, b rankedMeet) bool {
 	return a.seq < b.seq
 }
 
-// memberStream is one member's locally-ranked answer stream: the meets
-// live in a binary min-heap, so the first pull costs O(n) heapify and
-// every later one O(log n) — a member drained only partially (an early
+// memberStream is one member's ranked answer stream, the fan-out unit
+// the k-way merge runs over. Two implementations exist: localStream
+// (an in-process member whose meets live in a lazily-ranked heap) and
+// sourceStream (an adapter over an external MeetSource — how
+// internal/cluster's coordinator merges remote workers' NDJSON
+// streams). next returns the member's next meet in its local rank
+// order plus a monotone per-member sequence number, the stable
+// tie-break on full rank ties (which, with disjoint member coverage,
+// can only occur within one stream); ok=false ends the stream and a
+// non-nil error aborts the whole merge.
+type memberStream interface {
+	next() (m CorpusMeet, seq int32, ok bool, err error)
+}
+
+// localStream is the in-process memberStream: the meets live in a
+// binary min-heap, so the first pull costs O(n) heapify and every
+// later one O(log n) — a member drained only partially (an early
 // Limit, an abandoned stream) never pays for ranking its tail.
-type memberStream struct {
+type localStream struct {
 	source    string // logical member name; empty for a Database run
 	shard     int    // 1-based shard; 0 for plain members
 	heap      []rankedMeet
@@ -113,10 +133,10 @@ func heapify[T any](h []T, less func(a, b T) bool) {
 	}
 }
 
-// newMemberStream heapifies meets (in document order, as the roll-up
+// newLocalStream heapifies meets (in document order, as the roll-up
 // emits them) under the member-local rank.
-func newMemberStream(meets []Meet, unmatched []NodeID) *memberStream {
-	s := &memberStream{unmatched: unmatched, heap: make([]rankedMeet, len(meets))}
+func newLocalStream(meets []Meet, unmatched []NodeID) *localStream {
+	s := &localStream{unmatched: unmatched, heap: make([]rankedMeet, len(meets))}
 	for i, m := range meets {
 		s.heap[i] = rankedMeet{m: m, seq: int32(i)}
 	}
@@ -125,7 +145,7 @@ func newMemberStream(meets []Meet, unmatched []NodeID) *memberStream {
 }
 
 // pop removes and returns the member's current best meet.
-func (s *memberStream) pop() (rankedMeet, bool) {
+func (s *localStream) pop() (rankedMeet, bool) {
 	if len(s.heap) == 0 {
 		return rankedMeet{}, false
 	}
@@ -140,14 +160,24 @@ func (s *memberStream) pop() (rankedMeet, bool) {
 	return top, true
 }
 
-func (s *memberStream) pending() int { return len(s.heap) }
+func (s *localStream) pending() int { return len(s.heap) }
+
+// next implements memberStream: pop the heap's best meet and wrap it
+// with the member's identity.
+func (s *localStream) next() (CorpusMeet, int32, bool, error) {
+	rm, ok := s.pop()
+	if !ok {
+		return CorpusMeet{}, 0, false, nil
+	}
+	return s.wrap(rm.m), rm.seq, true, nil
+}
 
 // termMeetsStream is termMeets' incremental mode: one full-text search
 // per term, the multi-set meet, and the member's answers delivered as
 // a lazily-ranked stream instead of a sorted slice. The unmatched set
 // and the total are known as soon as it returns; the ranking cost is
 // paid per pull.
-func (db *Database) termMeetsStream(ctx context.Context, terms []string, opt *Options) (*memberStream, error) {
+func (db *Database) termMeetsStream(ctx context.Context, terms []string, opt *Options) (*localStream, error) {
 	copt, err := opt.compile(db)
 	if err != nil {
 		return nil, err
@@ -169,7 +199,7 @@ func (db *Database) termMeetsStream(ctx context.Context, terms []string, opt *Op
 	if err != nil {
 		return nil, fmt.Errorf("ncq: %w", err)
 	}
-	return newMemberStream(db.wrapResults(results), un), nil
+	return newLocalStream(db.wrapResults(results), un), nil
 }
 
 // testStreamPull, when set, is invoked every time the merge pulls the
@@ -183,7 +213,7 @@ var testStreamPull func(source string, shard, remaining int)
 type head struct {
 	m      CorpusMeet
 	seq    int32
-	stream *memberStream
+	stream memberStream
 }
 
 // lessHead orders merge heads by the global lessCorpusMeet rank, with
@@ -210,34 +240,45 @@ type merger struct {
 	heads []head
 }
 
-func newMerger(streams []*memberStream) *merger {
+func newMerger(streams []memberStream) (*merger, error) {
 	g := &merger{heads: make([]head, 0, len(streams))}
 	for _, s := range streams {
-		if rm, ok := s.pop(); ok {
-			g.heads = append(g.heads, head{m: s.wrap(rm.m), seq: rm.seq, stream: s})
+		m, seq, ok, err := s.next()
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			g.heads = append(g.heads, head{m: m, seq: seq, stream: s})
 		}
 	}
 	heapify(g.heads, lessHead)
-	return g
+	return g, nil
 }
 
-func (s *memberStream) wrap(m Meet) CorpusMeet {
+func (s *localStream) wrap(m Meet) CorpusMeet {
 	return CorpusMeet{Source: s.source, Shard: s.shard, Meet: m}
 }
 
 // next yields the globally next-ranked meet and refills the consumed
-// head from its member's stream.
-func (g *merger) next() (CorpusMeet, bool) {
+// head from its member's stream. A member failing mid-refill — only
+// possible for remote sources — aborts the merge with its error.
+func (g *merger) next() (CorpusMeet, bool, error) {
 	if len(g.heads) == 0 {
-		return CorpusMeet{}, false
+		return CorpusMeet{}, false, nil
 	}
 	out := g.heads[0].m
 	s := g.heads[0].stream
 	if hook := testStreamPull; hook != nil {
-		hook(s.source, s.shard, s.pending())
+		if ls, ok := s.(*localStream); ok {
+			hook(ls.source, ls.shard, ls.pending())
+		}
 	}
-	if rm, ok := s.pop(); ok {
-		g.heads[0] = head{m: s.wrap(rm.m), seq: rm.seq, stream: s}
+	m, seq, ok, err := s.next()
+	if err != nil {
+		return CorpusMeet{}, false, err
+	}
+	if ok {
+		g.heads[0] = head{m: m, seq: seq, stream: s}
 	} else {
 		last := len(g.heads) - 1
 		g.heads[0] = g.heads[last]
@@ -246,7 +287,7 @@ func (g *merger) next() (CorpusMeet, bool) {
 	if len(g.heads) > 0 {
 		siftDown(g.heads, 0, lessHead)
 	}
-	return out, true
+	return out, true, nil
 }
 
 // fillStats publishes the counters known at fan-out completion and
@@ -255,6 +296,7 @@ func fillStats(stats *StreamStats, req *Request, offset int, gen uint64, total, 
 	stats.Total = total
 	stats.Unmatched = unmatched
 	stats.UnmatchedNodes = unmatchedNodes
+	stats.Generation = gen
 	if req.Limit > 0 && total > offset+req.Limit {
 		stats.Truncated = true
 		stats.NextCursor = encodeCursor(offset+req.Limit, req.fingerprint(), gen)
@@ -263,10 +305,16 @@ func fillStats(stats *StreamStats, req *Request, offset int, gen uint64, total, 
 
 // drain runs the page window over the merged stream: skip offset
 // meets, yield up to limit (0 = all), checking ctx between yields so a
-// cancelled consumer stops mid-stream with the context's error.
+// cancelled consumer stops mid-stream with the context's error. A
+// member failing mid-merge surfaces as the final yield.
 func drain(ctx context.Context, g *merger, offset, limit int, yield func(CorpusMeet, error) bool) {
 	for i := 0; i < offset; i++ {
-		if _, ok := g.next(); !ok {
+		_, ok, err := g.next()
+		if err != nil {
+			yield(CorpusMeet{}, err)
+			return
+		}
+		if !ok {
 			return
 		}
 	}
@@ -275,13 +323,72 @@ func drain(ctx context.Context, g *merger, offset, limit int, yield func(CorpusM
 			yield(CorpusMeet{}, err)
 			return
 		}
-		m, ok := g.next()
+		m, ok, err := g.next()
+		if err != nil {
+			yield(CorpusMeet{}, err)
+			return
+		}
 		if !ok {
 			return
 		}
 		if !yield(m, nil) {
 			return
 		}
+	}
+}
+
+// MeetSource is one independently ranked stream of corpus meets fed to
+// MergeMeets: Next returns the source's next meet in its own rank
+// order — the global (distance, source, shard, node) order restricted
+// to the members the source covers. ok=false ends the source; a
+// non-nil error aborts the merged sequence with that error.
+type MeetSource interface {
+	Next() (m CorpusMeet, ok bool, err error)
+}
+
+// sourceStream adapts an exported MeetSource to the internal merge:
+// the arrival index becomes the seq tie-break, preserving the source's
+// own order on full rank ties.
+type sourceStream struct {
+	src MeetSource
+	seq int32
+}
+
+func (s *sourceStream) next() (CorpusMeet, int32, bool, error) {
+	m, ok, err := s.src.Next()
+	if err != nil || !ok {
+		return CorpusMeet{}, 0, false, err
+	}
+	s.seq++
+	return m, s.seq - 1, true, nil
+}
+
+// MergeMeets k-way merges independently ranked meet streams into one
+// sequence in the exact global (distance, source, shard, node) total
+// order — the distribution primitive behind internal/cluster's
+// coordinator: every worker node streams its members' answers in its
+// own globally ranked order, and the merged sequence equals the
+// single-node ranking as long as the sources cover disjoint (source,
+// shard) sets. offset meets are skipped and limit > 0 ends the
+// sequence early, exactly like one Run page.
+//
+// The first yield requires every source's head — the global minimum
+// cannot be known sooner — so time to first result is bounded by the
+// slowest source's first answer, never by any source's full drain. A
+// source error, or ctx expiring between yields, surfaces as the
+// sequence's final yield. The sequence is single-use.
+func MergeMeets(ctx context.Context, sources []MeetSource, offset, limit int) iter.Seq2[CorpusMeet, error] {
+	return func(yield func(CorpusMeet, error) bool) {
+		streams := make([]memberStream, len(sources))
+		for i, src := range sources {
+			streams[i] = &sourceStream{src: src}
+		}
+		g, err := newMerger(streams)
+		if err != nil {
+			yield(CorpusMeet{}, err)
+			return
+		}
+		drain(ctx, g, offset, limit, yield)
 	}
 }
 
@@ -327,7 +434,12 @@ func (db *Database) ResultsWithStats(ctx context.Context, req Request) (iter.Seq
 			return
 		}
 		fillStats(stats, &req, offset, 0, s.pending(), len(s.unmatched), s.unmatched)
-		drain(ctx, newMerger([]*memberStream{s}), offset, req.Limit, yield)
+		g, err := newMerger([]memberStream{s})
+		if err != nil {
+			yield(CorpusMeet{}, err)
+			return
+		}
+		drain(ctx, g, offset, req.Limit, yield)
 	}
 	return seq, stats
 }
@@ -379,7 +491,7 @@ func (c *Corpus) ResultsWithStats(ctx context.Context, req Request) (iter.Seq2[C
 			yield(CorpusMeet{}, fmt.Errorf("ncq: %w: the corpus changed since this cursor was minted", ErrStaleCursor))
 			return
 		}
-		streams := make([]*memberStream, len(members))
+		streams := make([]*localStream, len(members))
 		err = forEachDoc(ctx, len(members), workers, func(i int) error {
 			s, err := members[i].db.termMeetsStream(ctx, req.Terms, req.Options)
 			if err != nil {
@@ -394,12 +506,19 @@ func (c *Corpus) ResultsWithStats(ctx context.Context, req Request) (iter.Seq2[C
 			return
 		}
 		total, unmatched := 0, 0
-		for _, s := range streams {
+		merged := make([]memberStream, len(streams))
+		for i, s := range streams {
 			total += s.pending()
 			unmatched += len(s.unmatched)
+			merged[i] = s
 		}
 		fillStats(stats, &req, offset, gen, total, unmatched, nil)
-		drain(ctx, newMerger(streams), offset, req.Limit, yield)
+		g, err := newMerger(merged)
+		if err != nil {
+			yield(CorpusMeet{}, err)
+			return
+		}
+		drain(ctx, g, offset, req.Limit, yield)
 	}
 	return seq, stats
 }
