@@ -28,6 +28,7 @@
 //	GET    /v1/docs        list documents
 //	GET    /v1/healthz     liveness
 //	GET    /v1/stats       corpus, cache and traffic counters
+//	GET    /v1/metrics     Prometheus text exposition
 //
 // Flags tune the cache byte budget, the per-document upload limit and
 // the corpus fan-out width; -load preloads XML files at start-up, each
@@ -35,6 +36,14 @@
 // -shards shards apiece. -pprof-addr serves net/http/pprof on a
 // separate listener (off by default) so a live daemon can be profiled
 // without exposing the profiler on the query port.
+//
+// Observability and admission: logs are structured (log/slog) on
+// stderr — -log-format selects text or json, -log-level the minimum
+// level; every request emits one log line and /v1/metrics serves the
+// Prometheus metrics documented in docs/OPERATIONS.md. -max-inflight
+// caps concurrently executing query requests, -max-queue and
+// -queue-wait size the wait queue in front of that cap; excess load is
+// shed with 429 + Retry-After instead of queuing unboundedly.
 //
 // Cluster mode: with -coordinator the daemon serves no corpus of its
 // own. Instead -workers names a comma-separated list of worker nodes
@@ -57,6 +66,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"net/http"
 	"net/http/pprof"
@@ -100,12 +110,18 @@ func run(argv []string, stderr io.Writer, ready chan<- string) int {
 		workerTimout = fs.Duration("worker-timeout", 30*time.Second, "coordinator: per-worker deadline, spanning a whole streamed answer")
 		retries      = fs.Int("retry", 1, "coordinator: retries of idempotent worker reads after a transport error or 5xx")
 		pollInterval = fs.Duration("poll-interval", 2*time.Second, "coordinator: how often to refresh the worker generation vector")
+
+		logFormat   = fs.String("log-format", "text", "log output format: \"text\" or \"json\"")
+		logLevel    = fs.String("log-level", "info", "minimum log level: \"debug\", \"info\", \"warn\" or \"error\"")
+		maxInflight = fs.Int("max-inflight", 0, "admission control: maximum concurrently executing query requests (0 disables)")
+		maxQueue    = fs.Int("max-queue", 0, "admission control: query requests allowed to wait for an execution slot beyond -max-inflight")
+		queueWait   = fs.Duration("queue-wait", time.Second, "admission control: how long a queued query request may wait before it is shed with 429")
 	)
 	if err := fs.Parse(argv); err != nil {
 		return 2
 	}
 	if fs.NArg() != 0 {
-		fmt.Fprintln(stderr, "usage: ncqd [-addr :8334] [-cache-bytes N] [-cache-ttl D] [-max-body N] [-workers N] [-load GLOB] [-shards K] [-pprof-addr ADDR]\n       ncqd -coordinator -workers HOST:PORT,HOST:PORT,... [-addr :8334] [-worker-timeout D] [-retry N] [-poll-interval D]")
+		fmt.Fprintln(stderr, "usage: ncqd [-addr :8334] [-cache-bytes N] [-cache-ttl D] [-max-body N] [-workers N] [-load GLOB] [-shards K] [-pprof-addr ADDR] [-log-format text|json] [-log-level L] [-max-inflight N] [-max-queue N] [-queue-wait D]\n       ncqd -coordinator -workers HOST:PORT,HOST:PORT,... [-addr :8334] [-worker-timeout D] [-retry N] [-poll-interval D]")
 		return 2
 	}
 	if *cacheTTL < 0 {
@@ -116,6 +132,34 @@ func run(argv []string, stderr io.Writer, ready chan<- string) int {
 		fmt.Fprintf(stderr, "ncqd: -shards must be between 0 and %d\n", shard.MaxShards)
 		return 2
 	}
+	var level slog.Level
+	if err := level.UnmarshalText([]byte(*logLevel)); err != nil {
+		fmt.Fprintf(stderr, "ncqd: -log-level: %v\n", err)
+		return 2
+	}
+	hopts := &slog.HandlerOptions{Level: level}
+	var lh slog.Handler
+	switch *logFormat {
+	case "text":
+		lh = slog.NewTextHandler(stderr, hopts)
+	case "json":
+		lh = slog.NewJSONHandler(stderr, hopts)
+	default:
+		fmt.Fprintf(stderr, "ncqd: -log-format must be \"text\" or \"json\", not %q\n", *logFormat)
+		return 2
+	}
+	nn := *nodeName
+	if nn == "" {
+		nn = "ncqd"
+	}
+	rl := *role
+	switch {
+	case *coordinator:
+		rl = "coordinator"
+	case rl == "":
+		rl = "single"
+	}
+	logger := slog.New(lh).With("node", nn, "role", rl)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -139,13 +183,17 @@ func run(argv []string, stderr io.Writer, ready chan<- string) int {
 			CacheBytes:    *cacheBytes,
 			CacheTTL:      *cacheTTL,
 			PollInterval:  *pollInterval,
+			Logger:        logger,
+			MaxInFlight:   *maxInflight,
+			MaxQueue:      *maxQueue,
+			QueueWait:     *queueWait,
 		})
 		if err != nil {
-			fmt.Fprintf(stderr, "ncqd: %v\n", err)
+			logger.Error("start failed", "err", err)
 			return 1
 		}
 		go coord.Poll(ctx)
-		fmt.Fprintf(stderr, "ncqd: coordinating %d worker(s)\n", len(wks))
+		logger.Info("coordinating workers", "workers", len(wks))
 		handler = coord.Handler()
 	} else {
 		fanout := 0
@@ -162,17 +210,19 @@ func run(argv []string, stderr io.Writer, ready chan<- string) int {
 		if *load != "" {
 			n, err := preload(corpus, *load, *shards)
 			if err != nil {
-				fmt.Fprintf(stderr, "ncqd: %v\n", err)
+				logger.Error("start failed", "err", err)
 				return 1
 			}
-			fmt.Fprintf(stderr, "ncqd: preloaded %d document(s)\n", n)
+			logger.Info("preloaded documents", "docs", n)
 		}
 		handler = server.New(corpus,
 			server.WithCacheBytes(*cacheBytes),
 			server.WithCacheTTL(*cacheTTL),
 			server.WithMaxBody(*maxBody),
 			server.WithNodeName(*nodeName),
-			server.WithRole(*role)).Handler()
+			server.WithRole(*role),
+			server.WithLogger(logger),
+			server.WithAdmission(*maxInflight, *maxQueue, *queueWait)).Handler()
 	}
 	httpSrv := &http.Server{
 		Addr:              *addr,
@@ -181,9 +231,9 @@ func run(argv []string, stderr io.Writer, ready chan<- string) int {
 	}
 
 	if *pprofAddr != "" {
-		pprofSrv, err := servePprof(*pprofAddr, stderr)
+		pprofSrv, err := servePprof(*pprofAddr, logger)
 		if err != nil {
-			fmt.Fprintf(stderr, "ncqd: %v\n", err)
+			logger.Error("start failed", "err", err)
 			return 1
 		}
 		defer pprofSrv.Close()
@@ -192,10 +242,10 @@ func run(argv []string, stderr io.Writer, ready chan<- string) int {
 	errCh := make(chan error, 1)
 	ln, err := newListener(httpSrv)
 	if err != nil {
-		fmt.Fprintf(stderr, "ncqd: %v\n", err)
+		logger.Error("start failed", "err", err)
 		return 1
 	}
-	fmt.Fprintf(stderr, "ncqd: listening on %s\n", ln.Addr())
+	logger.Info("listening", "addr", ln.Addr().String())
 	if ready != nil {
 		ready <- "http://" + ln.Addr().String()
 	}
@@ -203,24 +253,24 @@ func run(argv []string, stderr io.Writer, ready chan<- string) int {
 
 	select {
 	case err := <-errCh:
-		fmt.Fprintf(stderr, "ncqd: %v\n", err)
+		logger.Error("serve failed", "err", err)
 		return 1
 	case <-ctx.Done():
 	}
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), *gracePeri)
 	defer cancel()
 	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
-		fmt.Fprintf(stderr, "ncqd: shutdown: %v\n", err)
+		logger.Error("shutdown failed", "err", err)
 		return 1
 	}
-	fmt.Fprintln(stderr, "ncqd: bye")
+	logger.Info("bye")
 	return 0
 }
 
 // servePprof starts the opt-in profiling listener: net/http/pprof on
 // its own mux and its own address, so the serving port never exposes
 // the profiler and a live daemon can be profiled without redeploying.
-func servePprof(addr string, stderr io.Writer) (*http.Server, error) {
+func servePprof(addr string, logger *slog.Logger) (*http.Server, error) {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -232,7 +282,7 @@ func servePprof(addr string, stderr io.Writer) (*http.Server, error) {
 		return nil, fmt.Errorf("pprof: %w", err)
 	}
 	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 10 * time.Second}
-	fmt.Fprintf(stderr, "ncqd: pprof listening on %s\n", ln.Addr())
+	logger.Info("pprof listening", "addr", ln.Addr().String())
 	go srv.Serve(ln) //nolint:errcheck // closed on shutdown
 	return srv, nil
 }

@@ -120,7 +120,7 @@ func TestPprofEndpoint(t *testing.T) {
 
 	// The pprof address is reported on stderr before the main listener
 	// comes up, so it is present by now.
-	m := regexp.MustCompile(`pprof listening on (\S+)`).FindStringSubmatch(stderr.String())
+	m := regexp.MustCompile(`msg="pprof listening".* addr=(\S+)`).FindStringSubmatch(stderr.String())
 	if m == nil {
 		t.Fatalf("no pprof address in stderr: %s", stderr.String())
 	}

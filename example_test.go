@@ -54,6 +54,38 @@ func ExampleQuerier_Run() {
 	// <article> at distance 5
 }
 
+// Cursor pagination: ask for one page at a time by carrying the
+// cursor forward. A cursor is bound to the exact query that minted it
+// and to the corpus generation — presenting it after any mutation
+// fails with ErrStaleCursor (410 Gone over HTTP) instead of silently
+// cutting the next page from a re-ranked answer set.
+func ExampleQuerier_Run_cursorPaging() {
+	db, err := ncq.OpenString(`<bib>` +
+		`<article><author>Ann Bit</author><year>1999</year></article>` +
+		`<article><author>Bob Bit</author><year>1999</year></article>` +
+		`</bib>`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	req := ncq.Request{Terms: []string{"Bit", "1999"}, Limit: 1}
+	for page := 1; ; page++ {
+		res, err := db.Run(context.Background(), req)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, m := range res.Meets {
+			fmt.Printf("page %d: <%s> at distance %d\n", page, m.Tag, m.Distance)
+		}
+		if res.NextCursor == "" {
+			break
+		}
+		req.Cursor = res.NextCursor // same query, next page
+	}
+	// Output:
+	// page 1: <article> at distance 4
+	// page 2: <article> at distance 4
+}
+
 // The iterator-native surface: ranked meets as an incremental
 // sequence. On a corpus the meets flow as soon as every member has
 // produced its first answer; breaking out of the range ends execution

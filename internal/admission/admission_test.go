@@ -1,0 +1,196 @@
+package admission
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestNilLimiterAdmitsEverything(t *testing.T) {
+	var l *Limiter
+	for i := 0; i < 100; i++ {
+		release, err := l.Acquire(context.Background())
+		if err != nil {
+			t.Fatalf("nil limiter rejected: %v", err)
+		}
+		release()
+	}
+	if s := l.Stats(); s != (Stats{}) {
+		t.Errorf("nil limiter stats = %+v, want zero", s)
+	}
+	if l.RetryAfterSeconds() < 1 {
+		t.Error("nil limiter Retry-After < 1")
+	}
+}
+
+func TestDisabledByConfig(t *testing.T) {
+	if New(0, 10, time.Second) != nil {
+		t.Error("maxConcurrent=0 should disable admission control")
+	}
+	if New(-1, 10, time.Second) != nil {
+		t.Error("negative maxConcurrent should disable admission control")
+	}
+}
+
+func TestRejectsWhenSaturated(t *testing.T) {
+	l := New(1, 0, 0) // one slot, no queue
+	release, err := l.Acquire(context.Background())
+	if err != nil {
+		t.Fatalf("first acquire: %v", err)
+	}
+	if _, err := l.Acquire(context.Background()); !errors.Is(err, ErrSaturated) {
+		t.Fatalf("second acquire = %v, want ErrSaturated", err)
+	}
+	release()
+	release() // idempotent
+	release2, err := l.Acquire(context.Background())
+	if err != nil {
+		t.Fatalf("acquire after release: %v", err)
+	}
+	release2()
+
+	s := l.Stats()
+	if s.Admitted != 2 || s.Rejected != 1 || s.InFlight != 0 {
+		t.Errorf("stats = %+v, want admitted=2 rejected=1 in_flight=0", s)
+	}
+}
+
+func TestQueueAbsorbsThenRejects(t *testing.T) {
+	l := New(1, 1, time.Minute)
+	release, err := l.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Second request joins the queue and blocks.
+	queuedErr := make(chan error, 1)
+	go func() {
+		r, err := l.Acquire(context.Background())
+		if err == nil {
+			r()
+		}
+		queuedErr <- err
+	}()
+	// Wait for it to occupy the queue slot.
+	deadline := time.Now().Add(2 * time.Second)
+	for l.Stats().Queued == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("queued acquire never registered")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Third request overflows the queue: immediate rejection.
+	start := time.Now()
+	if _, err := l.Acquire(context.Background()); !errors.Is(err, ErrSaturated) {
+		t.Fatalf("overflow acquire = %v, want ErrSaturated", err)
+	}
+	if d := time.Since(start); d > time.Second {
+		t.Errorf("overflow rejection took %v, want immediate", d)
+	}
+
+	// Releasing the slot lets the queued request through.
+	release()
+	if err := <-queuedErr; err != nil {
+		t.Fatalf("queued acquire = %v, want success after release", err)
+	}
+}
+
+func TestQueueWaitExpires(t *testing.T) {
+	l := New(1, 1, 10*time.Millisecond)
+	release, err := l.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer release()
+	if _, err := l.Acquire(context.Background()); !errors.Is(err, ErrSaturated) {
+		t.Fatalf("expired wait = %v, want ErrSaturated", err)
+	}
+	if got := l.Stats().Rejected; got != 1 {
+		t.Errorf("rejected = %d, want 1", got)
+	}
+}
+
+func TestAcquireHonorsContext(t *testing.T) {
+	l := New(1, 1, time.Minute)
+	release, err := l.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer release()
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := l.Acquire(ctx)
+		done <- err
+	}()
+	time.Sleep(5 * time.Millisecond)
+	cancel()
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled acquire = %v, want context.Canceled", err)
+	}
+}
+
+func TestRetryAfterSeconds(t *testing.T) {
+	for _, tc := range []struct {
+		wait time.Duration
+		want int
+	}{
+		{0, 1},
+		{10 * time.Millisecond, 1},
+		{time.Second, 1},
+		{1500 * time.Millisecond, 2},
+		{3 * time.Second, 3},
+	} {
+		if got := New(1, 0, tc.wait).RetryAfterSeconds(); got != tc.want {
+			t.Errorf("RetryAfterSeconds(wait=%v) = %d, want %d", tc.wait, got, tc.want)
+		}
+	}
+}
+
+// Under heavy contention the limiter must never exceed its concurrency
+// cap and must account every outcome exactly once.
+func TestConcurrencyCapHolds(t *testing.T) {
+	const cap, clients = 4, 64
+	l := New(cap, clients, time.Second)
+	var inFlight, peak, success atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			release, err := l.Acquire(context.Background())
+			if err != nil {
+				return
+			}
+			n := inFlight.Add(1)
+			for {
+				p := peak.Load()
+				if n <= p || peak.CompareAndSwap(p, n) {
+					break
+				}
+			}
+			time.Sleep(time.Millisecond)
+			inFlight.Add(-1)
+			success.Add(1)
+			release()
+		}()
+	}
+	wg.Wait()
+	if peak.Load() > cap {
+		t.Errorf("observed %d concurrent executions, cap %d", peak.Load(), cap)
+	}
+	s := l.Stats()
+	if int64(s.Admitted) != success.Load() {
+		t.Errorf("admitted = %d, completed = %d", s.Admitted, success.Load())
+	}
+	if s.Admitted+s.Rejected != clients {
+		t.Errorf("admitted+rejected = %d, want %d", s.Admitted+s.Rejected, clients)
+	}
+	if s.InFlight != 0 || s.Queued != 0 {
+		t.Errorf("limiter not drained: %+v", s)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"hash/fnv"
+	"log/slog"
 	"net/http"
 	"sort"
 	"strings"
@@ -14,7 +15,9 @@ import (
 	"time"
 
 	"ncq"
+	"ncq/internal/admission"
 	"ncq/internal/cache"
+	"ncq/internal/metrics"
 )
 
 const (
@@ -54,6 +57,18 @@ type Config struct {
 	// applied directly to a worker (bypassing the coordinator) can keep
 	// serving cached coordinator results. Default 2s.
 	PollInterval time.Duration
+
+	// Logger receives request logs and worker-failure warnings; nil
+	// disables logging.
+	Logger *slog.Logger
+
+	// MaxInFlight bounds concurrent query execution (admission
+	// control): beyond it up to MaxQueue requests wait up to QueueWait
+	// for a slot, and the rest are answered 429 with a Retry-After
+	// hint. <= 0 (the default) disables admission control.
+	MaxInFlight int
+	MaxQueue    int
+	QueueWait   time.Duration
 }
 
 // Coordinator fronts a cluster of worker nodes: it places documents by
@@ -69,9 +84,20 @@ type Coordinator struct {
 	cache   *cache.LRU
 	mux     *http.ServeMux
 	started time.Time
+	logger  *slog.Logger
+	limiter *admission.Limiter
 
 	queries   atomic.Uint64
 	mutations atomic.Uint64
+
+	// Observability (observe.go); reg is per-instance like the
+	// single-node server's.
+	reg             *metrics.Registry
+	httpm           *metrics.HTTP
+	queriesInflight *metrics.Gauge
+	streamsInflight *metrics.Gauge
+	scatterDur      *metrics.HistogramVec
+	workerErrs      *metrics.CounterVec
 
 	mu   sync.Mutex
 	gens map[string]uint64 // tracked generation per worker
@@ -94,6 +120,9 @@ func New(cfg Config) (*Coordinator, error) {
 		byName:  make(map[string]Worker, len(cfg.Workers)),
 		client:  &http.Client{},
 		started: time.Now(),
+		logger:  cfg.Logger,
+		limiter: admission.New(cfg.MaxInFlight, cfg.MaxQueue, cfg.QueueWait),
+		reg:     metrics.NewRegistry(),
 		gens:    make(map[string]uint64, len(cfg.Workers)),
 	}
 	if c.cfg.NodeName == "" {
@@ -121,9 +150,14 @@ func New(cfg Config) (*Coordinator, error) {
 	}
 	c.ring = NewRing(names)
 	c.cache = cache.New(c.cfg.cacheBytes, cache.WithTTL(c.cfg.CacheTTL))
+	c.initObservability()
 	c.routes()
 	return c, nil
 }
+
+// Metrics returns the coordinator's metric registry — what
+// GET /v1/metrics serves.
+func (c *Coordinator) Metrics() *metrics.Registry { return c.reg }
 
 // Handler returns the coordinator's root handler.
 func (c *Coordinator) Handler() http.Handler { return c.mux }
@@ -358,7 +392,9 @@ func (c *Coordinator) scatterQuery(ctx context.Context, q *clusterQuery, offset 
 		wg.Add(1)
 		go func(i int, wk Worker) {
 			defer wg.Done()
+			t0 := time.Now()
 			streams[i], errs[i] = c.openStream(ctx, wk, body)
+			c.observeScatter(wk, time.Since(t0), errs[i])
 		}(i, wk)
 	}
 	wg.Wait()

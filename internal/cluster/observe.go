@@ -1,0 +1,152 @@
+package cluster
+
+// Coordinator observability and admission. Mirrors the single-node
+// server (internal/server/observe.go): a per-instance registry served
+// at GET /v1/metrics, one request-log line per request, and an
+// admission gate on the query route only. On top of that the
+// coordinator tracks its scatter edge — per-worker stream-open latency
+// and a per-worker error counter by kind — because in a cluster the
+// first question behind a latency regression is "which worker".
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"strconv"
+	"time"
+
+	"ncq/internal/admission"
+	"ncq/internal/metrics"
+)
+
+// initObservability registers the coordinator's metric families.
+// Called once from New, before routes.
+func (c *Coordinator) initObservability() {
+	reg := c.reg
+	c.httpm = metrics.NewHTTP(reg)
+
+	c.queriesInflight = reg.Gauge("ncq_queries_inflight",
+		"Query requests currently admitted and executing (including streams).")
+	c.streamsInflight = reg.Gauge("ncq_streams_inflight",
+		"Merged NDJSON query streams currently open to clients.")
+	c.scatterDur = reg.HistogramVec("ncq_worker_scatter_duration_seconds",
+		"Time from scatter to a worker's stream header (its counters and first answer ready), per worker.",
+		nil, "worker")
+	c.workerErrs = reg.CounterVec("ncq_worker_errors_total",
+		"Worker failures during scatter, by worker and kind (http_4xx, http_5xx, timeout, transport).",
+		"worker", "kind")
+
+	reg.CounterFunc("ncq_queries_total",
+		"Term queries that reached scatter execution, batch items included.",
+		func() float64 { return float64(c.queries.Load()) })
+	reg.CounterFunc("ncq_mutations_total",
+		"Document mutations routed to ring owners that succeeded.",
+		func() float64 { return float64(c.mutations.Load()) })
+	reg.GaugeFunc("ncq_pool_depth",
+		"Cluster membership: the number of configured workers.",
+		func() float64 { return float64(len(c.workers)) })
+	reg.GaugeFunc("ncq_uptime_seconds",
+		"Seconds since the coordinator was constructed.",
+		func() float64 { return time.Since(c.started).Seconds() })
+
+	reg.CounterFunc("ncq_cache_hits_total",
+		"Result cache lookups answered from the cache.",
+		func() float64 { return float64(c.cache.Stats().Hits) })
+	reg.CounterFunc("ncq_cache_misses_total",
+		"Result cache lookups that fell through to a scatter.",
+		func() float64 { return float64(c.cache.Stats().Misses) })
+	reg.GaugeFunc("ncq_cache_hit_ratio",
+		"Lifetime cache hit ratio: hits / (hits + misses); 0 before any lookup.",
+		func() float64 {
+			st := c.cache.Stats()
+			total := st.Hits + st.Misses
+			if total == 0 {
+				return 0
+			}
+			return float64(st.Hits) / float64(total)
+		})
+	reg.GaugeFunc("ncq_cache_entries",
+		"Entries currently resident in the result cache.",
+		func() float64 { return float64(c.cache.Stats().Entries) })
+	reg.GaugeFunc("ncq_cache_bytes",
+		"Approximate bytes currently retained by the result cache.",
+		func() float64 { return float64(c.cache.Stats().Bytes) })
+	reg.GaugeFunc("ncq_cache_cap_bytes",
+		"Configured byte capacity of the result cache.",
+		func() float64 { return float64(c.cache.Stats().CapBytes) })
+	reg.CounterFunc("ncq_cache_evictions_total",
+		"Entries evicted from the result cache to stay within capacity.",
+		func() float64 { return float64(c.cache.Stats().Evictions) })
+
+	reg.GaugeFunc("ncq_admission_inflight",
+		"Executions currently holding an admission slot; 0 when admission control is off.",
+		func() float64 { return float64(c.limiter.Stats().InFlight) })
+	reg.GaugeFunc("ncq_admission_queued",
+		"Acquisitions currently waiting for an admission slot.",
+		func() float64 { return float64(c.limiter.Stats().Queued) })
+	reg.GaugeFunc("ncq_admission_capacity",
+		"Configured admission concurrency limit; 0 when admission control is off.",
+		func() float64 { return float64(c.limiter.Stats().MaxConcurrent) })
+	reg.CounterFunc("ncq_admission_admitted_total",
+		"Query requests granted an admission slot.",
+		func() float64 { return float64(c.limiter.Stats().Admitted) })
+	reg.CounterFunc("ncq_admission_rejected_total",
+		"Query requests shed with 429 because slots and queue were full.",
+		func() float64 { return float64(c.limiter.Stats().Rejected) })
+}
+
+// observeScatter records one worker stream-open outcome: the latency
+// to its header on success, a per-kind error count on failure — and,
+// on failure, one log line naming the worker, since "which worker" is
+// the first question a degraded cluster raises.
+func (c *Coordinator) observeScatter(wk Worker, elapsed time.Duration, err error) {
+	if err == nil {
+		c.scatterDur.With(wk.Name).Observe(elapsed.Seconds())
+		return
+	}
+	c.workerErrs.With(wk.Name, errKind(err)).Inc()
+	if c.logger != nil {
+		c.logger.Warn("worker scatter failed",
+			"worker", wk.Name, "kind", errKind(err),
+			"duration", elapsed, "err", err)
+	}
+}
+
+// errKind buckets a worker failure for ncq_worker_errors_total.
+func errKind(err error) string {
+	var he *workerHTTPError
+	switch {
+	case errors.As(err, &he):
+		if he.status < 500 {
+			return "http_4xx"
+		}
+		return "http_5xx"
+	case errors.Is(err, context.DeadlineExceeded):
+		return "timeout"
+	default:
+		return "transport"
+	}
+}
+
+// admit gates the query route behind the admission limiter, exactly
+// like the single-node server: saturation answers 429 + Retry-After
+// before any worker connection is opened.
+func (c *Coordinator) admit(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		release, err := c.limiter.Acquire(r.Context())
+		if err != nil {
+			if errors.Is(err, admission.ErrSaturated) {
+				w.Header().Set("Retry-After", strconv.Itoa(c.limiter.RetryAfterSeconds()))
+				writeError(w, http.StatusTooManyRequests,
+					"coordinator saturated; retry after %d second(s)", c.limiter.RetryAfterSeconds())
+				return
+			}
+			writeError(w, 499, "client closed request while queued for admission")
+			return
+		}
+		defer release()
+		c.queriesInflight.Inc()
+		defer c.queriesInflight.Dec()
+		next.ServeHTTP(w, r)
+	})
+}

@@ -63,9 +63,10 @@ func ParseWorkers(s string) ([]Worker, error) {
 // instead of retrying or degrading, since every retry and every other
 // worker would fail the same way for the same input.
 type workerHTTPError struct {
-	worker string
-	status int
-	msg    string
+	worker     string
+	status     int
+	msg        string
+	retryAfter string // the worker's Retry-After hint, relayed on 429
 }
 
 func (e *workerHTTPError) Error() string {
@@ -225,9 +226,10 @@ func (c *Coordinator) dialStream(ctx context.Context, w Worker, body []byte) (*w
 	}
 	if resp.StatusCode != http.StatusOK {
 		msg := readErrorBody(resp.Body)
+		retryAfter := resp.Header.Get("Retry-After")
 		resp.Body.Close()
 		cancel()
-		return nil, &workerHTTPError{worker: w.Name, status: resp.StatusCode, msg: msg}
+		return nil, &workerHTTPError{worker: w.Name, status: resp.StatusCode, msg: msg, retryAfter: retryAfter}
 	}
 	sc := bufio.NewScanner(resp.Body)
 	sc.Buffer(make([]byte, 64<<10), scanBufSize)

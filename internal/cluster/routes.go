@@ -29,6 +29,7 @@ import (
 	"time"
 
 	"ncq"
+	"ncq/internal/metrics"
 )
 
 const (
@@ -38,13 +39,17 @@ const (
 
 func (c *Coordinator) routes() {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v2/query", c.handleQuery)
-	mux.HandleFunc("PUT /v1/docs/{name}", c.handleDocProxy)
-	mux.HandleFunc("GET /v1/docs/{name}", c.handleDocProxy)
-	mux.HandleFunc("DELETE /v1/docs/{name}", c.handleDocProxy)
-	mux.HandleFunc("GET /v1/docs", c.handleListDocs)
-	mux.HandleFunc("GET /v1/healthz", c.handleHealthz)
-	mux.HandleFunc("GET /v1/stats", c.handleStats)
+	handle := func(pattern, route string, quiet bool, h http.Handler) {
+		mux.Handle(pattern, c.httpm.Instrument(route, c.logger, quiet, h))
+	}
+	handle("POST /v2/query", "/v2/query", false, c.admit(http.HandlerFunc(c.handleQuery)))
+	handle("PUT /v1/docs/{name}", "/v1/docs/{name}", false, http.HandlerFunc(c.handleDocProxy))
+	handle("GET /v1/docs/{name}", "/v1/docs/{name}", false, http.HandlerFunc(c.handleDocProxy))
+	handle("DELETE /v1/docs/{name}", "/v1/docs/{name}", false, http.HandlerFunc(c.handleDocProxy))
+	handle("GET /v1/docs", "/v1/docs", false, http.HandlerFunc(c.handleListDocs))
+	handle("GET /v1/healthz", "/v1/healthz", true, http.HandlerFunc(c.handleHealthz))
+	handle("GET /v1/stats", "/v1/stats", true, http.HandlerFunc(c.handleStats))
+	handle("GET /v1/metrics", "/v1/metrics", true, c.reg.Handler())
 	c.mux = mux
 }
 
@@ -88,6 +93,18 @@ func statusOf(err error) int {
 
 func msSince(start time.Time) float64 {
 	return float64(time.Since(start)) / float64(time.Millisecond)
+}
+
+// writeQueryError renders an execution failure, relaying a worker's
+// Retry-After hint when the failure is a relayed 4xx (a shed worker's
+// 429 backpressure must reach the client intact — the coordinator
+// never retries it; see openStream).
+func writeQueryError(w http.ResponseWriter, err error) {
+	var he *workerHTTPError
+	if errors.As(err, &he) && he.status < 500 && he.retryAfter != "" {
+		w.Header().Set("Retry-After", he.retryAfter)
+	}
+	writeError(w, statusOf(err), "%v", err)
 }
 
 // queryResponse is the coordinator's single-query envelope: the
@@ -163,9 +180,10 @@ func (c *Coordinator) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "invalid request: %v", err)
 		return
 	}
+	metrics.SetFingerprint(ctx, req.base())
 	out, err := c.runPage(ctx, &req.clusterQuery)
 	if err != nil {
-		writeError(w, statusOf(err), "%v", err)
+		writeQueryError(w, err)
 		return
 	}
 	if out.cached {
@@ -254,15 +272,18 @@ func (c *Coordinator) handleStream(ctx context.Context, w http.ResponseWriter, s
 		return
 	}
 	base := q.base()
+	metrics.SetFingerprint(ctx, base)
 	offset, curGen, err := ncq.ResolveCursor(q.Cursor, base)
 	if err != nil {
 		writeError(w, statusOf(err), "%v", err)
 		return
 	}
 	c.queries.Add(1)
+	c.streamsInflight.Inc()
+	defer c.streamsInflight.Dec()
 	g, err := c.scatterQuery(ctx, q, offset)
 	if err != nil {
-		writeError(w, statusOf(err), "%v", err)
+		writeQueryError(w, err)
 		return
 	}
 	defer g.Close()
@@ -524,6 +545,7 @@ func (c *Coordinator) handleStats(w http.ResponseWriter, r *http.Request) {
 		"queries":        c.queries.Load(),
 		"mutations":      c.mutations.Load(),
 		"cache":          c.cache.Stats(),
+		"admission":      c.limiter.Stats(),
 		"worker_stats":   stats,
 	})
 }

@@ -7,6 +7,7 @@ import (
 	"strings"
 
 	"ncq"
+	"ncq/internal/metrics"
 )
 
 // queryRequest is the POST /v1/query body (and one element of a batch
@@ -181,7 +182,9 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 
 	s.queries.Add(1)
-	cr, cached, err := s.runCached(r.Context(), gen, req.toRequest())
+	ncqReq := req.toRequest()
+	metrics.SetFingerprint(r.Context(), ncqReq.Canonical())
+	cr, cached, err := s.runCached(r.Context(), gen, ncqReq)
 	if err != nil {
 		writeQueryError(w, err)
 		return

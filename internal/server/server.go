@@ -17,6 +17,7 @@
 //	GET    /v1/docs        list loaded documents
 //	GET    /v1/healthz     liveness probe
 //	GET    /v1/stats       corpus, cache and traffic counters
+//	GET    /v1/metrics     Prometheus text exposition (see observe.go)
 //
 // Every query endpoint executes through the unified ncq.Request path
 // (run.go); the v1 handlers are byte-compatible adapters over it.
@@ -31,13 +32,16 @@ package server
 import (
 	"encoding/json"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"strconv"
 	"sync/atomic"
 	"time"
 
 	"ncq"
+	"ncq/internal/admission"
 	"ncq/internal/cache"
+	"ncq/internal/metrics"
 	"ncq/internal/shard"
 )
 
@@ -62,12 +66,24 @@ type Server struct {
 	maxBody    int64
 	nodeName   string
 	role       string
+	logger     *slog.Logger
+	limiter    *admission.Limiter
 	mux        *http.ServeMux
 	started    time.Time
 
 	queries   atomic.Uint64 // queries that reached execution (batch items included)
 	batches   atomic.Uint64 // POST /v1/query/batch requests accepted
 	mutations atomic.Uint64 // document PUT/DELETE that changed the corpus
+
+	// Observability (observe.go). reg is per-instance so multiple
+	// servers in one process — httptest fixtures, a worker and a
+	// coordinator side by side — never collide on metric names.
+	reg             *metrics.Registry
+	httpm           *metrics.HTTP
+	queriesInflight *metrics.Gauge
+	streamsInflight *metrics.Gauge
+	streamLines     *metrics.Counter
+	streamBytes     *metrics.Counter
 }
 
 // Option customises a Server.
@@ -119,6 +135,26 @@ func WithRole(role string) Option {
 	}
 }
 
+// WithLogger sets the structured logger for request logs. Every
+// completed request emits one line (method, route, status, duration,
+// bytes, query fingerprint, cache disposition); health and scrape
+// probes log at Debug so pollers do not own the log volume. nil (the
+// default) disables request logging.
+func WithLogger(l *slog.Logger) Option {
+	return func(s *Server) { s.logger = l }
+}
+
+// WithAdmission bounds concurrent query execution: at most
+// maxConcurrent query requests execute at once, up to maxQueue more
+// wait up to wait for a slot, and everything beyond that is answered
+// 429 with a Retry-After hint instead of queuing in front of the
+// worker pool. maxConcurrent <= 0 (the default) disables admission
+// control. Only the query routes are gated; document mutations and
+// introspection stay reachable on a saturated node.
+func WithAdmission(maxConcurrent, maxQueue int, wait time.Duration) Option {
+	return func(s *Server) { s.limiter = admission.New(maxConcurrent, maxQueue, wait) }
+}
+
 // New builds a Server around corpus (a fresh empty corpus when nil).
 func New(corpus *ncq.Corpus, opts ...Option) *Server {
 	if corpus == nil {
@@ -131,21 +167,30 @@ func New(corpus *ncq.Corpus, opts ...Option) *Server {
 		nodeName:   "ncqd",
 		role:       "single",
 		started:    time.Now(),
+		reg:        metrics.NewRegistry(),
 	}
 	for _, opt := range opts {
 		opt(s)
 	}
 	s.cache = cache.New(s.cacheBytes, cache.WithTTL(s.cacheTTL))
+	s.initObservability()
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v2/query", s.handleQueryV2)
-	mux.HandleFunc("POST /v1/query", s.handleQuery)
-	mux.HandleFunc("POST /v1/query/batch", s.handleBatch)
-	mux.HandleFunc("PUT /v1/docs/{name}", s.handlePutDoc)
-	mux.HandleFunc("GET /v1/docs/{name}", s.handleGetDoc)
-	mux.HandleFunc("DELETE /v1/docs/{name}", s.handleDeleteDoc)
-	mux.HandleFunc("GET /v1/docs", s.handleListDocs)
-	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
-	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	// handle wraps every route with the metrics + request-log
+	// middleware; route is the pattern's path, which labels the metric
+	// series and log lines (never the raw URL — bounded cardinality).
+	handle := func(pattern, route string, quiet bool, h http.Handler) {
+		mux.Handle(pattern, s.httpm.Instrument(route, s.logger, quiet, h))
+	}
+	handle("POST /v2/query", "/v2/query", false, s.admit(http.HandlerFunc(s.handleQueryV2)))
+	handle("POST /v1/query", "/v1/query", false, s.admit(http.HandlerFunc(s.handleQuery)))
+	handle("POST /v1/query/batch", "/v1/query/batch", false, s.admit(http.HandlerFunc(s.handleBatch)))
+	handle("PUT /v1/docs/{name}", "/v1/docs/{name}", false, http.HandlerFunc(s.handlePutDoc))
+	handle("GET /v1/docs/{name}", "/v1/docs/{name}", false, http.HandlerFunc(s.handleGetDoc))
+	handle("DELETE /v1/docs/{name}", "/v1/docs/{name}", false, http.HandlerFunc(s.handleDeleteDoc))
+	handle("GET /v1/docs", "/v1/docs", false, http.HandlerFunc(s.handleListDocs))
+	handle("GET /v1/healthz", "/v1/healthz", true, http.HandlerFunc(s.handleHealthz))
+	handle("GET /v1/stats", "/v1/stats", true, http.HandlerFunc(s.handleStats))
+	handle("GET /v1/metrics", "/v1/metrics", true, s.reg.Handler())
 	s.mux = mux
 	return s
 }
@@ -156,6 +201,10 @@ func (s *Server) Corpus() *ncq.Corpus { return s.corpus }
 
 // Handler returns the root handler for mounting on an http.Server.
 func (s *Server) Handler() http.Handler { return s.mux }
+
+// Metrics returns the server's metric registry — what GET /v1/metrics
+// serves — e.g. for publishing on /debug/vars via Registry.Expvar.
+func (s *Server) Metrics() *metrics.Registry { return s.reg }
 
 // invalidate records a corpus mutation: stale results keyed by older
 // generations can never be served again (the generation is part of the
@@ -206,20 +255,21 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 // statsResponse is the /v1/stats payload.
 type statsResponse struct {
-	Node          string      `json:"node"`
-	Role          string      `json:"role"`
-	UptimeSeconds float64     `json:"uptime_seconds"`
-	Generation    uint64      `json:"generation"`
-	Workers       int         `json:"workers"` // query fan-out pool depth
-	Docs          int         `json:"docs"`
-	TotalShards   int         `json:"total_shards"`
-	TotalNodes    int         `json:"total_nodes"`
-	TotalTerms    int         `json:"total_terms"`
-	TotalMemBytes int         `json:"total_mem_bytes"`
-	Queries       uint64      `json:"queries"`
-	Batches       uint64      `json:"batches"`
-	Mutations     uint64      `json:"mutations"`
-	Cache         cache.Stats `json:"cache"`
+	Node          string          `json:"node"`
+	Role          string          `json:"role"`
+	UptimeSeconds float64         `json:"uptime_seconds"`
+	Generation    uint64          `json:"generation"`
+	Workers       int             `json:"workers"` // query fan-out pool depth
+	Docs          int             `json:"docs"`
+	TotalShards   int             `json:"total_shards"`
+	TotalNodes    int             `json:"total_nodes"`
+	TotalTerms    int             `json:"total_terms"`
+	TotalMemBytes int             `json:"total_mem_bytes"`
+	Queries       uint64          `json:"queries"`
+	Batches       uint64          `json:"batches"`
+	Mutations     uint64          `json:"mutations"`
+	Cache         cache.Stats     `json:"cache"`
+	Admission     admission.Stats `json:"admission"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -233,6 +283,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Batches:       s.batches.Load(),
 		Mutations:     s.mutations.Load(),
 		Cache:         s.cache.Stats(),
+		Admission:     s.limiter.Stats(),
 	}
 	for _, name := range s.corpus.Names() {
 		st, shards, ok := s.corpus.MemberStats(name)

@@ -35,6 +35,7 @@ import (
 	"time"
 
 	"ncq"
+	"ncq/internal/metrics"
 )
 
 // meetLine is one streamed result record.
@@ -106,7 +107,11 @@ func (s *Server) handleStreamV2(ctx context.Context, w http.ResponseWriter, star
 		return
 	}
 	s.queries.Add(1)
-	seq, stats := s.corpus.ResultsWithStats(ctx, req.toV2Request())
+	s.streamsInflight.Inc()
+	defer s.streamsInflight.Dec()
+	ncqReq := req.toV2Request()
+	metrics.SetFingerprint(ctx, ncqReq.Canonical())
+	seq, stats := s.corpus.ResultsWithStats(ctx, ncqReq)
 	flusher, _ := w.(http.Flusher)
 	started := false
 	writeLine := func(v any) bool {
@@ -117,6 +122,8 @@ func (s *Server) handleStreamV2(ctx context.Context, w http.ResponseWriter, star
 		if _, err := w.Write(append(line, '\n')); err != nil {
 			return false
 		}
+		s.streamLines.Inc()
+		s.streamBytes.Add(int64(len(line)) + 1)
 		if flusher != nil {
 			flusher.Flush()
 		}

@@ -29,6 +29,7 @@ import (
 	"time"
 
 	"ncq"
+	"ncq/internal/metrics"
 )
 
 // v2Query is one query of the v2 surface: the v1 request fields plus
@@ -134,7 +135,9 @@ func (s *Server) handleQueryV2(w http.ResponseWriter, r *http.Request) {
 	}
 	gen := s.corpus.Generation()
 	s.queries.Add(1)
-	cr, cached, err := s.runCached(ctx, gen, req.toV2Request())
+	ncqReq := req.toV2Request()
+	metrics.SetFingerprint(ctx, ncqReq.Canonical())
+	cr, cached, err := s.runCached(ctx, gen, ncqReq)
 	if err != nil {
 		writeError(w, statusOf(err), "%v", err)
 		return
