@@ -97,7 +97,7 @@ func (c *Corpus) AddSharded(name string, doc *xmltree.Document, k int) (dbs []*D
 	// Shard loading is CPU-bound (Monet transform + index build); use
 	// the machine, not the corpus fan-out width, which may be tuned
 	// down for query latency.
-	err = forEachDoc(context.Background(), len(parts), runtime.GOMAXPROCS(0), func(i int) error {
+	err = forEachDoc(context.Background(), len(parts), runtime.GOMAXPROCS(0), func(i int) error { //lint:ncqvet-ignore AddSharded is a ctx-less public API; the parse fan-out has no caller deadline to inherit
 		db, err := FromDocument(parts[i])
 		if err != nil {
 			return fmt.Errorf("ncq: corpus %q shard %d: %w", name, i, err)
@@ -408,7 +408,7 @@ func (c *Corpus) MeetOfTerms(opt *Options, terms ...string) ([]CorpusMeet, error
 	if len(terms) == 0 {
 		return nil, nil
 	}
-	res, err := c.Run(context.Background(), Request{Terms: terms, Options: opt})
+	res, err := c.Run(context.Background(), Request{Terms: terms, Options: opt}) //lint:ncqvet-ignore legacy ctx-less public API; ctx-aware callers use Run
 	if err != nil {
 		return nil, err
 	}
@@ -427,7 +427,7 @@ func (c *Corpus) MeetOfTermsIn(name string, opt *Options, terms ...string) ([]Co
 		}
 		return nil, 0, nil
 	}
-	res, err := c.Run(context.Background(), Request{Doc: name, Terms: terms, Options: opt})
+	res, err := c.Run(context.Background(), Request{Doc: name, Terms: terms, Options: opt}) //lint:ncqvet-ignore legacy ctx-less public API; ctx-aware callers use Run
 	if err != nil {
 		return nil, 0, err
 	}
@@ -474,7 +474,7 @@ func mergeAnswers(answers []*Answer) *Answer {
 // interesting outcome is where the terms meet, not where they do not.
 // It is a wrapper over Run.
 func (c *Corpus) Query(src string) ([]CorpusAnswer, error) {
-	res, err := c.Run(context.Background(), Request{Query: src})
+	res, err := c.Run(context.Background(), Request{Query: src}) //lint:ncqvet-ignore legacy ctx-less public API; ctx-aware callers use Run
 	if err != nil {
 		return nil, err
 	}
@@ -487,7 +487,7 @@ func (c *Corpus) Query(src string) ([]CorpusAnswer, error) {
 // rows' OIDs are shard-local (see mergeAnswers). The error wraps
 // ErrUnknownDoc when name is not registered. It is a wrapper over Run.
 func (c *Corpus) QueryIn(name, src string) (*Answer, error) {
-	res, err := c.Run(context.Background(), Request{Doc: name, Query: src})
+	res, err := c.Run(context.Background(), Request{Doc: name, Query: src}) //lint:ncqvet-ignore legacy ctx-less public API; ctx-aware callers use Run
 	if err != nil {
 		return nil, err
 	}

@@ -428,7 +428,7 @@ func (c *Coordinator) handleListDocs(w http.ResponseWriter, r *http.Request) {
 		docs []workerDoc
 		err  error
 	}
-	results := c.forEachWorker(func(ctx context.Context, wk Worker) any {
+	results := c.forEachWorker(r.Context(), func(ctx context.Context, wk Worker) any {
 		var out listing
 		req, err := http.NewRequestWithContext(ctx, http.MethodGet, wk.URL+"/v1/docs", nil)
 		if err != nil {
@@ -482,15 +482,18 @@ func (c *Coordinator) handleListDocs(w http.ResponseWriter, r *http.Request) {
 }
 
 // forEachWorker runs fn against every worker in parallel, each under
-// its own WorkerTimeout, and returns the results in worker order.
-func (c *Coordinator) forEachWorker(fn func(ctx context.Context, wk Worker) any) []any {
+// its own WorkerTimeout derived from ctx — so a caller that goes away
+// (a disconnected /v1/docs or /v1/stats client) cancels the whole
+// scatter instead of leaving len(workers) orphaned requests running
+// to their full timeout. Results come back in worker order.
+func (c *Coordinator) forEachWorker(ctx context.Context, fn func(ctx context.Context, wk Worker) any) []any {
 	out := make([]any, len(c.workers))
 	done := make(chan int, len(c.workers))
 	for i, wk := range c.workers {
 		go func(i int, wk Worker) {
-			ctx, cancel := context.WithTimeout(context.Background(), c.cfg.WorkerTimeout)
+			wctx, cancel := context.WithTimeout(ctx, c.cfg.WorkerTimeout)
 			defer cancel()
-			out[i] = fn(ctx, wk)
+			out[i] = fn(wctx, wk)
 			done <- i
 		}(i, wk)
 	}
@@ -520,7 +523,7 @@ func (c *Coordinator) handleHealthz(w http.ResponseWriter, r *http.Request) {
 }
 
 func (c *Coordinator) handleStats(w http.ResponseWriter, r *http.Request) {
-	stats := c.forEachWorker(func(ctx context.Context, wk Worker) any {
+	stats := c.forEachWorker(r.Context(), func(ctx context.Context, wk Worker) any {
 		req, err := http.NewRequestWithContext(ctx, http.MethodGet, wk.URL+"/v1/stats", nil)
 		if err != nil {
 			return map[string]string{"name": wk.Name, "error": err.Error()}

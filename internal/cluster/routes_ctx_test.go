@@ -1,0 +1,67 @@
+package cluster
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestListDocsCancellationPropagates pins the fix for the /v1/docs and
+// /v1/stats scatter running on a context detached from the request:
+// a client that goes away must cancel the in-flight worker calls, not
+// leave them running out the full WorkerTimeout. The fake worker
+// stalls its /v1/docs handler until its request context is cancelled;
+// only the coordinator propagating the client's cancellation can
+// release it before the one-minute timeout.
+func TestListDocsCancellationPropagates(t *testing.T) {
+	var startOnce, releaseOnce sync.Once
+	started := make(chan struct{})
+	released := make(chan struct{})
+	stalled := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/v1/docs" {
+			w.WriteHeader(http.StatusOK)
+			return
+		}
+		startOnce.Do(func() { close(started) })
+		<-r.Context().Done()
+		releaseOnce.Do(func() { close(released) })
+	}))
+	defer stalled.Close()
+
+	_, coordTS := startCoordinator(t, Config{
+		Workers:       []Worker{{Name: "stalled", URL: stalled.URL}},
+		WorkerTimeout: time.Minute,
+	})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, coordTS.URL+"/v1/docs", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clientDone := make(chan struct{})
+	go func() {
+		defer close(clientDone)
+		resp, err := http.DefaultClient.Do(req)
+		if err == nil {
+			resp.Body.Close()
+		}
+	}()
+
+	select {
+	case <-started:
+	case <-time.After(5 * time.Second):
+		t.Fatal("worker never received the scatter request")
+	}
+	cancel()
+
+	select {
+	case <-released:
+	case <-time.After(5 * time.Second):
+		t.Fatal("client cancellation did not reach the worker; the scatter is not inheriting the request context")
+	}
+	<-clientDone
+}

@@ -29,7 +29,7 @@ import (
 // Results are in document order of the meets; unmatched inputs are in
 // ascending OID order.
 func Meet(s *monetx.Store, groups map[pathsum.PathID][]bat.OID, opt *Options) (results []Result, unmatched []bat.OID, err error) {
-	return MeetContext(context.Background(), s, groups, opt)
+	return MeetContext(context.Background(), s, groups, opt) //lint:ncqvet-ignore ctx-less legacy entry point; ctx-aware callers use MeetContext
 }
 
 // MeetContext is Meet with cancellation: ctx is checked once per
@@ -70,7 +70,7 @@ func MeetContext(ctx context.Context, s *monetx.Store, groups map[pathsum.PathID
 // MeetOIDs is a convenience wrapper around Meet for callers holding a
 // flat list of OIDs: it buckets them by path first.
 func MeetOIDs(s *monetx.Store, oids []bat.OID, opt *Options) ([]Result, []bat.OID, error) {
-	return MeetOIDsContext(context.Background(), s, oids, opt)
+	return MeetOIDsContext(context.Background(), s, oids, opt) //lint:ncqvet-ignore ctx-less legacy entry point; ctx-aware callers use MeetOIDsContext
 }
 
 // MeetOIDsContext is MeetOIDs with cancellation, checked once per

@@ -28,7 +28,7 @@ import (
 //
 // Results are in document order; unmatched inputs ascending.
 func MeetMulti(s *monetx.Store, inputSets [][]bat.OID, opt *Options) ([]Result, []bat.OID, error) {
-	return MeetMultiContext(context.Background(), s, inputSets, opt)
+	return MeetMultiContext(context.Background(), s, inputSets, opt) //lint:ncqvet-ignore ctx-less legacy entry point; ctx-aware callers use MeetMultiContext
 }
 
 // MeetMultiContext is MeetMulti with cancellation, checked once per

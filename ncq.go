@@ -350,7 +350,7 @@ func (db *Database) MeetOfTerms(opt *Options, terms ...string) ([]Meet, []NodeID
 	if len(terms) == 0 {
 		return []Meet{}, nil, nil
 	}
-	res, err := db.Run(context.Background(), Request{Terms: terms, Options: opt})
+	res, err := db.Run(context.Background(), Request{Terms: terms, Options: opt}) //lint:ncqvet-ignore legacy ctx-less public API; ctx-aware callers use Run
 	if err != nil {
 		return nil, nil, err
 	}
@@ -477,7 +477,7 @@ func (db *Database) Query(src string) (*Answer, error) {
 	if src == "" {
 		return db.engine.Query(src) // preserve the parser's error shape
 	}
-	res, err := db.Run(context.Background(), Request{Query: src})
+	res, err := db.Run(context.Background(), Request{Query: src}) //lint:ncqvet-ignore legacy ctx-less public API; ctx-aware callers use Run
 	if err != nil {
 		return nil, err
 	}

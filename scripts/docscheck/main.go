@@ -6,7 +6,9 @@
 //   - an ncqd flag defined in cmd/ncqd/main.go is not documented in
 //     docs/OPERATIONS.md, or
 //   - an ncq_* metric name registered in non-test Go source is not
-//     documented in docs/OPERATIONS.md.
+//     documented in docs/OPERATIONS.md, or
+//   - an ncqvet analyzer registered under scripts/ncqvet/passes is not
+//     documented in docs/ARCHITECTURE.md's "Enforced invariants".
 //
 // Run it from the repository root: go run ./scripts/docscheck
 // CI's docs job does exactly that, so documentation drift is a build
@@ -23,7 +25,10 @@ import (
 	"strings"
 )
 
-const opsPath = "docs/OPERATIONS.md"
+const (
+	opsPath  = "docs/OPERATIONS.md"
+	archPath = "docs/ARCHITECTURE.md"
+)
 
 var (
 	// [text](target) — inline Markdown links. Reference-style links
@@ -34,6 +39,9 @@ var (
 	// "ncq_..." string literals: the metric names handed to the
 	// registry constructors.
 	metricRe = regexp.MustCompile(`"(ncq_[a-z0-9_]+)"`)
+	// Name: "maporder" — the analyzer registrations in
+	// scripts/ncqvet/passes/*/*.go.
+	analyzerRe = regexp.MustCompile(`Name:\s*"([a-z][a-z0-9]*)"`)
 )
 
 func main() {
@@ -49,9 +57,16 @@ func main() {
 	}
 	opsText := string(ops)
 
+	arch, err := os.ReadFile(archPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "docscheck: %v (run from the repository root)\n", err)
+		os.Exit(1)
+	}
+
 	checkLinks(report)
 	checkFlags(opsText, report)
 	checkMetrics(opsText, report)
+	checkAnalyzers(string(arch), report)
 
 	if len(problems) > 0 {
 		for _, p := range problems {
@@ -165,6 +180,46 @@ func checkMetrics(opsText string, report func(string, ...any)) {
 		seen[n] = true
 		if !strings.Contains(opsText, "`"+n+"`") {
 			report("%s: metric %s is not documented", opsPath, n)
+		}
+	}
+}
+
+// checkAnalyzers verifies that every ncqvet analyzer (the Name field
+// of each registration under scripts/ncqvet/passes) appears,
+// backticked, in ARCHITECTURE.md — the linter's contract is only as
+// discoverable as its documentation.
+func checkAnalyzers(archText string, report func(string, ...any)) {
+	var names []string
+	_ = filepath.WalkDir("scripts/ncqvet/passes", func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() || !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		body, err := os.ReadFile(path)
+		if err != nil {
+			report("%s: %v", path, err)
+			return nil
+		}
+		for _, m := range analyzerRe.FindAllStringSubmatch(string(body), -1) {
+			names = append(names, m[1])
+		}
+		return nil
+	})
+	if len(names) == 0 {
+		report("no analyzer registrations found under scripts/ncqvet/passes — did the Name idiom change?")
+		return
+	}
+	sort.Strings(names)
+	seen := map[string]bool{}
+	for _, n := range names {
+		if seen[n] {
+			continue
+		}
+		seen[n] = true
+		if !strings.Contains(archText, "`"+n+"`") {
+			report("%s: ncqvet analyzer %s is not documented", archPath, n)
 		}
 	}
 }

@@ -1,0 +1,3 @@
+module ncqvet
+
+go 1.24.0

@@ -1,0 +1,63 @@
+// Package analysis is a dependency-free core modelled on
+// golang.org/x/tools/go/analysis: an Analyzer inspects one
+// type-checked package and reports Diagnostics through its Pass.
+//
+// The build environment for this repository is offline — the module
+// cache holds no third-party code — so ncqvet cannot depend on
+// x/tools. The API mirrors the upstream shape (Analyzer.Run(*Pass),
+// Pass.Reportf, Diagnostic{Pos, Message}) closely enough that moving
+// the passes onto the real framework, should the dependency ever be
+// vendored, is a mechanical import swap.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one invariant check. Name appears in diagnostic
+// output, in docs/ARCHITECTURE.md (enforced by scripts/docscheck) and
+// in `ncqvet -list`.
+type Analyzer struct {
+	Name string
+	Doc  string
+
+	// Run inspects the package in pass and reports findings via
+	// pass.Report/Reportf. The returned error aborts the whole run —
+	// reserve it for internal failures, not findings.
+	Run func(pass *Pass) error
+}
+
+// Pass carries one type-checked package through one analyzer.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	diagnostics []Diagnostic
+}
+
+// Diagnostic is one finding, anchored at a source position.
+type Diagnostic struct {
+	Pos      token.Pos
+	Message  string
+	Analyzer string
+}
+
+// Report records a finding.
+func (p *Pass) Report(d Diagnostic) {
+	d.Analyzer = p.Analyzer.Name
+	p.diagnostics = append(p.diagnostics, d)
+}
+
+// Reportf records a finding at pos with a formatted message.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Diagnostics returns the findings reported so far, in report order.
+func (p *Pass) Diagnostics() []Diagnostic { return p.diagnostics }

@@ -1,0 +1,127 @@
+// Package analysistest runs an analyzer over fixture packages laid
+// out like golang.org/x/tools/go/analysis/analysistest's:
+// testdata/src/<importpath>/*.go, with expectations written as
+//
+//	code() // want "regexp"
+//
+// comments. Every diagnostic must match a want on its line and every
+// want must be matched — so a fixture with no want comments doubles
+// as a clean fixture: any diagnostic fails the test.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"regexp"
+	"strings"
+	"testing"
+
+	"ncqvet/internal/analysis"
+	"ncqvet/internal/load"
+)
+
+// expectation is one want pattern, anchored to a file line.
+type expectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+// Run loads each fixture package from <dir>/src/<path>, applies a,
+// and checks its diagnostics against the fixtures' want comments.
+func Run(t *testing.T, dir string, a *analysis.Analyzer, paths ...string) {
+	t.Helper()
+	loader, err := load.Fixtures(dir + "/src")
+	if err != nil {
+		t.Fatalf("loading fixtures: %v", err)
+	}
+	for _, path := range paths {
+		pkg, err := loader.Load(path)
+		if err != nil {
+			t.Fatalf("loading %s: %v", path, err)
+		}
+		pass := &analysis.Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.Info,
+		}
+		if err := a.Run(pass); err != nil {
+			t.Fatalf("%s on %s: %v", a.Name, path, err)
+		}
+		checkExpectations(t, pkg, pass.Diagnostics())
+	}
+}
+
+func checkExpectations(t *testing.T, pkg *load.Package, diags []analysis.Diagnostic) {
+	t.Helper()
+	var wants []*expectation
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				wants = append(wants, parseWants(t, pkg.Fset, c)...)
+			}
+		}
+	}
+	for _, d := range diags {
+		pos := pkg.Fset.Position(d.Pos)
+		ok := false
+		for _, w := range wants {
+			if w.file == pos.Filename && w.line == pos.Line && w.re.MatchString(d.Message) {
+				w.matched = true
+				ok = true
+			}
+		}
+		if !ok {
+			t.Errorf("%s: unexpected diagnostic: %s", pos, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no diagnostic matching %q", w.file, w.line, w.re)
+		}
+	}
+}
+
+// parseWants extracts the want patterns of one comment. Both quoted
+// ("...") and backquoted (`...`) patterns are accepted.
+func parseWants(t *testing.T, fset *token.FileSet, c *ast.Comment) []*expectation {
+	t.Helper()
+	text := strings.TrimPrefix(c.Text, "//")
+	text = strings.TrimSpace(text)
+	if !strings.HasPrefix(text, "want ") {
+		return nil
+	}
+	pos := fset.Position(c.Pos())
+	rest := strings.TrimSpace(strings.TrimPrefix(text, "want "))
+	var out []*expectation
+	for rest != "" {
+		quote := rest[0]
+		if quote != '"' && quote != '`' {
+			t.Fatalf("%s: malformed want: %q", pos, c.Text)
+		}
+		end := strings.IndexByte(rest[1:], quote)
+		if end < 0 {
+			t.Fatalf("%s: unterminated want pattern: %q", pos, c.Text)
+		}
+		pat := rest[1 : 1+end]
+		re, err := regexp.Compile(pat)
+		if err != nil {
+			t.Fatalf("%s: bad want pattern %q: %v", pos, pat, err)
+		}
+		out = append(out, &expectation{file: pos.Filename, line: pos.Line, re: re})
+		rest = strings.TrimSpace(rest[2+end:])
+	}
+	if len(out) == 0 {
+		t.Fatalf("%s: want comment with no patterns: %q", pos, c.Text)
+	}
+	return out
+}
+
+// Errorf formats a position for test failure messages.
+func Errorf(fset *token.FileSet, pos token.Pos, format string, args ...any) string {
+	return fmt.Sprintf("%s: %s", fset.Position(pos), fmt.Sprintf(format, args...))
+}

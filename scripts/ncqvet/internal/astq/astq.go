@@ -1,0 +1,114 @@
+// Package astq holds the small AST/type queries the ncqvet passes
+// share: callee resolution, named-type tests, function-body walks
+// with parent tracking.
+package astq
+
+import (
+	"bytes"
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"go/types"
+)
+
+// Callee resolves the statically called function or method of call,
+// or nil for dynamic calls (function values, yield parameters).
+func Callee(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if f, ok := info.Uses[fun].(*types.Func); ok {
+			return f
+		}
+	case *ast.SelectorExpr:
+		if f, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return f
+		}
+	}
+	return nil
+}
+
+// IsNamed reports whether t (aliases resolved) is the named type
+// path.name, e.g. IsNamed(t, "context", "Context").
+func IsNamed(t types.Type, path, name string) bool {
+	n, ok := types.Unalias(t).(*types.Named)
+	if !ok {
+		return false
+	}
+	o := n.Obj()
+	return o.Name() == name && o.Pkg() != nil && o.Pkg().Path() == path
+}
+
+// Deref strips one level of pointer.
+func Deref(t types.Type) types.Type {
+	if p, ok := types.Unalias(t).(*types.Pointer); ok {
+		return p.Elem()
+	}
+	return t
+}
+
+// FirstParamIsContext reports whether sig's first parameter is a
+// context.Context.
+func FirstParamIsContext(sig *types.Signature) bool {
+	return sig.Params().Len() > 0 && IsNamed(sig.Params().At(0).Type(), "context", "Context")
+}
+
+// Funcs calls fn for every function body in file — declarations and
+// literals — with the node owning the body.
+func Funcs(file *ast.File, fn func(node ast.Node, body *ast.BlockStmt)) {
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch d := n.(type) {
+		case *ast.FuncDecl:
+			if d.Body != nil {
+				fn(d, d.Body)
+			}
+		case *ast.FuncLit:
+			fn(d, d.Body)
+		}
+		return true
+	})
+}
+
+// Parents maps every node under root to its syntactic parent.
+func Parents(root ast.Node) map[ast.Node]ast.Node {
+	parents := map[ast.Node]ast.Node{}
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return false
+		}
+		if len(stack) > 0 {
+			parents[n] = stack[len(stack)-1]
+		}
+		stack = append(stack, n)
+		return true
+	})
+	return parents
+}
+
+// ExprString renders e compactly — the identity key for "same
+// expression" comparisons like pool receivers (scratchPool, s.pool).
+func ExprString(fset *token.FileSet, e ast.Expr) string {
+	var buf bytes.Buffer
+	_ = printer.Fprint(&buf, fset, e)
+	return buf.String()
+}
+
+// RootIdent returns the leftmost identifier of a selector chain or
+// index expression, or nil (x in x.f.g, x[i].f).
+func RootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch v := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return v
+		case *ast.SelectorExpr:
+			e = v.X
+		case *ast.IndexExpr:
+			e = v.X
+		case *ast.StarExpr:
+			e = v.X
+		default:
+			return nil
+		}
+	}
+}

@@ -1,0 +1,88 @@
+// Package ignore implements the ncqvet suppression directive:
+//
+//	//lint:ncqvet-ignore <reason>
+//
+// placed on the flagged line or the line directly above it. The
+// reason is required — a directive without one is itself reported —
+// so every suppression documents why the invariant does not apply,
+// the same contract nolint-style escape hatches have in larger
+// linters. Directives never suppress in bulk: one directive covers
+// one line.
+package ignore
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+
+	"ncqvet/internal/analysis"
+)
+
+const prefix = "//lint:ncqvet-ignore"
+
+// directive is one parsed ncqvet-ignore comment.
+type directive struct {
+	pos    token.Pos
+	line   int // line the directive suppresses (its own, or the one below)
+	reason string
+	used   bool
+}
+
+// Filter drops diagnostics suppressed by a directive in files and
+// appends one diagnostic per malformed (reason-less) directive. The
+// returned slice preserves the input order.
+func Filter(fset *token.FileSet, files []*ast.File, diags []analysis.Diagnostic) []analysis.Diagnostic {
+	var dirs []*directive
+	byLine := map[string][]*directive{} // file name -> directives
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, prefix) {
+					continue
+				}
+				rest := strings.TrimPrefix(c.Text, prefix)
+				if rest != "" && !strings.HasPrefix(rest, " ") && !strings.HasPrefix(rest, "\t") {
+					continue // e.g. //lint:ncqvet-ignoreXXX — not ours
+				}
+				pos := fset.Position(c.Pos())
+				d := &directive{
+					pos:    c.Pos(),
+					line:   pos.Line,
+					reason: strings.TrimSpace(rest),
+				}
+				dirs = append(dirs, d)
+				byLine[pos.Filename] = append(byLine[pos.Filename], d)
+			}
+		}
+	}
+
+	var out []analysis.Diagnostic
+	for _, diag := range diags {
+		pos := fset.Position(diag.Pos)
+		suppressed := false
+		for _, d := range byLine[pos.Filename] {
+			if d.reason == "" {
+				continue // malformed; reported below, never suppresses
+			}
+			// A directive on its own line covers the next line; an
+			// end-of-line directive covers its own.
+			if d.line == pos.Line || d.line == pos.Line-1 {
+				d.used = true
+				suppressed = true
+			}
+		}
+		if !suppressed {
+			out = append(out, diag)
+		}
+	}
+	for _, d := range dirs {
+		if d.reason == "" {
+			out = append(out, analysis.Diagnostic{
+				Pos:      d.pos,
+				Message:  "ncqvet-ignore directive requires a reason, e.g. //lint:ncqvet-ignore legacy API predates ctx plumbing",
+				Analyzer: "ncqvet",
+			})
+		}
+	}
+	return out
+}

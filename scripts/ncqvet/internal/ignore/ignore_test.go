@@ -1,0 +1,82 @@
+package ignore
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+
+	"ncqvet/internal/analysis"
+)
+
+const src = `package p
+
+func a() int {
+	return 1 //lint:ncqvet-ignore eol directive with a reason
+}
+
+func b() int {
+	//lint:ncqvet-ignore preceding-line directive with a reason
+	return 2
+}
+
+func c() int {
+	return 3 //lint:ncqvet-ignore
+}
+
+func d() int {
+	return 4
+}
+
+func e() int {
+	return 5 //lint:ncqvet-ignoreX not one of ours
+}
+`
+
+func TestFilter(t *testing.T) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "fix.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tf := fset.File(f.Pos())
+	at := func(line int) token.Pos { return tf.LineStart(line) }
+	diags := []analysis.Diagnostic{
+		{Pos: at(4), Message: "suppressed by eol directive", Analyzer: "t"},
+		{Pos: at(9), Message: "suppressed by preceding directive", Analyzer: "t"},
+		{Pos: at(13), Message: "kept: directive has no reason", Analyzer: "t"},
+		{Pos: at(17), Message: "kept: no directive at all", Analyzer: "t"},
+		{Pos: at(21), Message: "kept: not an ncqvet directive", Analyzer: "t"},
+	}
+
+	out := Filter(fset, []*ast.File{f}, diags)
+
+	var kept, malformed []string
+	for _, d := range out {
+		if strings.Contains(d.Message, "requires a reason") {
+			malformed = append(malformed, fset.Position(d.Pos).String())
+			continue
+		}
+		kept = append(kept, d.Message)
+	}
+	wantKept := []string{
+		"kept: directive has no reason",
+		"kept: no directive at all",
+		"kept: not an ncqvet directive",
+	}
+	if len(kept) != len(wantKept) {
+		t.Fatalf("kept %v, want %v", kept, wantKept)
+	}
+	for i := range kept {
+		if kept[i] != wantKept[i] {
+			t.Errorf("kept[%d] = %q, want %q", i, kept[i], wantKept[i])
+		}
+	}
+	if len(malformed) != 1 {
+		t.Fatalf("malformed directives reported at %v, want exactly one (line 13)", malformed)
+	}
+	if pos := malformed[0]; !strings.Contains(pos, "fix.go:13") {
+		t.Errorf("malformed directive reported at %s, want fix.go:13", pos)
+	}
+}

@@ -1,0 +1,281 @@
+// Package load type-checks Go packages without golang.org/x/tools.
+//
+// Dependencies are imported from compiler export data produced by
+// `go list -export` (served straight from the build cache, so loading
+// is offline and fast); only the packages under analysis — and, in
+// fixture mode, stub packages under a testdata/src root — are parsed
+// and checked from source. This is the same division of labour as
+// go/packages' LoadTypes+NeedSyntax mode, in ~200 lines of stdlib.
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one source-loaded, type-checked package.
+type Package struct {
+	ImportPath string
+	Dir        string
+	Module     string // module path; "" for fixture packages
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Types      *types.Package
+	Info       *types.Info
+}
+
+// Loader resolves imports for source-checked packages: fixture
+// directories first (parsed and checked recursively), everything else
+// through gc export data located by `go list -export`.
+type Loader struct {
+	Fset    *token.FileSet
+	workDir string            // where go list runs
+	exports map[string]string // import path -> export data file
+	srcDirs map[string]string // import path -> source dir (fixtures)
+	srcPkgs map[string]*Package
+	gc      types.ImporterFrom
+}
+
+func newLoader(workDir string) *Loader {
+	l := &Loader{
+		Fset:    token.NewFileSet(),
+		workDir: workDir,
+		exports: map[string]string{},
+		srcDirs: map[string]string{},
+		srcPkgs: map[string]*Package{},
+	}
+	l.gc = importer.ForCompiler(l.Fset, "gc", l.lookup).(types.ImporterFrom)
+	return l
+}
+
+func (l *Loader) lookup(path string) (io.ReadCloser, error) {
+	f, ok := l.exports[path]
+	if !ok {
+		return nil, fmt.Errorf("no export data for %q", path)
+	}
+	return os.Open(f)
+}
+
+// listPkg is the subset of `go list -json` output the loader reads.
+type listPkg struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+	Export     string
+	DepOnly    bool
+	Module     *struct{ Path string }
+}
+
+// goList runs `go list -deps -export -json` on patterns in dir and
+// merges every discovered export file into the loader's table.
+func (l *Loader) goList(patterns []string) ([]listPkg, error) {
+	args := append([]string{
+		"list", "-deps", "-export",
+		"-json=ImportPath,Dir,GoFiles,Export,DepOnly,Module",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = l.workDir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+	var pkgs []listPkg
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decoding output: %v", err)
+		}
+		if p.Export != "" {
+			l.exports[p.ImportPath] = p.Export
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// Targets loads the packages matched by patterns (resolved by the go
+// command in dir), type-checked from source with their dependency
+// graph imported from export data. Test files are not loaded: the
+// invariants ncqvet enforces live in shipping code, and the stock
+// `go vet` passes already cover tests.
+func Targets(dir string, patterns []string) ([]*Package, error) {
+	l := newLoader(dir)
+	listed, err := l.goList(patterns)
+	if err != nil {
+		return nil, err
+	}
+	var out []*Package
+	for _, p := range listed {
+		if p.DepOnly || len(p.GoFiles) == 0 {
+			continue
+		}
+		pkg, err := l.check(p.ImportPath, p.Dir, p.GoFiles)
+		if err != nil {
+			return nil, err
+		}
+		if p.Module != nil {
+			pkg.Module = p.Module.Path
+		}
+		out = append(out, pkg)
+	}
+	return out, nil
+}
+
+// Fixtures returns a loader whose non-stdlib imports resolve under
+// srcRoot (testdata/src/<importpath>), the analysistest layout.
+func Fixtures(srcRoot string) (*Loader, error) {
+	l := newLoader(srcRoot)
+	err := filepath.WalkDir(srcRoot, func(path string, d os.DirEntry, err error) error {
+		if err != nil || !d.IsDir() {
+			return err
+		}
+		ents, err := os.ReadDir(path)
+		if err != nil {
+			return err
+		}
+		for _, e := range ents {
+			if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+				rel, err := filepath.Rel(srcRoot, path)
+				if err != nil {
+					return err
+				}
+				l.srcDirs[filepath.ToSlash(rel)] = path
+				break
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("scanning fixtures under %s: %v", srcRoot, err)
+	}
+	return l, nil
+}
+
+// Load type-checks the fixture package at importPath from source,
+// fetching export data for any stdlib imports on first use.
+func (l *Loader) Load(importPath string) (*Package, error) {
+	dir, ok := l.srcDirs[importPath]
+	if !ok {
+		return nil, fmt.Errorf("no fixture package %q under %s", importPath, l.workDir)
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []string
+	for _, e := range ents {
+		if n := e.Name(); strings.HasSuffix(n, ".go") && !strings.HasSuffix(n, "_test.go") {
+			files = append(files, n)
+		}
+	}
+	sort.Strings(files)
+	return l.check(importPath, dir, files)
+}
+
+// check parses and type-checks one package from source, memoized by
+// import path (fixture stubs may be both analyzed and imported).
+func (l *Loader) check(importPath, dir string, fileNames []string) (*Package, error) {
+	if p, ok := l.srcPkgs[importPath]; ok {
+		return p, nil
+	}
+	var files []*ast.File
+	var imports []string
+	for _, name := range fileNames {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+		for _, imp := range f.Imports {
+			imports = append(imports, strings.Trim(imp.Path.Value, `"`))
+		}
+	}
+	if err := l.ensureExports(imports); err != nil {
+		return nil, err
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	conf := types.Config{Importer: l}
+	tpkg, err := conf.Check(importPath, l.Fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %v", importPath, err)
+	}
+	p := &Package{
+		ImportPath: importPath,
+		Dir:        dir,
+		Fset:       l.Fset,
+		Files:      files,
+		Types:      tpkg,
+		Info:       info,
+	}
+	l.srcPkgs[importPath] = p
+	return p, nil
+}
+
+// ensureExports resolves export data for any import that is neither a
+// fixture package nor already located. Targets loaded through goList
+// never miss (their -deps walk located everything), so this only runs
+// for fixture loads.
+func (l *Loader) ensureExports(imports []string) error {
+	var missing []string
+	for _, p := range imports {
+		if p == "unsafe" || p == "C" {
+			continue
+		}
+		if _, ok := l.srcDirs[p]; ok {
+			continue
+		}
+		if _, ok := l.exports[p]; ok {
+			continue
+		}
+		missing = append(missing, p)
+	}
+	if len(missing) == 0 {
+		return nil
+	}
+	sort.Strings(missing)
+	_, err := l.goList(missing)
+	return err
+}
+
+// Import implements types.Importer.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	return l.ImportFrom(path, "", 0)
+}
+
+// ImportFrom implements types.ImporterFrom: fixture sources win,
+// everything else is export data.
+func (l *Loader) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if _, ok := l.srcDirs[path]; ok {
+		p, err := l.Load(path)
+		if err != nil {
+			return nil, err
+		}
+		return p.Types, nil
+	}
+	return l.gc.ImportFrom(path, dir, mode)
+}

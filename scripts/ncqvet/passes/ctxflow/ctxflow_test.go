@@ -1,0 +1,12 @@
+package ctxflow_test
+
+import (
+	"testing"
+
+	"ncqvet/internal/analysistest"
+	"ncqvet/passes/ctxflow"
+)
+
+func TestCtxFlow(t *testing.T) {
+	analysistest.Run(t, "../../testdata", ctxflow.Analyzer, "ctxflow/flag", "ctxflow/clean", "ctxflow/mainpkg")
+}

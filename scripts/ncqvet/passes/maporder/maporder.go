@@ -1,0 +1,192 @@
+// Package maporder flags `for range` over a map whose iteration order
+// can reach ordered output: an appended slice that is never sorted, a
+// writer/encoder, a yield function, or a channel send. The repo's
+// answer contract is a byte-exact (distance, source, shard, node)
+// global order — TestDistributedEqualsSingleNode pins it — and one
+// unsorted map range in a serving path silently breaks that
+// determinism on a Go runtime whose map order is deliberately random.
+//
+// The safe idiom is collect-keys-then-sort; the analyzer recognises
+// it: an append inside the range is clean when the slice is passed to
+// a sort.*/slices.Sort*-style call (any callee whose name contains
+// "Sort") later in the same function.
+package maporder
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"ncqvet/internal/analysis"
+	"ncqvet/internal/astq"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "maporder",
+	Doc:  "flag map iteration whose nondeterministic order reaches emitted output",
+	Run:  run,
+}
+
+// emitNames are callee names that move data toward an output stream.
+var emitNames = map[string]bool{
+	"Encode": true, "Write": true, "WriteString": true, "WriteByte": true,
+	"Fprintf": true, "Fprint": true, "Fprintln": true,
+	"Printf": true, "Print": true, "Println": true,
+	"Sprintf": false, // pure formatting does not emit by itself
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		astq.Funcs(file, func(node ast.Node, body *ast.BlockStmt) {
+			// Only inspect ranges directly owned by this body, not
+			// those of nested literals (Funcs visits them separately).
+			for rng := range ownRanges(node, body) {
+				checkRange(pass, body, rng)
+			}
+		})
+	}
+	return nil
+}
+
+// ownRanges yields the RangeStmts over maps inside body, excluding
+// any nested function literal's.
+func ownRanges(owner ast.Node, body *ast.BlockStmt) map[*ast.RangeStmt]bool {
+	out := map[*ast.RangeStmt]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok && lit != owner {
+			return false
+		}
+		if rng, ok := n.(*ast.RangeStmt); ok {
+			out[rng] = true
+		}
+		return true
+	})
+	return out
+}
+
+func checkRange(pass *analysis.Pass, funcBody *ast.BlockStmt, rng *ast.RangeStmt) {
+	tv, ok := pass.TypesInfo.Types[rng.X]
+	if !ok {
+		return
+	}
+	if _, isMap := types.Unalias(tv.Type).Underlying().(*types.Map); !isMap {
+		return
+	}
+	// Scan the loop body for emissions and appended slices.
+	var appended []*ast.Ident // slice vars receiving loop data
+	emitted := false
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.SendStmt:
+			emitted = true
+		case *ast.CallExpr:
+			if isEmitCall(pass.TypesInfo, v) {
+				emitted = true
+			}
+			return true
+		case *ast.AssignStmt:
+			for i, rhs := range v.Rhs {
+				call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+				if !ok || !isBuiltinAppend(pass.TypesInfo, call) || i >= len(v.Lhs) {
+					continue
+				}
+				if id := astq.RootIdent(v.Lhs[i]); id != nil && id.Name != "_" {
+					appended = append(appended, id)
+				}
+			}
+		}
+		return true
+	})
+	if emitted {
+		pass.Reportf(rng.For, "range over map %s writes to an output stream in nondeterministic order; iterate sorted keys instead", astq.ExprString(pass.Fset, rng.X))
+		return
+	}
+	for _, id := range appended {
+		obj := pass.TypesInfo.Uses[id]
+		if obj == nil {
+			obj = pass.TypesInfo.Defs[id]
+		}
+		if obj == nil {
+			continue
+		}
+		if _, isSlice := types.Unalias(obj.Type()).Underlying().(*types.Slice); !isSlice {
+			continue
+		}
+		// Declared inside the loop body: it cannot leave the
+		// iteration carrying order (redeclared fresh each pass).
+		if obj.Pos() >= rng.Body.Pos() && obj.Pos() <= rng.Body.End() {
+			continue
+		}
+		if !sortedAfter(pass, funcBody, obj, rng.End()) {
+			pass.Reportf(rng.For, "range over map %s appends to %s in nondeterministic order and %s is never sorted; sort it (or iterate sorted keys) before it is used", astq.ExprString(pass.Fset, rng.X), id.Name, id.Name)
+		}
+	}
+}
+
+// isEmitCall reports calls that push data outward: encoder/writer
+// methods, fmt printing to a writer, or a yield-style func(...) bool
+// parameter.
+func isEmitCall(info *types.Info, call *ast.CallExpr) bool {
+	if f := astq.Callee(info, call); f != nil {
+		return emitNames[f.Name()]
+	}
+	// Dynamic call: a func-typed value. Treat bool-returning function
+	// parameters (range-over-func yield) as emission.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if obj, ok := info.Uses[id].(*types.Var); ok {
+			if sig, ok := types.Unalias(obj.Type()).Underlying().(*types.Signature); ok {
+				return sig.Results().Len() == 1 && isBool(sig.Results().At(0).Type())
+			}
+		}
+	}
+	return false
+}
+
+func isBool(t types.Type) bool {
+	b, ok := types.Unalias(t).Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Bool
+}
+
+func isBuiltinAppend(info *types.Info, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	_, isBuiltin := info.Uses[id].(*types.Builtin)
+	return isBuiltin && id.Name == "append"
+}
+
+// isSortFunc recognises sorting callees: everything in package sort
+// (Strings, Ints, Slice, Stable, ...), the slices.Sort* family, and
+// any helper whose name contains "Sort" (bat.SortDedup).
+func isSortFunc(f *types.Func) bool {
+	if f.Pkg() != nil && f.Pkg().Path() == "sort" {
+		return true
+	}
+	return strings.Contains(f.Name(), "Sort")
+}
+
+// sortedAfter reports whether obj is passed to a sorting call
+// (sort.Strings, sort.Slice, slices.SortFunc, SortDedup, ...) after
+// pos in the function body.
+func sortedAfter(pass *analysis.Pass, funcBody *ast.BlockStmt, obj types.Object, pos token.Pos) bool {
+	found := false
+	ast.Inspect(funcBody, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < pos || found {
+			return !found
+		}
+		f := astq.Callee(pass.TypesInfo, call)
+		if f == nil || !isSortFunc(f) {
+			return true
+		}
+		for _, arg := range call.Args {
+			if id := astq.RootIdent(arg); id != nil && pass.TypesInfo.Uses[id] == obj {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,12 @@
+package maporder_test
+
+import (
+	"testing"
+
+	"ncqvet/internal/analysistest"
+	"ncqvet/passes/maporder"
+)
+
+func TestMapOrder(t *testing.T) {
+	analysistest.Run(t, "../../testdata", maporder.Analyzer, "maporder/flag", "maporder/clean")
+}

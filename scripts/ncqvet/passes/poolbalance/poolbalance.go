@@ -1,0 +1,208 @@
+// Package poolbalance enforces pooled-scratch hygiene around
+// sync.Pool: a Get must be balanced by a Put the function can reach
+// on every return path. The columnar roll-up (internal/core) and the
+// predicate-scan bitsets (internal/fulltext) recycle scratch through
+// pools; a leaked Get silently degrades the zero-allocs-warm contract
+// the benchgate pins, without failing any test.
+//
+// Accepted shapes, checked per enclosing function:
+//
+//   - a deferred Put on the same pool (directly or inside a deferred
+//     literal) — the preferred form, exception-safe by construction;
+//   - a plain Put with no return statement between the Get and the
+//     Put — an early return there would leak the value;
+//   - the Get value escaping via return — ownership moves to the
+//     caller (the getScratch/putScratch pair splits the obligation
+//     across a helper boundary the analyzer cannot see into).
+package poolbalance
+
+import (
+	"go/ast"
+
+	"ncqvet/internal/analysis"
+	"ncqvet/internal/astq"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "poolbalance",
+	Doc:  "flag sync.Pool.Get calls without a Put reachable on every return path",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		astq.Funcs(file, func(node ast.Node, body *ast.BlockStmt) {
+			checkFunc(pass, node, body)
+		})
+	}
+	return nil
+}
+
+// poolCall is one Get or Put on a sync.Pool inside a function.
+type poolCall struct {
+	call     *ast.CallExpr
+	pool     string // normalized receiver expression, the pool's identity
+	deferred bool
+}
+
+func checkFunc(pass *analysis.Pass, owner ast.Node, body *ast.BlockStmt) {
+	var gets, puts []poolCall
+	var returns []*ast.ReturnStmt
+
+	// Explicit recursive traversal — ast.Inspect cannot carry state
+	// down the walk, and deferred Puts may live directly in a
+	// DeferStmt or inside a deferred function literal.
+	var visit func(n ast.Node, deferred bool)
+	visit = func(n ast.Node, deferred bool) {
+		switch v := n.(type) {
+		case nil:
+			return
+		case *ast.DeferStmt:
+			if pc, ok := poolMethodCall(pass, v.Call, "Put"); ok {
+				pc.deferred = true
+				puts = append(puts, pc)
+				return
+			}
+			if lit, ok := ast.Unparen(v.Call.Fun).(*ast.FuncLit); ok {
+				visit(lit.Body, true)
+				return
+			}
+			visit(v.Call, deferred)
+			return
+		case *ast.FuncLit:
+			if v != owner {
+				// Nested literal: its own Funcs visit checks it. But a
+				// Put inside a literal deferred by this function was
+				// handled above; any other nested use stays separate.
+				return
+			}
+		case *ast.ReturnStmt:
+			returns = append(returns, v)
+		case *ast.CallExpr:
+			if pc, ok := poolMethodCall(pass, v, "Get"); ok {
+				gets = append(gets, pc)
+			}
+			if pc, ok := poolMethodCall(pass, v, "Put"); ok {
+				pc.deferred = deferred
+				puts = append(puts, pc)
+			}
+		}
+		children(n, func(c ast.Node) { visit(c, deferred) })
+	}
+	visit(body, false)
+
+	for _, g := range gets {
+		checkGet(pass, body, g, puts, returns)
+	}
+}
+
+// children invokes fn on each direct child node of n.
+func children(n ast.Node, fn func(ast.Node)) {
+	first := true
+	ast.Inspect(n, func(c ast.Node) bool {
+		if c == nil {
+			return false
+		}
+		if first {
+			first = false
+			return true
+		}
+		fn(c)
+		return false
+	})
+}
+
+// poolMethodCall matches recv.Name(...) where recv is a sync.Pool or
+// *sync.Pool, returning the call tagged with the pool's identity.
+func poolMethodCall(pass *analysis.Pass, call *ast.CallExpr, name string) (poolCall, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != name {
+		return poolCall{}, false
+	}
+	tv, ok := pass.TypesInfo.Types[sel.X]
+	if !ok || !astq.IsNamed(astq.Deref(tv.Type), "sync", "Pool") {
+		return poolCall{}, false
+	}
+	return poolCall{call: call, pool: astq.ExprString(pass.Fset, sel.X)}, true
+}
+
+func checkGet(pass *analysis.Pass, body *ast.BlockStmt, g poolCall, puts []poolCall, returns []*ast.ReturnStmt) {
+	var plain []poolCall
+	for _, p := range puts {
+		if p.pool != g.pool {
+			continue
+		}
+		if p.deferred {
+			return // balanced on every path
+		}
+		plain = append(plain, p)
+	}
+	if len(plain) > 0 {
+		// A plain Put balances the Get only if no return can fire
+		// between them.
+		first := plain[0].call.Pos()
+		for _, p := range plain[1:] {
+			if p.call.Pos() < first {
+				first = p.call.Pos()
+			}
+		}
+		for _, r := range returns {
+			if r.Pos() > g.call.End() && r.End() < first {
+				pass.Reportf(g.call.Pos(), "%s.Get is not balanced on the return path at %s; defer the Put", g.pool, pass.Fset.Position(r.Pos()))
+				return
+			}
+		}
+		return
+	}
+	if escapesViaReturn(pass, body, g, returns) {
+		return
+	}
+	pass.Reportf(g.call.Pos(), "%s.Get has no matching %s.Put in this function; defer one, or return the value to transfer ownership", g.pool, g.pool)
+}
+
+// escapesViaReturn reports whether the Get's value is returned by the
+// function — directly, or through the variable it was assigned to
+// (possibly via a type assertion).
+func escapesViaReturn(pass *analysis.Pass, body *ast.BlockStmt, g poolCall, returns []*ast.ReturnStmt) bool {
+	parents := astq.Parents(body)
+	// Climb through type assertions/conversions/parens wrapping the Get.
+	var n ast.Node = g.call
+	for {
+		p := parents[n]
+		switch p.(type) {
+		case *ast.TypeAssertExpr, *ast.ParenExpr, *ast.CallExpr:
+			n = p
+			continue
+		}
+		break
+	}
+	switch p := parents[n].(type) {
+	case *ast.ReturnStmt:
+		return true
+	case *ast.AssignStmt:
+		// v := pool.Get().(*T): find which LHS the value landed in.
+		for i, rhs := range p.Rhs {
+			if rhs == n && i < len(p.Lhs) {
+				id, ok := p.Lhs[i].(*ast.Ident)
+				if !ok {
+					return false
+				}
+				obj := pass.TypesInfo.Defs[id]
+				if obj == nil {
+					obj = pass.TypesInfo.Uses[id]
+				}
+				if obj == nil {
+					return false
+				}
+				for _, r := range returns {
+					for _, res := range r.Results {
+						if rid := astq.RootIdent(res); rid != nil && pass.TypesInfo.Uses[rid] == obj {
+							return true
+						}
+					}
+				}
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,12 @@
+package poolbalance_test
+
+import (
+	"testing"
+
+	"ncqvet/internal/analysistest"
+	"ncqvet/passes/poolbalance"
+)
+
+func TestPoolBalance(t *testing.T) {
+	analysistest.Run(t, "../../testdata", poolbalance.Analyzer, "poolbalance/flag", "poolbalance/clean")
+}

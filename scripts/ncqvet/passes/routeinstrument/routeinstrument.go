@@ -1,0 +1,82 @@
+// Package routeinstrument is the AST-level twin of docscheck's drift
+// guard: every route registered on an http.ServeMux in the serving
+// packages (internal/server, internal/cluster) must wrap its handler
+// in metrics.Instrument. A bare mux.Handle ships a route with no
+// latency histogram, no request counter and no request log line —
+// invisible to the dashboards docs/OPERATIONS.md promises.
+//
+// The check is syntactic over the registration call: the handler
+// argument's expression tree must contain a call to a function or
+// method named Instrument declared in the internal/metrics package.
+// The repo idiom — a local `handle` closure that wraps every handler
+// — satisfies it at its single mux.Handle site.
+package routeinstrument
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"ncqvet/internal/analysis"
+	"ncqvet/internal/astq"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "routeinstrument",
+	Doc:  "flag ServeMux route registrations whose handler is not wrapped by metrics.Instrument",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			checkRegistration(pass, call)
+			return true
+		})
+	}
+	return nil
+}
+
+func checkRegistration(pass *analysis.Pass, call *ast.CallExpr) {
+	f := astq.Callee(pass.TypesInfo, call)
+	if f == nil || (f.Name() != "Handle" && f.Name() != "HandleFunc") {
+		return
+	}
+	sig, ok := f.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return
+	}
+	if !astq.IsNamed(astq.Deref(sig.Recv().Type()), "net/http", "ServeMux") {
+		return
+	}
+	if len(call.Args) < 2 {
+		return
+	}
+	if containsInstrument(pass, call.Args[1]) {
+		return
+	}
+	route := astq.ExprString(pass.Fset, call.Args[0])
+	pass.Reportf(call.Pos(), "route %s is registered without metrics.Instrument; wrap the handler so the route gets latency histograms and request logs", route)
+}
+
+// containsInstrument reports whether the expression tree contains a
+// call to internal/metrics' Instrument.
+func containsInstrument(pass *analysis.Pass, e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || found {
+			return !found
+		}
+		f := astq.Callee(pass.TypesInfo, call)
+		if f != nil && f.Name() == "Instrument" && f.Pkg() != nil && strings.HasSuffix(f.Pkg().Path(), "internal/metrics") {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,12 @@
+package routeinstrument_test
+
+import (
+	"testing"
+
+	"ncqvet/internal/analysistest"
+	"ncqvet/passes/routeinstrument"
+)
+
+func TestRouteInstrument(t *testing.T) {
+	analysistest.Run(t, "../../testdata", routeinstrument.Analyzer, "routeinstrument/flag", "routeinstrument/clean")
+}

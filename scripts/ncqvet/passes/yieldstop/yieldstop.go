@@ -1,0 +1,199 @@
+// Package yieldstop enforces the range-over-func producer protocol in
+// iter.Seq/iter.Seq2 producers: once yield returns false the producer
+// must stop yielding. A yield whose false return is ignored — while
+// more yields can still run — keeps pushing into a consumer that
+// already left the range loop, which panics at runtime ("range
+// function continued iteration after function for loop body returned
+// false") on the lucky days and silently corrupts limit/cursor
+// accounting on the rest.
+//
+// A producer is any function — named or literal — with a parameter
+// called yield of type func(...) bool, the range-over-func
+// convention every Seq in this repo follows (Results, MergeMeets,
+// drain). Flagged shapes:
+//
+//   - yield(v) as a bare statement (or assigned to _) when another
+//     yield can still execute: inside a loop, or with a later yield in
+//     the producer — unless the very next statement returns;
+//   - if !yield(v) { ... } whose body does not end in return, break,
+//     continue or goto: the false was observed and then dropped.
+package yieldstop
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"ncqvet/internal/analysis"
+	"ncqvet/internal/astq"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "yieldstop",
+	Doc:  "flag iter.Seq producers that keep yielding after yield returned false",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		astq.Funcs(file, func(node ast.Node, body *ast.BlockStmt) {
+			if obj := yieldParam(pass.TypesInfo, node); obj != nil {
+				checkProducer(pass, node, body, obj)
+			}
+		})
+	}
+	return nil
+}
+
+// yieldParam returns the function's `yield func(...) bool` parameter
+// object, or nil.
+func yieldParam(info *types.Info, node ast.Node) types.Object {
+	var ft *ast.FuncType
+	switch d := node.(type) {
+	case *ast.FuncDecl:
+		ft = d.Type
+	case *ast.FuncLit:
+		ft = d.Type
+	}
+	if ft.Params == nil {
+		return nil
+	}
+	for _, field := range ft.Params.List {
+		for _, name := range field.Names {
+			if name.Name != "yield" {
+				continue
+			}
+			obj := info.Defs[name]
+			if obj == nil {
+				continue
+			}
+			sig, ok := types.Unalias(obj.Type()).Underlying().(*types.Signature)
+			if !ok || sig.Results().Len() != 1 {
+				continue
+			}
+			if b, ok := types.Unalias(sig.Results().At(0).Type()).Underlying().(*types.Basic); ok && b.Kind() == types.Bool {
+				return obj
+			}
+		}
+	}
+	return nil
+}
+
+func checkProducer(pass *analysis.Pass, owner ast.Node, body *ast.BlockStmt, yield types.Object) {
+	parents := astq.Parents(body)
+
+	// All yield call sites in source order, excluding nested literals
+	// (they capture yield and are themselves producers only by the
+	// same convention; calls there still belong to this protocol, so
+	// nested literals are NOT excluded — a goroutine yielding is its
+	// own bug, but ignoring the false return is this one).
+	var calls []*ast.CallExpr
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && pass.TypesInfo.Uses[id] == yield {
+			calls = append(calls, call)
+		}
+		return true
+	})
+
+	for _, call := range calls {
+		switch parent := parents[call].(type) {
+		case *ast.ExprStmt:
+			checkIgnored(pass, body, parents, calls, call, parent)
+		case *ast.AssignStmt:
+			for i, rhs := range parent.Rhs {
+				if rhs != ast.Expr(call) || i >= len(parent.Lhs) {
+					continue
+				}
+				if id, ok := parent.Lhs[i].(*ast.Ident); ok && id.Name == "_" {
+					checkIgnored(pass, body, parents, calls, call, parent)
+				}
+			}
+		case *ast.UnaryExpr:
+			// if !yield(v) { ... } — the false must stop the producer.
+			if parent.Op != token.NOT {
+				continue
+			}
+			ifStmt, ok := parents[parent].(*ast.IfStmt)
+			if !ok || ifStmt.Cond != ast.Expr(parent) {
+				continue
+			}
+			if !terminal(ifStmt.Body) {
+				pass.Reportf(call.Pos(), "false result of yield is observed but the branch does not stop the producer; end it with return (or break out of the emission)")
+			}
+		}
+	}
+}
+
+// checkIgnored handles a yield whose result is discarded.
+func checkIgnored(pass *analysis.Pass, body *ast.BlockStmt, parents map[ast.Node]ast.Node, calls []*ast.CallExpr, call *ast.CallExpr, stmt ast.Stmt) {
+	// The next statement returning makes the ignored false harmless:
+	// nothing can yield afterwards.
+	if next := nextStmt(parents, stmt); next != nil {
+		if _, ok := next.(*ast.ReturnStmt); ok {
+			return
+		}
+	}
+	inLoop := false
+climb:
+	for n := ast.Node(stmt); n != nil && n != ast.Node(body); n = parents[n] {
+		switch n.(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			inLoop = true
+			break climb
+		case *ast.FuncLit:
+			// A nested literal bounds the climb: an enclosing loop
+			// outside the literal re-enters the literal, not this
+			// statement.
+			break climb
+		}
+	}
+	laterYield := false
+	for _, c := range calls {
+		if c.Pos() > call.End() {
+			laterYield = true
+			break
+		}
+	}
+	if inLoop || laterYield {
+		pass.Reportf(call.Pos(), "result of yield is ignored but the producer can still yield; stop when yield returns false (if !yield(...) { return })")
+	}
+}
+
+// nextStmt returns the statement following stmt in its enclosing
+// block, or nil.
+func nextStmt(parents map[ast.Node]ast.Node, stmt ast.Stmt) ast.Stmt {
+	block, ok := parents[stmt].(*ast.BlockStmt)
+	if !ok {
+		return nil
+	}
+	for i, s := range block.List {
+		if s == stmt && i+1 < len(block.List) {
+			return block.List[i+1]
+		}
+	}
+	return nil
+}
+
+// terminal reports whether the block's last statement definitely
+// leaves the surrounding control flow.
+func terminal(block *ast.BlockStmt) bool {
+	if len(block.List) == 0 {
+		return false
+	}
+	switch last := block.List[len(block.List)-1].(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return true
+	case *ast.ExprStmt:
+		// panic(...) terminates too.
+		if call, ok := last.X.(*ast.CallExpr); ok {
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		}
+	}
+	return false
+}

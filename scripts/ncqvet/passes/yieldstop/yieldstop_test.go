@@ -1,0 +1,12 @@
+package yieldstop_test
+
+import (
+	"testing"
+
+	"ncqvet/internal/analysistest"
+	"ncqvet/passes/yieldstop"
+)
+
+func TestYieldStop(t *testing.T) {
+	analysistest.Run(t, "../../testdata", yieldstop.Analyzer, "yieldstop/flag", "yieldstop/clean")
+}

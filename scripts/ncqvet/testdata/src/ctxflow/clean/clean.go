@@ -1,0 +1,26 @@
+// Fixture: properly threaded contexts produce no diagnostics.
+package cleancase
+
+import "context"
+
+type store struct{}
+
+func (s *store) Load() error                           { return nil }
+func (s *store) LoadContext(ctx context.Context) error { return ctx.Err() }
+
+// serve threads its ctx into every layer below it, including the
+// literal it launches.
+func serve(ctx context.Context, s *store) error {
+	if err := s.LoadContext(ctx); err != nil {
+		return err
+	}
+	go func(ctx context.Context) {
+		_ = s.LoadContext(ctx)
+	}(ctx)
+	return nil
+}
+
+// plain holds no ctx, so the ctx-less variant is the right call.
+func plain(s *store) error {
+	return s.Load()
+}

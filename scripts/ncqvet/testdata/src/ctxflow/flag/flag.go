@@ -1,0 +1,28 @@
+// Fixture: severed context chains — fresh Background/TODO roots
+// outside main, and ctx-dropping calls with a *Context sibling.
+package flagcase
+
+import "context"
+
+type store struct{}
+
+func (s *store) Load() error                           { return nil }
+func (s *store) LoadContext(ctx context.Context) error { return ctx.Err() }
+
+func compute() int                           { return 0 }
+func computeContext(ctx context.Context) int { _ = ctx; return 0 }
+
+func serve(ctx context.Context, s *store) error {
+	_ = compute()                    // want `use computeContext`
+	if err := s.Load(); err != nil { // want `use LoadContext`
+		return err
+	}
+	return run(context.Background()) // want `severs the cancellation chain`
+}
+
+func run(ctx context.Context) error { return ctx.Err() }
+
+func detached() {
+	ctx := context.TODO() // want `severs the cancellation chain`
+	_ = ctx
+}

@@ -1,0 +1,11 @@
+// Fixture: func main is the one place a fresh root context belongs.
+package main
+
+import "context"
+
+func main() {
+	ctx := context.Background()
+	_ = run(ctx)
+}
+
+func run(ctx context.Context) error { return ctx.Err() }

@@ -1,0 +1,49 @@
+// Fixture: the blessed shapes — collect-then-sort, map-to-map
+// rebuilds and order-independent folds must produce no diagnostics.
+package cleancase
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// emitSorted is the canonical idiom: collect keys, sort, then emit.
+func emitSorted(w io.Writer, counts map[string]int) {
+	keys := make([]string, 0, len(counts))
+	for k := range counts {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(w, "%s=%d\n", k, counts[k])
+	}
+}
+
+// sortFuncLater sorts with a comparator after the range completes.
+func sortFuncLater(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+// rebuild writes into another map: no iteration order escapes.
+func rebuild(m map[string]int) map[string]int {
+	out := make(map[string]int, len(m))
+	for k, v := range m {
+		out[k] = v * 2
+	}
+	return out
+}
+
+// reduce folds into a scalar: order-independent by construction.
+func reduce(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}

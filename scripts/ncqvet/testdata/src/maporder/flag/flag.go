@@ -1,0 +1,41 @@
+// Fixture: every function here lets map iteration order reach an
+// output — the exact bug class maporder exists to catch.
+package flagcase
+
+import (
+	"fmt"
+	"io"
+)
+
+// emitDirect streams map entries straight to the writer: the wire
+// order changes run to run.
+func emitDirect(w io.Writer, counts map[string]int) {
+	for k, v := range counts { // want `nondeterministic order`
+		fmt.Fprintf(w, "%s=%d\n", k, v)
+	}
+}
+
+// collectUnsorted builds a key slice that leaves the function unsorted.
+func collectUnsorted(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want `never sorted`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// yieldUnsorted pushes map entries into a range-over-func consumer.
+func yieldUnsorted(m map[string]int, yield func(string) bool) {
+	for k := range m { // want `output stream`
+		if !yield(k) {
+			return
+		}
+	}
+}
+
+// sendUnsorted forwards map keys over a channel.
+func sendUnsorted(m map[string]int, ch chan<- string) {
+	for k := range m { // want `output stream`
+		ch <- k
+	}
+}

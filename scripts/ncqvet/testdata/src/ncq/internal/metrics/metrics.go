@@ -1,0 +1,15 @@
+// Package metrics is a fixture stub of ncq/internal/metrics, exposing
+// just the Instrument surface routeinstrument matches on (by name and
+// package-path suffix, not signature).
+package metrics
+
+import "net/http"
+
+// Instrument wraps next with the serving middleware.
+func Instrument(route string, next http.Handler) http.Handler { return next }
+
+// HTTP mirrors a collector carrying Instrument as a method.
+type HTTP struct{}
+
+// Instrument is the method-shaped variant.
+func (h *HTTP) Instrument(route string, next http.Handler) http.Handler { return next }

@@ -1,0 +1,40 @@
+// Fixture: every accepted pool shape — deferred Put (direct and via a
+// deferred literal), return-free plain Put, ownership transfer.
+package cleancase
+
+import "sync"
+
+var scratch = sync.Pool{New: func() any { return new([64]byte) }}
+
+// deferred is the preferred, exception-safe shape.
+func deferred() {
+	buf := scratch.Get().(*[64]byte)
+	defer scratch.Put(buf)
+	buf[0] = 1
+}
+
+// deferredClosure puts from inside a deferred function literal.
+func deferredClosure() int {
+	buf := scratch.Get().(*[64]byte)
+	defer func() { scratch.Put(buf) }()
+	return int(buf[0])
+}
+
+// linear pairs a plain Put with no return between Get and Put.
+func linear() {
+	buf := scratch.Get().(*[64]byte)
+	buf[0] = 1
+	scratch.Put(buf)
+}
+
+// handoff transfers ownership to the caller, getScratch-style: the
+// matching Put is the caller's obligation.
+func handoff() *[64]byte {
+	buf := scratch.Get().(*[64]byte)
+	return buf
+}
+
+// direct returns the raw Get: ownership moves with the value.
+func direct() any {
+	return scratch.Get()
+}

@@ -1,0 +1,29 @@
+// Fixture: pooled scratch that can leak — no Put at all, or a plain
+// Put an early return can jump over.
+package flagcase
+
+import (
+	"errors"
+	"sync"
+)
+
+var scratch = sync.Pool{New: func() any { return new([64]byte) }}
+
+var errFail = errors.New("fail")
+
+// leak never returns the value to the pool and never hands it off.
+func leak() {
+	buf := scratch.Get().(*[64]byte) // want `no matching scratch.Put`
+	buf[0] = 1
+}
+
+// earlyReturn can leave between the Get and the plain Put.
+func earlyReturn(fail bool) error {
+	buf := scratch.Get().(*[64]byte) // want `defer the Put`
+	if fail {
+		return errFail
+	}
+	buf[0] = 1
+	scratch.Put(buf)
+	return nil
+}

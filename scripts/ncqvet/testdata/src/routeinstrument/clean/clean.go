@@ -1,0 +1,19 @@
+// Fixture: the repo idiom — a single handle closure wrapping every
+// handler, so each mux.Handle site passes through Instrument.
+package cleancase
+
+import (
+	"net/http"
+
+	"ncq/internal/metrics"
+)
+
+func routes() *http.ServeMux {
+	mux := http.NewServeMux()
+	handle := func(pattern, route string, h http.Handler) {
+		mux.Handle(pattern, metrics.Instrument(route, h))
+	}
+	handle("GET /v1/query", "/v1/query", http.NotFoundHandler())
+	handle("GET /v1/stats", "/v1/stats", http.NotFoundHandler())
+	return mux
+}

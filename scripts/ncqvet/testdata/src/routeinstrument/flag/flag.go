@@ -1,0 +1,17 @@
+// Fixture: mux registrations whose handler never passes through
+// metrics.Instrument — invisible routes.
+package flagcase
+
+import (
+	"net/http"
+
+	"ncq/internal/metrics"
+)
+
+func routes(m *metrics.HTTP) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("GET /v1/raw", http.NotFoundHandler())                                // want `without metrics.Instrument`
+	mux.HandleFunc("GET /v1/rawfn", func(w http.ResponseWriter, r *http.Request) {}) // want `without metrics.Instrument`
+	mux.Handle("GET /v1/ok", m.Instrument("/v1/ok", http.NotFoundHandler()))
+	return mux
+}

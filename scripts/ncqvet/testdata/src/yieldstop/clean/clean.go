@@ -1,0 +1,43 @@
+// Fixture: compliant producers — every false return of yield stops
+// the emission, or nothing can yield afterwards.
+package cleancase
+
+// stopOnFalse is the canonical producer loop.
+func stopOnFalse(items []int, yield func(int) bool) {
+	for _, v := range items {
+		if !yield(v) {
+			return
+		}
+	}
+}
+
+// assigned observes the result through a named variable.
+func assigned(items []int, yield func(int) bool) {
+	for _, v := range items {
+		if ok := yield(v); !ok {
+			return
+		}
+	}
+}
+
+// errThenReturn: an ignored result is harmless when the very next
+// statement returns, and a trailing yield has nothing after it.
+func errThenReturn(err error, yield func(int, error) bool) {
+	if err != nil {
+		yield(0, err)
+		return
+	}
+	if !yield(1, nil) {
+		return
+	}
+	yield(2, nil)
+}
+
+// breakOut leaves the loop instead of returning — also terminal.
+func breakOut(items []int, yield func(int) bool) {
+	for _, v := range items {
+		if !yield(v) {
+			break
+		}
+	}
+}

@@ -1,0 +1,27 @@
+// Fixture: producers that keep yielding after yield returned false —
+// the shape that panics a range-over-func consumer.
+package flagcase
+
+// loopIgnored discards the result while the loop can yield again.
+func loopIgnored(items []int, yield func(int) bool) {
+	for _, v := range items {
+		yield(v) // want `result of yield is ignored`
+	}
+}
+
+// laterYield blanks the first result with a second yield pending.
+func laterYield(a, b int, yield func(int) bool) {
+	_ = yield(a) // want `result of yield is ignored`
+	yield(b)
+}
+
+// observedDropped tests the false and then carries on regardless.
+func observedDropped(items []int, yield func(int) bool) {
+	n := 0
+	for _, v := range items {
+		if !yield(v) { // want `does not stop the producer`
+			n++
+		}
+	}
+	_ = n
+}
