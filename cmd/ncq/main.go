@@ -37,6 +37,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strings"
 
 	"ncq"
@@ -149,16 +150,29 @@ func load(file, snap string) (*ncq.Database, error) {
 	return ncq.OpenSnapshot(f)
 }
 
+// writeSnapshot saves crash-safely: the snapshot is staged in a temp
+// file, fsynced, and renamed over the target, so an interrupted save
+// can never leave a truncated file where a good snapshot (or nothing)
+// used to be.
 func writeSnapshot(db *ncq.Database, path string) error {
-	f, err := os.Create(path)
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
 	if err != nil {
 		return err
 	}
+	defer os.Remove(f.Name()) // no-op once renamed
 	if err := db.SaveSnapshot(f); err != nil {
 		f.Close()
 		return err
 	}
-	return f.Close()
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(f.Name(), path)
 }
 
 type meetFlags struct {

@@ -37,6 +37,14 @@
 // separate listener (off by default) so a live daemon can be profiled
 // without exposing the profiler on the query port.
 //
+// Durability: with -data-dir the corpus survives restarts and crashes.
+// Every PUT persists per-shard snapshots plus a record in an
+// append-only write-ahead log before it is acknowledged, and boot
+// replays the log over the snapshots back to the exact pre-shutdown
+// generation. -fsync picks the log's fsync policy (always, batch or
+// off); see docs/OPERATIONS.md for the trade-offs and the recovery
+// playbook.
+//
 // Observability and admission: logs are structured (log/slog) on
 // stderr — -log-format selects text or json, -log-level the minimum
 // level; every request emits one log line and /v1/metrics serves the
@@ -80,8 +88,10 @@ import (
 
 	"ncq"
 	"ncq/internal/cluster"
+	"ncq/internal/durable"
 	"ncq/internal/server"
 	"ncq/internal/shard"
+	"ncq/internal/wal"
 )
 
 func main() {
@@ -101,6 +111,8 @@ func run(argv []string, stderr io.Writer, ready chan<- string) int {
 		workers    = fs.String("workers", "", "corpus query fan-out width (single node, 0 = GOMAXPROCS); with -coordinator, the comma-separated worker addresses")
 		load       = fs.String("load", "", "glob of XML files to preload")
 		shards     = fs.Int("shards", 1, "shards per preloaded document (1 = unsharded)")
+		dataDir    = fs.String("data-dir", "", "durable mode: persist documents (per-shard snapshots + write-ahead log) in this directory and recover them at boot (empty = in-memory only)")
+		fsyncMode  = fs.String("fsync", "batch", "durable mode fsync policy for WAL appends: \"always\", \"batch\" or \"off\"")
 		gracePeri  = fs.Duration("grace", 5*time.Second, "shutdown grace period")
 		pprofAddr  = fs.String("pprof-addr", "", "serve net/http/pprof on this separate address (empty = disabled)")
 
@@ -121,7 +133,7 @@ func run(argv []string, stderr io.Writer, ready chan<- string) int {
 		return 2
 	}
 	if fs.NArg() != 0 {
-		fmt.Fprintln(stderr, "usage: ncqd [-addr :8334] [-cache-bytes N] [-cache-ttl D] [-max-body N] [-workers N] [-load GLOB] [-shards K] [-pprof-addr ADDR] [-log-format text|json] [-log-level L] [-max-inflight N] [-max-queue N] [-queue-wait D]\n       ncqd -coordinator -workers HOST:PORT,HOST:PORT,... [-addr :8334] [-worker-timeout D] [-retry N] [-poll-interval D]")
+		fmt.Fprintln(stderr, "usage: ncqd [-addr :8334] [-cache-bytes N] [-cache-ttl D] [-max-body N] [-workers N] [-load GLOB] [-shards K] [-data-dir DIR] [-fsync always|batch|off] [-pprof-addr ADDR] [-log-format text|json] [-log-level L] [-max-inflight N] [-max-queue N] [-queue-wait D]\n       ncqd -coordinator -workers HOST:PORT,HOST:PORT,... [-addr :8334] [-worker-timeout D] [-retry N] [-poll-interval D]")
 		return 2
 	}
 	if *cacheTTL < 0 {
@@ -164,10 +176,20 @@ func run(argv []string, stderr io.Writer, ready chan<- string) int {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	fsyncPolicy, err := wal.ParsePolicy(*fsyncMode)
+	if err != nil {
+		fmt.Fprintf(stderr, "ncqd: -fsync: %v\n", err)
+		return 2
+	}
+
 	var handler http.Handler
 	if *coordinator {
 		if *load != "" {
 			fmt.Fprintln(stderr, "ncqd: -load does not apply to a coordinator; load documents through PUT /v1/docs/{name}")
+			return 2
+		}
+		if *dataDir != "" {
+			fmt.Fprintln(stderr, "ncqd: -data-dir does not apply to a coordinator; workers own the durable state")
 			return 2
 		}
 		wks, err := cluster.ParseWorkers(*workers)
@@ -207,22 +229,46 @@ func run(argv []string, stderr io.Writer, ready chan<- string) int {
 		}
 		corpus := ncq.NewCorpus()
 		corpus.SetParallelism(fanout)
+		var store *durable.Store
+		if *dataDir != "" {
+			// Recovery before anything else touches the corpus: replay the
+			// WAL over the persisted snapshots to the exact pre-shutdown
+			// (or pre-crash) generation, then hook every later mutation.
+			store, err = durable.Open(*dataDir, fsyncPolicy, corpus)
+			if err != nil {
+				logger.Error("recovery failed", "err", err, "data-dir", *dataDir)
+				return 1
+			}
+			defer store.Close()
+			st := store.Stats()
+			logger.Info("recovered corpus",
+				"docs", corpus.Len(),
+				"generation", corpus.Generation(),
+				"wal_records", st.ReplayRecords,
+				"log_truncated", st.WAL.Truncated,
+				"elapsed", st.ReplayDuration)
+		}
 		if *load != "" {
-			n, err := preload(corpus, *load, *shards)
+			n, err := preload(corpus, store, *load, *shards)
 			if err != nil {
 				logger.Error("start failed", "err", err)
 				return 1
 			}
 			logger.Info("preloaded documents", "docs", n)
 		}
-		handler = server.New(corpus,
+		opts := []server.Option{
 			server.WithCacheBytes(*cacheBytes),
 			server.WithCacheTTL(*cacheTTL),
 			server.WithMaxBody(*maxBody),
 			server.WithNodeName(*nodeName),
 			server.WithRole(*role),
 			server.WithLogger(logger),
-			server.WithAdmission(*maxInflight, *maxQueue, *queueWait)).Handler()
+			server.WithAdmission(*maxInflight, *maxQueue, *queueWait),
+		}
+		if store != nil {
+			opts = append(opts, server.WithDurability(store))
+		}
+		handler = server.New(corpus, opts...).Handler()
 	}
 	httpSrv := &http.Server{
 		Addr:              *addr,
@@ -289,8 +335,11 @@ func servePprof(addr string, logger *slog.Logger) (*http.Server, error) {
 
 // preload loads every file matching the glob into the corpus, each
 // under its base name without the extension (docs/dblp.xml -> dblp),
-// split into up to shards subtree shards when shards > 1.
-func preload(corpus *ncq.Corpus, glob string, shards int) (int, error) {
+// split into up to shards subtree shards when shards > 1. With a
+// durable store attached the documents register through it — they
+// replace any recovered document of the same name and persist like any
+// PUT; without one they go straight into the in-memory corpus.
+func preload(corpus *ncq.Corpus, store *durable.Store, glob string, shards int) (int, error) {
 	files, err := filepath.Glob(glob)
 	if err != nil {
 		return 0, fmt.Errorf("bad -load glob: %w", err)
@@ -310,7 +359,19 @@ func preload(corpus *ncq.Corpus, glob string, shards int) (int, error) {
 			if err != nil {
 				return 0, fmt.Errorf("%s: %w", file, err)
 			}
-			if _, _, err := corpus.AddSharded(name, doc, shards); err != nil {
+			if store != nil {
+				var dbs []*ncq.Database
+				for _, sd := range shard.Split(doc, shards) {
+					db, err := ncq.FromDocument(sd)
+					if err != nil {
+						return 0, fmt.Errorf("%s: %w", file, err)
+					}
+					dbs = append(dbs, db)
+				}
+				if _, err := store.PutShards(name, dbs); err != nil {
+					return 0, fmt.Errorf("%s: %w", file, err)
+				}
+			} else if _, _, err := corpus.AddSharded(name, doc, shards); err != nil {
 				return 0, err
 			}
 			continue
@@ -320,7 +381,11 @@ func preload(corpus *ncq.Corpus, glob string, shards int) (int, error) {
 		if err != nil {
 			return 0, fmt.Errorf("%s: %w", file, err)
 		}
-		if err := corpus.Add(name, db); err != nil {
+		if store != nil {
+			if _, err := store.PutPlain(name, db); err != nil {
+				return 0, fmt.Errorf("%s: %w", file, err)
+			}
+		} else if err := corpus.Add(name, db); err != nil {
 			return 0, err
 		}
 	}

@@ -66,7 +66,7 @@ func TestPreload(t *testing.T) {
 		t.Fatal(err)
 	}
 	corpus := ncq.NewCorpus()
-	n, err := preload(corpus, filepath.Join(dir, "*.xml"), 1)
+	n, err := preload(corpus, nil, filepath.Join(dir, "*.xml"), 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -79,7 +79,7 @@ func TestPreload(t *testing.T) {
 
 	// Sharded preload registers the same logical names.
 	sharded := ncq.NewCorpus()
-	if _, err := preload(sharded, filepath.Join(dir, "*.xml"), 4); err != nil {
+	if _, err := preload(sharded, nil, filepath.Join(dir, "*.xml"), 4); err != nil {
 		t.Fatal(err)
 	}
 	if sharded.Len() != 2 || !sharded.Has("bib") {
@@ -93,10 +93,10 @@ func TestPreload(t *testing.T) {
 	if err := os.WriteFile(filepath.Join(dir, "bad.xml"), []byte("<unclosed>"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := preload(ncq.NewCorpus(), filepath.Join(dir, "*.xml"), 1); err == nil {
+	if _, err := preload(ncq.NewCorpus(), nil, filepath.Join(dir, "*.xml"), 1); err == nil {
 		t.Error("malformed file accepted")
 	}
-	if _, err := preload(ncq.NewCorpus(), filepath.Join(dir, "*.xml"), 4); err == nil {
+	if _, err := preload(ncq.NewCorpus(), nil, filepath.Join(dir, "*.xml"), 4); err == nil {
 		t.Error("malformed file accepted by sharded preload")
 	}
 }
@@ -229,5 +229,109 @@ func TestServeAndShutdown(t *testing.T) {
 		}
 	case <-time.After(10 * time.Second):
 		t.Fatalf("daemon never shut down; stderr: %s", stderr.String())
+	}
+}
+
+// TestDurableLifecycle is the operator's crash drill as a test: boot
+// with -data-dir, mutate over real HTTP, terminate, boot a second
+// daemon on the same directory and observe the same corpus at the same
+// generation.
+func TestDurableLifecycle(t *testing.T) {
+	dataDir := t.TempDir()
+	docs := t.TempDir()
+	if err := os.WriteFile(filepath.Join(docs, "bib.xml"),
+		[]byte(`<bib><book><author>Bit</author><year>1999</year></book></bib>`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	boot := func(extra ...string) (string, chan int, *syncBuffer) {
+		stderr := &syncBuffer{}
+		ready := make(chan string, 1)
+		done := make(chan int, 1)
+		args := append([]string{"-addr", "127.0.0.1:0", "-data-dir", dataDir, "-fsync", "always"}, extra...)
+		go func() { done <- run(args, stderr, ready) }()
+		select {
+		case base := <-ready:
+			return base, done, stderr
+		case <-time.After(10 * time.Second):
+			t.Fatalf("daemon never became ready; stderr: %s", stderr.String())
+			return "", nil, nil
+		}
+	}
+	stopDaemon := func(done chan int, stderr *syncBuffer) {
+		t.Helper()
+		if err := syscall.Kill(syscall.Getpid(), syscall.SIGTERM); err != nil {
+			t.Fatal(err)
+		}
+		select {
+		case code := <-done:
+			if code != 0 {
+				t.Errorf("exit = %d; stderr: %s", code, stderr.String())
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatalf("daemon never shut down; stderr: %s", stderr.String())
+		}
+	}
+
+	// First life: preload one doc from disk, add a sharded one over HTTP.
+	base, done, stderr := boot("-load", filepath.Join(docs, "*.xml"))
+	req, err := http.NewRequest("PUT", base+"/v1/docs/refs?shards=2",
+		strings.NewReader(`<refs><entry><who>Bit</who></entry><entry><who>Code</who></entry></refs>`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("PUT refs: %d", resp.StatusCode)
+	}
+	gen := resp.Header.Get("X-NCQ-Generation")
+	stopDaemon(done, stderr)
+
+	// Second life: no -load; everything must come back from the data dir.
+	base, done, stderr = boot()
+	resp, err = http.Post(base+"/v1/query", "application/json",
+		strings.NewReader(`{"terms":["Bit","1999"],"exclude_root":true}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), `"tag":"book"`) {
+		t.Errorf("query after restart: %d %s", resp.StatusCode, body)
+	}
+	resp, err = http.Get(base + "/v1/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(body), `"generation":`+gen) || !strings.Contains(string(body), `"docs":2`) {
+		t.Errorf("healthz after restart (want generation %s, 2 docs): %s", gen, body)
+	}
+	if !strings.Contains(stderr.String(), "recovered corpus") {
+		t.Errorf("no recovery log line; stderr: %s", stderr.String())
+	}
+	stopDaemon(done, stderr)
+}
+
+func TestCoordinatorRejectsDataDir(t *testing.T) {
+	var stderr bytes.Buffer
+	code := run([]string{"-coordinator", "-workers", "localhost:1", "-data-dir", t.TempDir()}, &stderr, nil)
+	if code != 2 || !strings.Contains(stderr.String(), "-data-dir") {
+		t.Errorf("exit = %d, stderr = %q", code, stderr.String())
+	}
+}
+
+func TestBadFsyncFlag(t *testing.T) {
+	var stderr bytes.Buffer
+	if code := run([]string{"-fsync", "sometimes"}, &stderr, nil); code != 2 {
+		t.Errorf("exit = %d", code)
+	}
+	if !strings.Contains(stderr.String(), "-fsync") {
+		t.Errorf("stderr = %q", stderr.String())
 	}
 }

@@ -39,6 +39,50 @@ type Corpus struct {
 	sharded map[string][]*Database // sharded members, in shard order
 	gen     uint64
 	workers int // fan-out width for corpus-wide queries; 0 = GOMAXPROCS
+	onMut   func(Mutation)
+}
+
+// Mutation describes one membership change, as observed by the hook
+// installed with SetMutationHook. Gen is the corpus generation the
+// change produced — the exact value a recovered corpus must report
+// again for generation-stamped cursors and the cluster generation
+// vector to stay valid across a restart.
+type Mutation struct {
+	Name   string
+	Gen    uint64
+	Shards int  // shard count of a sharded member; 0 for a plain member
+	Delete bool // true for Remove, false for Put/AddSharded
+}
+
+// SetMutationHook installs fn to be called on every membership
+// mutation (Put, AddSharded, AddShardDBs, Remove), synchronously and
+// under the corpus write lock — the generation it reports is exact and
+// no later mutation can be observed before fn returns. This is the
+// attachment point of the durability layer: fn persists the change
+// before the corpus acknowledges it. fn must not call back into the
+// corpus. A nil fn removes the hook.
+func (c *Corpus) SetMutationHook(fn func(Mutation)) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.onMut = fn
+}
+
+// notify fires the mutation hook; the caller holds the write lock.
+func (c *Corpus) notify(m Mutation) {
+	if c.onMut != nil {
+		c.onMut(m)
+	}
+}
+
+// RestoreGeneration forces the corpus generation, so a corpus rebuilt
+// from a snapshot+log reports the exact pre-crash generation rather
+// than one recount of the surviving members. Only the durability
+// layer's recovery path should call this, after replay and before the
+// corpus starts serving.
+func (c *Corpus) RestoreGeneration(gen uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.gen = gen
 }
 
 // NewCorpus returns an empty corpus.
@@ -67,6 +111,7 @@ func (c *Corpus) Put(name string, db *Database) (replaced bool, err error) {
 	defer c.mu.Unlock()
 	replaced = c.register(name)
 	c.dbs[name] = db
+	c.notify(Mutation{Name: name, Gen: c.gen})
 	return replaced, nil
 }
 
@@ -108,13 +153,36 @@ func (c *Corpus) AddSharded(name string, doc *xmltree.Document, k int) (dbs []*D
 	if err != nil {
 		return nil, false, err
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	replaced = c.register(name)
-	c.sharded[name] = dbs
+	replaced, err = c.AddShardDBs(name, dbs)
+	if err != nil {
+		return nil, false, err
+	}
 	out := make([]*Database, len(dbs))
 	copy(out, dbs)
 	return out, replaced, nil
+}
+
+// AddShardDBs registers already-loaded shard databases as one sharded
+// member — the registration half of AddSharded, used directly when the
+// shards were built elsewhere: loaded from per-shard snapshot files on
+// recovery, or parsed incrementally from a streaming upload.
+func (c *Corpus) AddShardDBs(name string, dbs []*Database) (replaced bool, err error) {
+	if len(dbs) == 0 {
+		return false, fmt.Errorf("ncq: corpus: no shards for %q", name)
+	}
+	for i, db := range dbs {
+		if db == nil {
+			return false, fmt.Errorf("ncq: corpus: nil shard %d for %q", i, name)
+		}
+	}
+	own := make([]*Database, len(dbs))
+	copy(own, dbs)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	replaced = c.register(name)
+	c.sharded[name] = own
+	c.notify(Mutation{Name: name, Gen: c.gen, Shards: len(own)})
+	return replaced, nil
 }
 
 // register claims name under the write lock: it clears any previous
@@ -153,6 +221,7 @@ func (c *Corpus) Remove(name string) bool {
 		}
 	}
 	c.gen++
+	c.notify(Mutation{Name: name, Gen: c.gen, Delete: true})
 	return true
 }
 

@@ -1,6 +1,7 @@
 package ncq
 
 import (
+	"reflect"
 	"strings"
 	"testing"
 
@@ -226,4 +227,81 @@ func TestThesaurusFacade(t *testing.T) {
 
 func contains(haystack, needle string) bool {
 	return strings.Contains(haystack, needle)
+}
+
+func TestCorpusMutationHook(t *testing.T) {
+	c := NewCorpus()
+	var got []Mutation
+	c.SetMutationHook(func(m Mutation) { got = append(got, m) })
+	db := fig1DB(t)
+	if err := c.Add("a", db); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.AddSharded("b", xmltree.Fig1(), 4); err != nil {
+		t.Fatal(err)
+	}
+	bShards := c.ShardCount("b")
+	if bShards < 1 {
+		t.Fatalf("ShardCount(b) = %d", bShards)
+	}
+	if !c.Remove("a") {
+		t.Fatal("Remove(a) = false")
+	}
+	want := []Mutation{
+		{Name: "a", Gen: 1},
+		{Name: "b", Gen: 2, Shards: bShards},
+		{Name: "a", Gen: 3, Delete: true},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("mutations = %+v, want %+v", got, want)
+	}
+	if c.Generation() != 3 {
+		t.Errorf("Generation = %d", c.Generation())
+	}
+	// The hook observes the exact generation the corpus reports: no
+	// mutation can slip between the bump and the notification.
+	c.SetMutationHook(func(m Mutation) {
+		if m.Gen != 4 {
+			t.Errorf("hook saw gen %d, want 4", m.Gen)
+		}
+	})
+	if err := c.Add("c", db); err != nil {
+		t.Fatal(err)
+	}
+	c.SetMutationHook(nil)
+	if err := c.Add("d", db); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCorpusAddShardDBsAndRestoreGeneration(t *testing.T) {
+	c := NewCorpus()
+	db := fig1DB(t)
+	if _, err := c.AddShardDBs("x", nil); err == nil {
+		t.Error("empty shard list accepted")
+	}
+	if _, err := c.AddShardDBs("x", []*Database{db, nil}); err == nil {
+		t.Error("nil shard accepted")
+	}
+	replaced, err := c.AddShardDBs("x", []*Database{db, db})
+	if err != nil || replaced {
+		t.Fatalf("AddShardDBs = %v, %v", replaced, err)
+	}
+	if got := c.ShardCount("x"); got != 2 {
+		t.Errorf("ShardCount = %d, want 2", got)
+	}
+	if _, ok := c.Get("x"); ok {
+		t.Error("sharded member visible via Get")
+	}
+	c.RestoreGeneration(41)
+	if c.Generation() != 41 {
+		t.Errorf("Generation = %d, want 41", c.Generation())
+	}
+	// The next mutation continues from the restored point.
+	if err := c.Add("y", db); err != nil {
+		t.Fatal(err)
+	}
+	if c.Generation() != 42 {
+		t.Errorf("Generation after restore+add = %d, want 42", c.Generation())
+	}
 }

@@ -1,0 +1,305 @@
+package durable
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"ncq"
+	"ncq/internal/wal"
+	"ncq/internal/xmltree"
+)
+
+func fig1DB(t testing.TB) *ncq.Database {
+	t.Helper()
+	db, err := ncq.FromDocument(xmltree.Fig1())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func openStore(t testing.TB, dir string) (*Store, *ncq.Corpus) {
+	t.Helper()
+	c := ncq.NewCorpus()
+	s, err := Open(dir, wal.PolicyAlways, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, c
+}
+
+// membershipFingerprint captures everything recovery must reproduce:
+// names in order, plain-vs-sharded shape, shard counts, generation.
+func membershipFingerprint(c *ncq.Corpus) string {
+	var b strings.Builder
+	for _, name := range c.Names() {
+		_, plain := c.Get(name)
+		fmt.Fprintf(&b, "%s plain=%v shards=%d\n", name, plain, c.ShardCount(name))
+	}
+	fmt.Fprintf(&b, "gen=%d", c.Generation())
+	return b.String()
+}
+
+func TestStoreRestartRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s, c := openStore(t, dir)
+	db := fig1DB(t)
+
+	if replaced, err := s.PutPlain("plain", db); err != nil || replaced {
+		t.Fatalf("PutPlain = %v, %v", replaced, err)
+	}
+	if replaced, err := s.PutShards("shardy", []*ncq.Database{db, db, db}); err != nil || replaced {
+		t.Fatalf("PutShards = %v, %v", replaced, err)
+	}
+	if replaced, err := s.PutPlain("gone", db); err != nil || replaced {
+		t.Fatalf("PutPlain(gone) = %v, %v", replaced, err)
+	}
+	if replaced, err := s.PutPlain("plain", db); err != nil || !replaced {
+		t.Fatalf("replace = %v, %v", replaced, err)
+	}
+	if ok, err := s.Delete("gone"); err != nil || !ok {
+		t.Fatalf("Delete = %v, %v", ok, err)
+	}
+	if ok, err := s.Delete("never-there"); err != nil || ok {
+		t.Fatalf("Delete(absent) = %v, %v", ok, err)
+	}
+	want := membershipFingerprint(c)
+	if c.Generation() != 5 {
+		t.Fatalf("generation = %d, want 5", c.Generation())
+	}
+	st := s.Stats()
+	if st.Commits != 5 || st.SnapshotBytes == 0 {
+		t.Errorf("stats = %+v", st)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, c2 := openStore(t, dir)
+	defer s2.Close()
+	if got := membershipFingerprint(c2); got != want {
+		t.Errorf("after restart:\n%s\nwant:\n%s", got, want)
+	}
+	if s2.Stats().ReplayDocs != 2 {
+		t.Errorf("replayed %d docs, want 2", s2.Stats().ReplayDocs)
+	}
+	// The recovered member answers queries like the original.
+	a, _, err := c.MeetOfTermsIn("plain", nil, "Bit", "1999")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := c2.MeetOfTermsIn("plain", nil, "Bit", "1999")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("answers differ: %+v vs %+v", a, b)
+	}
+	// Only the winning directories survive on disk.
+	dirs := s2.DocDirs()
+	if len(dirs) != 2 {
+		t.Errorf("doc dirs = %v, want 2 winners", dirs)
+	}
+}
+
+func TestStoreMutationsSurviveWithoutClose(t *testing.T) {
+	// PolicyAlways means the log needs no Close to be replayable: drop
+	// the store on the floor, reopen the directory, everything is
+	// there. (This is the kill -9 case minus the kill.)
+	dir := t.TempDir()
+	s, c := openStore(t, dir)
+	if _, err := s.PutPlain("d", fig1DB(t)); err != nil {
+		t.Fatal(err)
+	}
+	want := membershipFingerprint(c)
+	// No Close. Reopen against the same files.
+	_, c2 := openStore(t, filepath.Clean(dir))
+	if got := membershipFingerprint(c2); got != want {
+		t.Errorf("reopen:\n%s\nwant:\n%s", got, want)
+	}
+	_ = s
+}
+
+func TestStoreInsertionOrderPreserved(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := openStore(t, dir)
+	db := fig1DB(t)
+	for _, name := range []string{"c", "a", "b"} {
+		if _, err := s.PutPlain(name, db); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Replacing "c" keeps its position at the front.
+	if _, err := s.PutPlain("c", db); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	_, c2 := openStore(t, dir)
+	if got := c2.Names(); !reflect.DeepEqual(got, []string{"c", "a", "b"}) {
+		t.Errorf("names after restart = %v, want [c a b]", got)
+	}
+}
+
+func TestStoreCompaction(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := openStore(t, dir)
+	db := fig1DB(t)
+	// Churn one name far past compactSlack.
+	for i := 0; i < compactSlack+8; i++ {
+		if _, err := s.PutPlain("churn", db); err != nil {
+			t.Fatal(err)
+		}
+	}
+	gen := compactSlack + 8
+	s.Close()
+	s2, c2 := openStore(t, dir)
+	if s2.Stats().Compactions != 1 {
+		t.Fatalf("boot did not compact: %+v", s2.Stats())
+	}
+	if c2.Generation() != uint64(gen) {
+		t.Errorf("generation after compaction = %d, want %d", c2.Generation(), gen)
+	}
+	s2.Close()
+	// The compacted log replays identically (and quickly).
+	s3, c3 := openStore(t, dir)
+	defer s3.Close()
+	if c3.Generation() != uint64(gen) || s3.Stats().ReplayRecords > 2 {
+		t.Errorf("recompacted replay: gen=%d records=%d", c3.Generation(), s3.Stats().ReplayRecords)
+	}
+}
+
+func TestStoreOrphanSweep(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := openStore(t, dir)
+	if _, err := s.PutPlain("keep", fig1DB(t)); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	// Fake the debris of a crash after rename, before the WAL append:
+	// a committed-looking directory no record references.
+	orphan := filepath.Join(dir, "docs", "g99-orphan")
+	if err := os.MkdirAll(orphan, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	// And a staging leftover.
+	if err := os.MkdirAll(filepath.Join(dir, "staging", "commit"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	s2, c2 := openStore(t, dir)
+	defer s2.Close()
+	if _, err := os.Stat(orphan); !os.IsNotExist(err) {
+		t.Error("orphan directory survived recovery")
+	}
+	if _, err := os.Stat(filepath.Join(dir, "staging")); !os.IsNotExist(err) {
+		t.Error("staging directory survived recovery")
+	}
+	if c2.Generation() != 1 || c2.Len() != 1 {
+		t.Errorf("recovered corpus: gen=%d len=%d", c2.Generation(), c2.Len())
+	}
+}
+
+func TestStoreMissingSnapshotIsHardError(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := openStore(t, dir)
+	if _, err := s.PutPlain("doc", fig1DB(t)); err != nil {
+		t.Fatal(err)
+	}
+	docDirs := s.DocDirs()
+	s.Close()
+	if err := os.RemoveAll(filepath.Join(dir, "docs", docDirs[0])); err != nil {
+		t.Fatal(err)
+	}
+	_, err := Open(dir, wal.PolicyAlways, ncq.NewCorpus())
+	if err == nil || !strings.Contains(err.Error(), "logged as committed") {
+		t.Errorf("Open = %v, want hard error naming the damaged document", err)
+	}
+}
+
+func TestStoreCorruptLogFailsBoot(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := openStore(t, dir)
+	if _, err := s.PutPlain("a", fig1DB(t)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.PutPlain("b", fig1DB(t)); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	logPath := filepath.Join(dir, "wal.log")
+	raw, err := os.ReadFile(logPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[20] ^= 0xff // inside the first record
+	if err := os.WriteFile(logPath, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err = Open(dir, wal.PolicyAlways, ncq.NewCorpus())
+	var ce *wal.CorruptError
+	if !errorsAs(err, &ce) {
+		t.Errorf("Open = %v, want *wal.CorruptError", err)
+	}
+}
+
+// errorsAs avoids importing errors just for one assertion helper.
+func errorsAs(err error, target *(*wal.CorruptError)) bool {
+	for err != nil {
+		if ce, ok := err.(*wal.CorruptError); ok {
+			*target = ce
+			return true
+		}
+		u, ok := err.(interface{ Unwrap() error })
+		if !ok {
+			return false
+		}
+		err = u.Unwrap()
+	}
+	return false
+}
+
+func TestStoreBypassDetected(t *testing.T) {
+	dir := t.TempDir()
+	s, c := openStore(t, dir)
+	defer s.Close()
+	// Mutating the corpus directly while a durable store manages it is
+	// a programming error the store reports on its next operation
+	// rather than silently losing the change.
+	if err := c.Add("bypass", fig1DB(t)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Delete("bypass"); err != nil {
+		t.Fatal(err) // the delete itself is logged fine
+	}
+}
+
+func TestOpenRejectsNonEmptyCorpus(t *testing.T) {
+	c := ncq.NewCorpus()
+	if err := c.Add("pre", fig1DB(t)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(t.TempDir(), wal.PolicyAlways, c); err == nil {
+		t.Error("non-empty corpus accepted")
+	}
+}
+
+func TestDocDirNameEscaping(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := openStore(t, dir)
+	weird := "../etc/passwd? sp%ce"
+	if _, err := s.PutPlain(weird, fig1DB(t)); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	_, c2 := openStore(t, dir)
+	if !c2.Has(weird) {
+		t.Errorf("weird name lost across restart; names = %v", c2.Names())
+	}
+	// Nothing escaped the data directory.
+	if _, err := os.Stat(filepath.Join(dir, "..", "etc")); !os.IsNotExist(err) {
+		t.Error("escaped the data directory")
+	}
+}

@@ -2,8 +2,10 @@ package monetx
 
 import (
 	"bufio"
-	"encoding/gob"
+	"encoding/binary"
 	"fmt"
+	"hash"
+	"hash/crc32"
 	"io"
 
 	"ncq/internal/bat"
@@ -12,131 +14,381 @@ import (
 
 // Snapshots persist a loaded store without the XML parse and shred: the
 // path summary, the per-OID arrays and the string relations are written
-// with encoding/gob; everything else (edge relations, rank relations,
-// the per-path OID lists) is derivable from those and rebuilt on read.
-// The snapshot of a store reloads into a store that answers every query
-// identically.
+// in a little-endian binary format; everything else (edge relations,
+// rank relations, the per-path OID lists) is derivable from those and
+// rebuilt on read. The snapshot of a store reloads into a store that
+// answers every query identically.
+//
+// Layout (all integers little-endian):
+//
+//	magic "NCQSNAP2"
+//	u32 shard | u32 shards        — per-shard framing
+//	u32 root
+//	u32 nPaths { i32 parent | u8 kind | u32 labelLen | label }
+//	u32 nOIDs  { u32 parent }* { i32 pathOf }* { i32 depth }*
+//	           { i32 rank }* { u32 end }*
+//	u32 nRels  { i32 path | u32 n { u32 owner | u32 valLen | val }* }
+//	u32 crc32  — IEEE checksum of everything after the magic
+//
+// The decoder never trusts a declared length: every count and string
+// length is consumed through bounded chunks, so a hostile header can
+// only make it allocate what the input actually contains.
 
-// snapshotVersion guards against format drift.
-const snapshotVersion = 1
+// snapshotMagic identifies the format and its version. The gob-based
+// version 1 format ("NCQSNAP1"-less, self-describing) is gone; bumping
+// the magic is the version guard.
+const snapshotMagic = "NCQSNAP2"
 
-type snapshotPath struct {
-	Parent int32 // PathID of the parent path; -1 for the root
-	Label  string
-	Kind   uint8
+// snapChunk bounds any single allocation the decoder makes before it
+// has seen the corresponding input bytes.
+const snapChunk = 64 << 10
+
+// maxSnapshotLabel bounds a single path label or attribute value. It is
+// a sanity limit, not a capacity plan: labels are element/attribute
+// names and values are attribute/cdata strings.
+const maxSnapshotLabel = 1 << 24
+
+type snapWriter struct {
+	w   *bufio.Writer
+	h   hash.Hash32
+	b   [8]byte
+	err error
 }
 
-type snapshotStrings struct {
-	Path   int32
-	Owners []uint32
-	Values []string
+func (sw *snapWriter) write(p []byte) {
+	if sw.err != nil {
+		return
+	}
+	if _, err := sw.w.Write(p); err != nil {
+		sw.err = err
+		return
+	}
+	sw.h.Write(p)
 }
 
-type snapshot struct {
-	Version int
-	Root    uint32
-	Paths   []snapshotPath
-	Parent  []uint32
-	PathOf  []int32
-	Depth   []int32
-	Rank    []int32
-	End     []uint32
-	Strings []snapshotStrings
-}
+func (sw *snapWriter) u8(v uint8)   { sw.b[0] = v; sw.write(sw.b[:1]) }
+func (sw *snapWriter) u32(v uint32) { binary.LittleEndian.PutUint32(sw.b[:4], v); sw.write(sw.b[:4]) }
+func (sw *snapWriter) i32(v int32)  { sw.u32(uint32(v)) }
+func (sw *snapWriter) str(s string) { sw.u32(uint32(len(s))); sw.write([]byte(s)) }
 
-// WriteSnapshot serialises the store to w.
+// WriteSnapshot serialises the store to w as a standalone (single
+// shard) snapshot.
 func (s *Store) WriteSnapshot(w io.Writer) error {
-	snap := snapshot{
-		Version: snapshotVersion,
-		Root:    uint32(s.root),
-		Parent:  make([]uint32, len(s.parent)),
-		PathOf:  make([]int32, len(s.pathOf)),
-		Depth:   append([]int32(nil), s.depth...),
-		Rank:    append([]int32(nil), s.rank...),
-		End:     make([]uint32, len(s.end)),
+	return s.WriteSnapshotShard(w, 0, 1)
+}
+
+// WriteSnapshotShard serialises the store to w framed as shard
+// `shard` of a `shards`-way sharded document. The framing is carried
+// verbatim and returned by ReadSnapshotShard; it does not change how
+// the store itself is encoded.
+func (s *Store) WriteSnapshotShard(w io.Writer, shard, shards int) error {
+	if shards < 1 || shard < 0 || shard >= shards {
+		return fmt.Errorf("monetx: write snapshot: bad framing %d/%d", shard, shards)
 	}
-	for i := range s.parent {
-		snap.Parent[i] = uint32(s.parent[i])
-		snap.PathOf[i] = int32(s.pathOf[i])
-		snap.End[i] = uint32(s.end[i])
-	}
-	for _, pid := range s.summary.AllPaths() {
-		snap.Paths = append(snap.Paths, snapshotPath{
-			Parent: int32(s.summary.Parent(pid)),
-			Label:  s.summary.Label(pid),
-			Kind:   uint8(s.summary.Kind(pid)),
-		})
-		if s.summary.Kind(pid) != pathsum.Attr {
-			continue
-		}
-		rel := s.strs[pid]
-		if rel == nil {
-			continue
-		}
-		ss := snapshotStrings{Path: int32(pid)}
-		for i := 0; i < rel.Len(); i++ {
-			ss.Owners = append(ss.Owners, uint32(rel.Head(i)))
-			ss.Values = append(ss.Values, rel.Tail(i))
-		}
-		snap.Strings = append(snap.Strings, ss)
-	}
-	bw := bufio.NewWriter(w)
-	if err := gob.NewEncoder(bw).Encode(&snap); err != nil {
+	sw := &snapWriter{w: bufio.NewWriter(w), h: crc32.NewIEEE()}
+	if _, err := sw.w.WriteString(snapshotMagic); err != nil {
 		return fmt.Errorf("monetx: write snapshot: %w", err)
 	}
-	if err := bw.Flush(); err != nil {
+	sw.u32(uint32(shard))
+	sw.u32(uint32(shards))
+	sw.u32(uint32(s.root))
+
+	paths := s.summary.AllPaths()
+	sw.u32(uint32(len(paths)))
+	for _, pid := range paths {
+		sw.i32(int32(s.summary.Parent(pid)))
+		sw.u8(uint8(s.summary.Kind(pid)))
+		sw.str(s.summary.Label(pid))
+	}
+
+	n := len(s.parent)
+	sw.u32(uint32(n))
+	for i := 0; i < n; i++ {
+		sw.u32(uint32(s.parent[i]))
+	}
+	for i := 0; i < n; i++ {
+		sw.i32(int32(s.pathOf[i]))
+	}
+	for i := 0; i < n; i++ {
+		sw.i32(s.depth[i])
+	}
+	for i := 0; i < n; i++ {
+		sw.i32(s.rank[i])
+	}
+	for i := 0; i < n; i++ {
+		sw.u32(uint32(s.end[i]))
+	}
+
+	var rels []pathsum.PathID
+	for _, pid := range paths {
+		if s.summary.Kind(pid) == pathsum.Attr && s.strs[pid] != nil {
+			rels = append(rels, pid)
+		}
+	}
+	sw.u32(uint32(len(rels)))
+	for _, pid := range rels {
+		rel := s.strs[pid]
+		sw.i32(int32(pid))
+		sw.u32(uint32(rel.Len()))
+		for i := 0; i < rel.Len(); i++ {
+			sw.u32(uint32(rel.Head(i)))
+			sw.str(rel.Tail(i))
+		}
+	}
+
+	if sw.err != nil {
+		return fmt.Errorf("monetx: write snapshot: %w", sw.err)
+	}
+	var crc [4]byte
+	binary.LittleEndian.PutUint32(crc[:], sw.h.Sum32())
+	if _, err := sw.w.Write(crc[:]); err != nil {
+		return fmt.Errorf("monetx: write snapshot: %w", err)
+	}
+	if err := sw.w.Flush(); err != nil {
 		return fmt.Errorf("monetx: write snapshot: %w", err)
 	}
 	return nil
 }
 
-// ReadSnapshot deserialises a store written by WriteSnapshot.
+type snapReader struct {
+	r *bufio.Reader
+	h hash.Hash32
+	b [8]byte
+}
+
+func (sr *snapReader) read(p []byte) error {
+	if _, err := io.ReadFull(sr.r, p); err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return fmt.Errorf("truncated input")
+		}
+		return err
+	}
+	sr.h.Write(p)
+	return nil
+}
+
+func (sr *snapReader) u8() (uint8, error) {
+	if err := sr.read(sr.b[:1]); err != nil {
+		return 0, err
+	}
+	return sr.b[0], nil
+}
+
+func (sr *snapReader) u32() (uint32, error) {
+	if err := sr.read(sr.b[:4]); err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint32(sr.b[:4]), nil
+}
+
+func (sr *snapReader) i32() (int32, error) {
+	v, err := sr.u32()
+	return int32(v), err
+}
+
+// str reads a length-prefixed string. The declared length is checked
+// against a sanity cap and the bytes are consumed in bounded chunks,
+// so a hostile length cannot trigger a large allocation the input does
+// not back.
+func (sr *snapReader) str(what string) (string, error) {
+	n, err := sr.u32()
+	if err != nil {
+		return "", err
+	}
+	if n > maxSnapshotLabel {
+		return "", fmt.Errorf("%s length %d exceeds limit", what, n)
+	}
+	var buf []byte
+	for remaining := int(n); remaining > 0; {
+		c := remaining
+		if c > snapChunk {
+			c = snapChunk
+		}
+		chunk := make([]byte, c)
+		if err := sr.read(chunk); err != nil {
+			return "", err
+		}
+		if buf == nil && c == int(n) {
+			buf = chunk
+		} else {
+			buf = append(buf, chunk...)
+		}
+		remaining -= c
+	}
+	return string(buf), nil
+}
+
+// u32s reads a declared-count array of u32 in bounded chunks: the
+// decoder allocates at most snapChunk bytes ahead of the bytes it has
+// actually consumed, so a hostile count fails on read, not on make.
+func (sr *snapReader) u32s(count int) ([]uint32, error) {
+	const per = 4
+	out := make([]uint32, 0, min(count, snapChunk/per))
+	var raw [snapChunk]byte
+	for remaining := count; remaining > 0; {
+		c := remaining
+		if c > snapChunk/per {
+			c = snapChunk / per
+		}
+		if err := sr.read(raw[:c*per]); err != nil {
+			return nil, err
+		}
+		for i := 0; i < c; i++ {
+			out = append(out, binary.LittleEndian.Uint32(raw[i*per:]))
+		}
+		remaining -= c
+	}
+	return out, nil
+}
+
+func (sr *snapReader) i32s(count int) ([]int32, error) {
+	us, err := sr.u32s(count)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]int32, len(us))
+	for i, u := range us {
+		out[i] = int32(u)
+	}
+	return out, nil
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// ReadSnapshot deserialises a store written by WriteSnapshot,
+// discarding the shard framing.
 func ReadSnapshot(r io.Reader) (*Store, error) {
-	var snap snapshot
-	if err := gob.NewDecoder(bufio.NewReader(r)).Decode(&snap); err != nil {
-		return nil, fmt.Errorf("monetx: read snapshot: %w", err)
+	s, _, _, err := ReadSnapshotShard(r)
+	return s, err
+}
+
+// ReadSnapshotShard deserialises a store written by WriteSnapshotShard
+// and returns the shard framing alongside it.
+func ReadSnapshotShard(r io.Reader) (store *Store, shard, shards int, err error) {
+	s, shard, shards, err := readSnapshot(r)
+	if err != nil {
+		return nil, 0, 0, fmt.Errorf("monetx: read snapshot: %w", err)
 	}
-	if snap.Version != snapshotVersion {
-		return nil, fmt.Errorf("monetx: read snapshot: version %d, want %d", snap.Version, snapshotVersion)
+	return s, shard, shards, nil
+}
+
+func readSnapshot(r io.Reader) (*Store, int, int, error) {
+	sr := &snapReader{r: bufio.NewReader(r), h: crc32.NewIEEE()}
+	var m [len(snapshotMagic)]byte
+	if _, err := io.ReadFull(sr.r, m[:]); err != nil {
+		return nil, 0, 0, fmt.Errorf("missing magic: truncated input")
 	}
-	n := len(snap.Parent)
-	if n < 2 || len(snap.PathOf) != n || len(snap.Depth) != n ||
-		len(snap.Rank) != n || len(snap.End) != n {
-		return nil, fmt.Errorf("monetx: read snapshot: inconsistent array lengths")
+	if string(m[:]) != snapshotMagic {
+		return nil, 0, 0, fmt.Errorf("bad magic %q (not a snapshot, or an old format)", m[:])
 	}
+	shardU, err := sr.u32()
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	shardsU, err := sr.u32()
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	if shardsU == 0 || shardU >= shardsU || shardsU > 1<<16 {
+		return nil, 0, 0, fmt.Errorf("bad shard framing %d/%d", shardU, shardsU)
+	}
+	rootU, err := sr.u32()
+	if err != nil {
+		return nil, 0, 0, err
+	}
+
+	nPathsU, err := sr.u32()
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	summary := pathsum.New()
+	for i := 0; i < int(nPathsU); i++ {
+		parent, err := sr.i32()
+		if err != nil {
+			return nil, 0, 0, err
+		}
+		kind, err := sr.u8()
+		if err != nil {
+			return nil, 0, 0, err
+		}
+		if kind > uint8(pathsum.Attr) {
+			return nil, 0, 0, fmt.Errorf("path %d: unknown kind %d", i, kind)
+		}
+		label, err := sr.str("path label")
+		if err != nil {
+			return nil, 0, 0, fmt.Errorf("path %d: %w", i, err)
+		}
+		if parent != -1 && (parent < 0 || int(parent) >= i) {
+			return nil, 0, 0, fmt.Errorf("path %d: parent %d out of range", i, parent)
+		}
+		id, err := summary.Intern(pathsum.PathID(parent), label, pathsum.Kind(kind))
+		if err != nil {
+			return nil, 0, 0, fmt.Errorf("path %d: %w", i, err)
+		}
+		if int(id) != i {
+			return nil, 0, 0, fmt.Errorf("path %d re-interned as %d (duplicate entry)", i, id)
+		}
+	}
+	nPaths := summary.Len()
+
+	nU, err := sr.u32()
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	n := int(nU)
+	if n < 2 {
+		return nil, 0, 0, fmt.Errorf("store has %d OIDs, need at least 2", n)
+	}
+	parent, err := sr.u32s(n)
+	if err != nil {
+		return nil, 0, 0, fmt.Errorf("parent array: %w", err)
+	}
+	pathOf, err := sr.i32s(n)
+	if err != nil {
+		return nil, 0, 0, fmt.Errorf("pathOf array: %w", err)
+	}
+	depth, err := sr.i32s(n)
+	if err != nil {
+		return nil, 0, 0, fmt.Errorf("depth array: %w", err)
+	}
+	rank, err := sr.i32s(n)
+	if err != nil {
+		return nil, 0, 0, fmt.Errorf("rank array: %w", err)
+	}
+	end, err := sr.u32s(n)
+	if err != nil {
+		return nil, 0, 0, fmt.Errorf("end array: %w", err)
+	}
+
 	s := &Store{
-		summary: pathsum.New(),
+		summary: summary,
 		parent:  make([]bat.OID, n),
 		pathOf:  make([]pathsum.PathID, n),
-		depth:   snap.Depth,
-		rank:    snap.Rank,
+		depth:   depth,
+		rank:    rank,
 		end:     make([]bat.OID, n),
 		edges:   make(map[pathsum.PathID]*bat.BAT[bat.OID]),
 		strs:    make(map[pathsum.PathID]*bat.BAT[string]),
 		ranks:   make(map[pathsum.PathID]*bat.BAT[int]),
 		revEdge: make(map[pathsum.PathID]*bat.BAT[bat.OID]),
 		oidsAt:  make(map[pathsum.PathID][]bat.OID),
-		root:    bat.OID(snap.Root),
+		root:    bat.OID(rootU),
 	}
-	// Replay the path summary; interning order guarantees parents come
-	// before children, which Intern re-checks.
-	for i, p := range snap.Paths {
-		id, err := s.summary.Intern(pathsum.PathID(p.Parent), p.Label, pathsum.Kind(p.Kind))
-		if err != nil {
-			return nil, fmt.Errorf("monetx: read snapshot: path %d: %w", i, err)
-		}
-		if int(id) != i {
-			return nil, fmt.Errorf("monetx: read snapshot: path %d re-interned as %d", i, id)
-		}
-	}
-	nPaths := s.summary.Len()
 	for i := 0; i < n; i++ {
-		s.parent[i] = bat.OID(snap.Parent[i])
-		if i > 0 && (snap.PathOf[i] < 0 || int(snap.PathOf[i]) >= nPaths) {
-			return nil, fmt.Errorf("monetx: read snapshot: OID %d has unknown path %d", i, snap.PathOf[i])
+		if int(parent[i]) >= n {
+			return nil, 0, 0, fmt.Errorf("OID %d has out-of-range parent %d", i, parent[i])
 		}
-		s.pathOf[i] = pathsum.PathID(snap.PathOf[i])
-		s.end[i] = bat.OID(snap.End[i])
+		s.parent[i] = bat.OID(parent[i])
+		if i > 0 && (pathOf[i] < 0 || int(pathOf[i]) >= nPaths) {
+			return nil, 0, 0, fmt.Errorf("OID %d has unknown path %d", i, pathOf[i])
+		}
+		s.pathOf[i] = pathsum.PathID(pathOf[i])
+		s.end[i] = bat.OID(end[i])
 	}
 	// Rebuild the derived relations in OID (= document) order.
 	for oid := bat.OID(1); int(oid) < n; oid++ {
@@ -157,20 +409,54 @@ func ReadSnapshot(r io.Reader) (*Store, error) {
 		}
 		rk.Append(oid, int(s.rank[oid]))
 	}
-	for _, ss := range snap.Strings {
-		if len(ss.Owners) != len(ss.Values) {
-			return nil, fmt.Errorf("monetx: read snapshot: ragged string relation %d", ss.Path)
+
+	nRelsU, err := sr.u32()
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	for i := 0; i < int(nRelsU); i++ {
+		pidI, err := sr.i32()
+		if err != nil {
+			return nil, 0, 0, err
 		}
-		pid := pathsum.PathID(ss.Path)
-		if int(pid) < 0 || int(pid) >= nPaths || s.summary.Kind(pid) != pathsum.Attr {
-			return nil, fmt.Errorf("monetx: read snapshot: string relation on non-attribute path %d", ss.Path)
+		pid := pathsum.PathID(pidI)
+		if pidI < 0 || int(pidI) >= nPaths || summary.Kind(pid) != pathsum.Attr {
+			return nil, 0, 0, fmt.Errorf("string relation %d on non-attribute path %d", i, pidI)
 		}
-		for i := range ss.Owners {
-			s.appendString(pid, bat.OID(ss.Owners[i]), ss.Values[i])
+		cntU, err := sr.u32()
+		if err != nil {
+			return nil, 0, 0, err
+		}
+		for j := 0; j < int(cntU); j++ {
+			owner, err := sr.u32()
+			if err != nil {
+				return nil, 0, 0, err
+			}
+			if int(owner) >= n {
+				return nil, 0, 0, fmt.Errorf("string relation %d: owner %d out of range", i, owner)
+			}
+			val, err := sr.str("attribute value")
+			if err != nil {
+				return nil, 0, 0, fmt.Errorf("string relation %d: %w", i, err)
+			}
+			s.appendString(pid, bat.OID(owner), val)
 		}
 	}
+
+	sum := sr.h.Sum32()
+	var crc [4]byte
+	if _, err := io.ReadFull(sr.r, crc[:]); err != nil {
+		return nil, 0, 0, fmt.Errorf("missing checksum: truncated input")
+	}
+	if got := binary.LittleEndian.Uint32(crc[:]); got != sum {
+		return nil, 0, 0, fmt.Errorf("checksum mismatch (stored %08x, computed %08x): snapshot is corrupt", got, sum)
+	}
+	if _, err := sr.r.ReadByte(); err != io.EOF {
+		return nil, 0, 0, fmt.Errorf("trailing data after checksum")
+	}
+
 	if !s.ValidOID(s.root) || s.root != 1 {
-		return nil, fmt.Errorf("monetx: read snapshot: bad root %d", s.root)
+		return nil, 0, 0, fmt.Errorf("bad root %d", s.root)
 	}
-	return s, nil
+	return s, int(shardU), int(shardsU), nil
 }

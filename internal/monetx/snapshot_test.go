@@ -85,17 +85,138 @@ func TestSnapshotErrors(t *testing.T) {
 	if _, err := ReadSnapshot(strings.NewReader("")); err == nil {
 		t.Error("empty snapshot accepted")
 	}
-	if _, err := ReadSnapshot(strings.NewReader("garbage data, not gob")); err == nil {
+	if _, err := ReadSnapshot(strings.NewReader("garbage data, not a snapshot")); err == nil {
 		t.Error("garbage snapshot accepted")
 	}
-	// A truncated snapshot must fail, not panic.
 	s := fig1Store(t)
 	var buf bytes.Buffer
 	if err := s.WriteSnapshot(&buf); err != nil {
 		t.Fatal(err)
 	}
 	raw := buf.Bytes()
-	if _, err := ReadSnapshot(bytes.NewReader(raw[:len(raw)/2])); err == nil {
-		t.Error("truncated snapshot accepted")
+	// Every proper prefix must fail cleanly — no panic, no store.
+	for cut := 0; cut < len(raw); cut++ {
+		if back, err := ReadSnapshot(bytes.NewReader(raw[:cut])); err == nil || back != nil {
+			t.Fatalf("prefix of %d/%d bytes accepted", cut, len(raw))
+		}
+	}
+	// Flipping any single byte must fail the checksum (or an earlier
+	// structural check) — never load silently wrong data.
+	for i := 0; i < len(raw); i++ {
+		mut := append([]byte(nil), raw...)
+		mut[i] ^= 0xff
+		if _, err := ReadSnapshot(bytes.NewReader(mut)); err == nil {
+			t.Fatalf("bit-flip at offset %d accepted", i)
+		}
+	}
+	// Trailing garbage is rejected too.
+	if _, err := ReadSnapshot(bytes.NewReader(append(append([]byte(nil), raw...), 'x'))); err == nil {
+		t.Error("trailing data accepted")
+	}
+}
+
+func TestSnapshotHostileLengths(t *testing.T) {
+	// A header that declares a huge count with no backing bytes must
+	// fail on read without a giant up-front allocation. The inputs are
+	// magic + framing + root + an absurd path count / label length.
+	le := func(v uint32) []byte {
+		return []byte{byte(v), byte(v >> 8), byte(v >> 16), byte(v >> 24)}
+	}
+	base := append([]byte("NCQSNAP2"), le(0)...) // shard
+	base = append(base, le(1)...)                // shards
+	base = append(base, le(1)...)                // root
+	hostile := [][]byte{
+		append(append([]byte(nil), base...), le(0xffffffff)...),             // path count
+		append(append(append([]byte(nil), base...), le(1)...), le(0xff)...), // path with torn parent
+	}
+	// One interned path declaring a ~4 GiB label.
+	withLabel := append(append([]byte(nil), base...), le(1)...)
+	withLabel = append(withLabel, le(0xffffffff)...) // parent = -1
+	withLabel = append(withLabel, 0)                 // kind
+	withLabel = append(withLabel, le(0xfffffff0)...) // label length
+	hostile = append(hostile, withLabel)
+	for i, in := range hostile {
+		if _, err := ReadSnapshot(bytes.NewReader(in)); err == nil {
+			t.Errorf("hostile input %d accepted", i)
+		}
+	}
+}
+
+func TestSnapshotShardFraming(t *testing.T) {
+	s := fig1Store(t)
+	var buf bytes.Buffer
+	if err := s.WriteSnapshotShard(&buf, 2, 5); err != nil {
+		t.Fatal(err)
+	}
+	back, shard, shards, err := ReadSnapshotShard(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shard != 2 || shards != 5 {
+		t.Errorf("framing = %d/%d, want 2/5", shard, shards)
+	}
+	if back.Len() != s.Len() {
+		t.Error("framed store differs")
+	}
+	if err := s.WriteSnapshotShard(&buf, 5, 5); err == nil {
+		t.Error("out-of-range shard accepted")
+	}
+	if err := s.WriteSnapshotShard(&buf, 0, 0); err == nil {
+		t.Error("zero shard count accepted")
+	}
+}
+
+// TestSnapshotDeterministic checks that save→load→save is
+// byte-identical: the on-disk artifact is a stable function of the
+// logical store, which is what lets recovery tests compare bytes and
+// lets rebalancing ship shard files without re-encoding.
+func TestSnapshotDeterministic(t *testing.T) {
+	r := rand.New(rand.NewSource(97))
+	for i := 0; i < 10; i++ {
+		doc := xmltree.Random(r, 60)
+		s, err := Load(doc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var first bytes.Buffer
+		if err := s.WriteSnapshot(&first); err != nil {
+			t.Fatal(err)
+		}
+		back, err := ReadSnapshot(bytes.NewReader(first.Bytes()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var second bytes.Buffer
+		if err := back.WriteSnapshot(&second); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(first.Bytes(), second.Bytes()) {
+			t.Fatalf("doc %d: save→load→save is not byte-identical", i)
+		}
+	}
+}
+
+// BenchmarkRestoreSnapshot measures the recovery hot path: decoding a
+// snapshot and rebuilding the derived relations, which is what restart
+// latency is made of once documents persist as .snap artifacts.
+func BenchmarkRestoreSnapshot(b *testing.B) {
+	r := rand.New(rand.NewSource(7))
+	doc := xmltree.Random(r, 5000)
+	s, err := Load(doc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := s.WriteSnapshot(&buf); err != nil {
+		b.Fatal(err)
+	}
+	raw := buf.Bytes()
+	b.SetBytes(int64(len(raw)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ReadSnapshot(bytes.NewReader(raw)); err != nil {
+			b.Fatal(err)
+		}
 	}
 }

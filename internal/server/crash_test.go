@@ -1,0 +1,174 @@
+//go:build ncqfail
+
+package server
+
+// The kill-at-failpoint matrix: a child process is killed at an armed
+// crash point mid-persistence (mid-snapshot write, mid-WAL-append,
+// either side of the commit rename), then the data directory is
+// recovered and must answer /v2/query byte-identically — envelope
+// Result and generation — to an uncrashed reference node that never
+// saw the doomed mutation. This is the robustness analogue of the
+// cluster's TestDistributedEqualsSingleNode: instead of "distributed
+// equals single node", "crashed-and-recovered equals never-crashed".
+//
+// Run with: go test -race -tags ncqfail ./internal/server -run TestCrash
+
+import (
+	"fmt"
+	"net/http"
+	"os"
+	"os/exec"
+	"strings"
+	"testing"
+
+	"ncq"
+	"ncq/internal/durable"
+	"ncq/internal/wal"
+)
+
+// crashPoints is the injection matrix. Every point sits between a
+// client's PUT request and its acknowledgement, so in every case the
+// mutation was never acked and recovery must not surface it.
+var crashPoints = []string{
+	"snapshot-mid",   // torn shard snapshot in staging
+	"wal-append-mid", // torn record at the log tail
+	"rename-pre",     // staged but never renamed
+	"rename-post",    // renamed but never logged — an orphan directory
+}
+
+func seedXML(n int) string {
+	var b strings.Builder
+	b.WriteString("<bib>")
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&b, "<article><author>Author%d</author><title>Title%d</title><year>%d</year></article>", i, i, 1990+i%10)
+	}
+	b.WriteString("</bib>")
+	return b.String()
+}
+
+// seedStore populates a fresh durable server with the baseline corpus
+// both the crashing node and the reference node start from.
+func seedStore(t *testing.T, dir string) {
+	t.Helper()
+	corpus := ncq.NewCorpus()
+	store, err := durable.Open(dir, wal.PolicyAlways, corpus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	srv := New(corpus, WithDurability(store))
+	if rec := do(t, srv, "PUT", "/v1/docs/alpha", seedXML(24)); rec.Code != http.StatusCreated {
+		t.Fatalf("seed alpha: %d %s", rec.Code, rec.Body)
+	}
+	if rec := do(t, srv, "PUT", "/v1/docs/beta?shards=4", seedXML(40)); rec.Code != http.StatusCreated {
+		t.Fatalf("seed beta: %d %s", rec.Code, rec.Body)
+	}
+}
+
+// queryEnvelopes runs the comparison probes against a recovered or
+// reference node and returns the deterministic parts of each /v2/query
+// envelope (generation + raw Result bytes; took_ms naturally varies).
+func queryEnvelopes(t *testing.T, srv *Server) []string {
+	t.Helper()
+	probes := []string{
+		`{"terms":["Author3","1993"],"exclude_root":true}`,
+		`{"doc":"alpha","terms":["Author1","Title1"],"exclude_root":true}`,
+		`{"doc":"beta","terms":["Author7","1997"],"exclude_root":true}`,
+		`{"doc":"beta","query":"SELECT value(e) FROM //author AS e"}`,
+	}
+	var out []string
+	for _, probe := range probes {
+		rec := do(t, srv, "POST", "/v2/query", probe)
+		if rec.Code != http.StatusOK {
+			t.Fatalf("probe %s: %d %s", probe, rec.Code, rec.Body)
+		}
+		env := decode[v2Response](t, rec)
+		out = append(out, fmt.Sprintf("gen=%d result=%s", env.Generation, env.Result))
+	}
+	return out
+}
+
+func TestCrashMatrix(t *testing.T) {
+	// Reference node: seeded, never crashed.
+	refDir := t.TempDir()
+	seedStore(t, refDir)
+	refCorpus := ncq.NewCorpus()
+	refStore, err := durable.Open(refDir, wal.PolicyAlways, refCorpus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer refStore.Close()
+	refSrv := New(refCorpus, WithDurability(refStore))
+	want := queryEnvelopes(t, refSrv)
+	wantGen := refCorpus.Generation()
+
+	for _, point := range crashPoints {
+		t.Run(point, func(t *testing.T) {
+			dir := t.TempDir()
+			seedStore(t, dir)
+
+			// The child replaces "alpha" and re-puts "beta" with DIFFERENT
+			// content; the armed crash point kills it mid-persistence of
+			// the first mutation. Nothing it did may survive.
+			cmd := exec.Command(os.Args[0], "-test.run=TestCrashChildHelper$")
+			cmd.Env = append(os.Environ(),
+				"NCQ_CRASH_CHILD_DIR="+dir,
+				"NCQ_CRASHPOINT="+point,
+			)
+			out, err := cmd.CombinedOutput()
+			ee, ok := err.(*exec.ExitError)
+			if !ok || ee.ExitCode() != wal.CrashExitCode {
+				t.Fatalf("child at %q: err=%v (want exit %d)\n%s", point, err, wal.CrashExitCode, out)
+			}
+
+			// Recover and compare against the uncrashed reference.
+			corpus := ncq.NewCorpus()
+			store, err := durable.Open(dir, wal.PolicyAlways, corpus)
+			if err != nil {
+				t.Fatalf("recovery after %q: %v", point, err)
+			}
+			defer store.Close()
+			if got := corpus.Generation(); got != wantGen {
+				t.Errorf("recovered generation = %d, want exact pre-crash %d", got, wantGen)
+			}
+			srv := New(corpus, WithDurability(store))
+			got := queryEnvelopes(t, srv)
+			for i := range want {
+				if got[i] != want[i] {
+					t.Errorf("probe %d after %q:\nrecovered: %s\nreference: %s", i, point, got[i], want[i])
+				}
+			}
+			// The doomed mutation's debris is gone from disk too.
+			for _, d := range store.DocDirs() {
+				if strings.Contains(d, "doomed") {
+					t.Errorf("debris survived recovery: %s", d)
+				}
+			}
+		})
+	}
+}
+
+// TestCrashChildHelper is the sacrificial process of the matrix: it
+// opens the durable store the parent prepared and issues mutations
+// until the armed crash point kills it. It is skipped in a normal test
+// run.
+func TestCrashChildHelper(t *testing.T) {
+	dir := os.Getenv("NCQ_CRASH_CHILD_DIR")
+	if dir == "" {
+		t.Skip("crash-matrix child helper; runs only when re-executed by TestCrashMatrix")
+	}
+	corpus := ncq.NewCorpus()
+	store, err := durable.Open(dir, wal.PolicyAlways, corpus)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "child open: %v\n", err)
+		os.Exit(1)
+	}
+	srv := New(corpus, WithDurability(store))
+	// Replace an existing doc, add a new one — whichever commit trips
+	// the armed point first kills the process (expected mid-request).
+	do(t, srv, "PUT", "/v1/docs/alpha", `<bib><article><author>Overwritten</author></article></bib>`)
+	do(t, srv, "PUT", "/v1/docs/doomed?shards=2", seedXML(8))
+	// Reaching this line means the crash point never fired.
+	fmt.Fprintln(os.Stderr, "child survived: crash point did not fire")
+	os.Exit(2)
+}

@@ -7,7 +7,26 @@ import (
 	"strings"
 
 	"ncq"
+	"ncq/internal/shard"
+	"ncq/internal/xmltree"
 )
+
+// SnapshotContentType marks a PUT /v1/docs/{name} body as a binary
+// snapshot (SaveSnapshot output) instead of XML: the document loads
+// without a parse or shred. The cluster coordinator forwards the
+// header verbatim, so snapshot uploads work through it unchanged.
+const SnapshotContentType = "application/x-ncq-snapshot"
+
+// streamShardBudget is the per-shard input budget for chunked uploads
+// whose total size is unknown (no Content-Length).
+const streamShardBudget = 8 << 20
+
+// smallShardedBody is the Content-Length up to which a sharded upload
+// is buffered and split by node count (perfectly balanced shards);
+// anything larger — or of unknown length — streams, deciding shard
+// boundaries by byte budget as the parse goes so the raw body is never
+// buffered whole.
+const smallShardedBody = 4 << 20
 
 // docInfo is the document metadata returned by the docs endpoints.
 // Stats aggregate over all shards of a sharded document.
@@ -69,7 +88,28 @@ func (s *Server) handlePutDoc(w http.ResponseWriter, r *http.Request) {
 
 	var replaced bool
 	info := docInfo{Name: name}
-	if k > 1 {
+	switch {
+	case strings.HasPrefix(r.Header.Get("Content-Type"), SnapshotContentType):
+		// Content negotiation: the body is a binary snapshot, loaded
+		// without the XML parse and shred. Snapshots carry their own
+		// sharding decision, so ?shards is not meaningful here.
+		if k > 1 {
+			writeError(w, http.StatusBadRequest, "\"shards\" does not apply to a snapshot body")
+			return
+		}
+		db, err := ncq.OpenSnapshot(body)
+		if err != nil {
+			writeParseError(w, err)
+			return
+		}
+		if replaced, err = s.putPlain(name, db); err != nil {
+			writeError(w, http.StatusInternalServerError, "register document: %v", err)
+			return
+		}
+		info.Shards, info.Stats = 1, db.Stats()
+	case k > 1 && r.ContentLength >= 0 && r.ContentLength <= smallShardedBody && s.store == nil:
+		// Small body, no durability: buffer and split by node count for
+		// perfectly balanced shards, exactly as before.
 		doc, err := ncq.ParseDocument(body)
 		if err != nil {
 			writeParseError(w, err)
@@ -85,13 +125,50 @@ func (s *Server) handlePutDoc(w http.ResponseWriter, r *http.Request) {
 		}
 		replaced = repl
 		info.Shards, info.Stats = len(dbs), ncq.AggregateStats(dbs)
-	} else {
+	case k > 1:
+		// Shard boundaries are decided as the parse streams, so a
+		// chunked or multi-GB upload is never buffered whole. The byte
+		// budget comes from Content-Length when the client sent one.
+		// Small durable uploads take this path too: what it costs in
+		// balance it repays by producing the shard databases the
+		// durability layer persists one file each.
+		budget := int64(streamShardBudget)
+		if r.ContentLength > 0 {
+			budget = r.ContentLength / int64(k)
+			if budget < 1 {
+				budget = 1
+			}
+		}
+		var dbs []*ncq.Database
+		if _, err := shard.SplitStream(body, budget, k, func(d *xmltree.Document) error {
+			db, err := ncq.FromDocument(d)
+			if err != nil {
+				return err
+			}
+			dbs = append(dbs, db)
+			return nil
+		}); err != nil {
+			writeParseError(w, err)
+			return
+		}
+		var err error
+		if s.store != nil {
+			replaced, err = s.store.PutShards(name, dbs)
+		} else {
+			replaced, err = s.corpus.AddShardDBs(name, dbs)
+		}
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, "register document: %v", err)
+			return
+		}
+		info.Shards, info.Stats = len(dbs), ncq.AggregateStats(dbs)
+	default:
 		db, err := ncq.Open(body)
 		if err != nil {
 			writeParseError(w, err)
 			return
 		}
-		if replaced, err = s.corpus.Put(name, db); err != nil {
+		if replaced, err = s.putPlain(name, db); err != nil {
 			writeError(w, http.StatusInternalServerError, "register document: %v", err)
 			return
 		}
@@ -128,9 +205,28 @@ func (s *Server) handleGetDoc(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, docInfo{Name: name, Shards: shards, Stats: st})
 }
 
+// putPlain registers an unsharded document, through the durability
+// layer when one is attached.
+func (s *Server) putPlain(name string, db *ncq.Database) (bool, error) {
+	if s.store != nil {
+		return s.store.PutPlain(name, db)
+	}
+	return s.corpus.Put(name, db)
+}
+
 func (s *Server) handleDeleteDoc(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
-	if !s.corpus.Remove(name) {
+	if s.store != nil {
+		ok, err := s.store.Delete(name)
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, "evict document: %v", err)
+			return
+		}
+		if !ok {
+			writeError(w, http.StatusNotFound, "no document %q", name)
+			return
+		}
+	} else if !s.corpus.Remove(name) {
 		writeError(w, http.StatusNotFound, "no document %q", name)
 		return
 	}

@@ -1,0 +1,186 @@
+package server
+
+// Durability-path handler tests: snapshot-body PUTs (content
+// negotiation), mutations routed through a durable.Store, and the
+// restart contract — a reopened data directory serves the same answers
+// at the same generation. The fault-injected variants live in
+// crash_test.go behind the ncqfail build tag.
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"ncq"
+	"ncq/internal/durable"
+	"ncq/internal/wal"
+)
+
+// doHdr is do with request headers, for content-negotiated uploads.
+func doHdr(t *testing.T, s *Server, method, path, body string, hdr map[string]string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(method, path, strings.NewReader(body))
+	for k, v := range hdr {
+		req.Header.Set(k, v)
+	}
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, req)
+	return rec
+}
+
+func snapshotOf(t *testing.T, xml string) string {
+	t.Helper()
+	db, err := ncq.Open(strings.NewReader(xml))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := db.SaveSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+func openDurableServer(t *testing.T, dir string) (*Server, *durable.Store) {
+	t.Helper()
+	corpus := ncq.NewCorpus()
+	store, err := durable.Open(dir, wal.PolicyAlways, corpus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { store.Close() })
+	return New(corpus, WithDurability(store)), store
+}
+
+func TestPutDocSnapshotBody(t *testing.T) {
+	s := newTestServer(t)
+	snap := snapshotOf(t, bibArticle)
+	hdr := map[string]string{"Content-Type": SnapshotContentType}
+
+	rec := doHdr(t, s, "PUT", "/v1/docs/cwi", snap, hdr)
+	if rec.Code != http.StatusCreated {
+		t.Fatalf("snapshot PUT: %d %s", rec.Code, rec.Body)
+	}
+	info := decode[docInfo](t, rec)
+	if info.Shards != 1 || info.Stats.Nodes == 0 {
+		t.Errorf("snapshot PUT info = %+v", info)
+	}
+
+	// The loaded document answers exactly like its XML-parsed twin.
+	xmlSrv := newTestServer(t)
+	do(t, xmlSrv, "PUT", "/v1/docs/cwi", bibArticle)
+	q := `{"doc":"cwi","terms":["Bit","1999"],"exclude_root":true}`
+	got := do(t, s, "POST", "/v1/query", q)
+	want := do(t, xmlSrv, "POST", "/v1/query", q)
+	if got.Code != http.StatusOK || !bytes.Equal(got.Body.Bytes(), want.Body.Bytes()) {
+		t.Errorf("snapshot-loaded answers differ:\n%s\nvs\n%s", got.Body, want.Body)
+	}
+
+	// ?shards is meaningless for a snapshot body.
+	if rec := doHdr(t, s, "PUT", "/v1/docs/cwi?shards=2", snap, hdr); rec.Code != http.StatusBadRequest {
+		t.Errorf("sharded snapshot PUT: %d", rec.Code)
+	}
+	// A corrupt snapshot is a client error, not a server one.
+	if rec := doHdr(t, s, "PUT", "/v1/docs/bad", snap[:len(snap)/2], hdr); rec.Code != http.StatusBadRequest {
+		t.Errorf("truncated snapshot PUT: %d %s", rec.Code, rec.Body)
+	}
+}
+
+func TestDurableServerRestart(t *testing.T) {
+	dir := t.TempDir()
+	s, store := openDurableServer(t, dir)
+
+	if rec := do(t, s, "PUT", "/v1/docs/cwi", bibArticle); rec.Code != http.StatusCreated {
+		t.Fatalf("PUT cwi: %d %s", rec.Code, rec.Body)
+	}
+	if rec := do(t, s, "PUT", "/v1/docs/personal?shards=2", bibEntry); rec.Code != http.StatusCreated {
+		t.Fatalf("PUT personal: %d %s", rec.Code, rec.Body)
+	}
+	info := decode[docInfo](t, do(t, s, "GET", "/v1/docs/personal", ""))
+	if info.Shards < 1 {
+		t.Fatalf("personal shards = %d", info.Shards)
+	}
+	if rec := do(t, s, "PUT", "/v1/docs/library", bibRecord); rec.Code != http.StatusCreated {
+		t.Fatalf("PUT library: %d %s", rec.Code, rec.Body)
+	}
+	if rec := do(t, s, "DELETE", "/v1/docs/library", ""); rec.Code != http.StatusNoContent {
+		t.Fatalf("DELETE library: %d %s", rec.Code, rec.Body)
+	}
+	if rec := do(t, s, "DELETE", "/v1/docs/library", ""); rec.Code != http.StatusNotFound {
+		t.Fatalf("second DELETE: %d", rec.Code)
+	}
+	gen := s.Corpus().Generation()
+	q := `{"terms":["Ben","1999"],"exclude_root":true}`
+	want := do(t, s, "POST", "/v1/query", q)
+	if want.Code != http.StatusOK {
+		t.Fatalf("query before restart: %d %s", want.Code, want.Body)
+	}
+	if err := store.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restart: same directory, fresh corpus and server.
+	s2, _ := openDurableServer(t, dir)
+	if got := s2.Corpus().Generation(); got != gen {
+		t.Errorf("generation after restart = %d, want %d", got, gen)
+	}
+	got := do(t, s2, "POST", "/v1/query", q)
+	if got.Code != http.StatusOK || !bytes.Equal(got.Body.Bytes(), want.Body.Bytes()) {
+		t.Errorf("answers differ after restart:\n%s\nvs\n%s", got.Body, want.Body)
+	}
+	if rec := do(t, s2, "GET", "/v1/docs/library", ""); rec.Code != http.StatusNotFound {
+		t.Errorf("deleted doc resurrected: %d %s", rec.Code, rec.Body)
+	}
+	info = decode[docInfo](t, do(t, s2, "GET", "/v1/docs/personal", ""))
+	if info.Shards < 1 {
+		t.Errorf("personal shards after restart = %d", info.Shards)
+	}
+}
+
+func TestDurableShardedUploadStreams(t *testing.T) {
+	// With a store attached, ?shards=K takes the streaming path even for
+	// small bodies; the shard count still lands in [1, K] and queries
+	// fan out across the shards.
+	dir := t.TempDir()
+	s, _ := openDurableServer(t, dir)
+	var sb strings.Builder
+	sb.WriteString("<bib>")
+	for i := 0; i < 64; i++ {
+		sb.WriteString("<article><author>Streaming Author</author><title>Chunked Parsing</title></article>")
+	}
+	sb.WriteString("</bib>")
+	rec := do(t, s, "PUT", "/v1/docs/big?shards=4", sb.String())
+	if rec.Code != http.StatusCreated {
+		t.Fatalf("streaming PUT: %d %s", rec.Code, rec.Body)
+	}
+	info := decode[docInfo](t, rec)
+	if info.Shards < 2 || info.Shards > 4 {
+		t.Errorf("streamed shards = %d, want 2..4", info.Shards)
+	}
+	q := `{"doc":"big","terms":["Streaming","Chunked"],"exclude_root":true}`
+	resp := decode[wireQueryResponse](t, do(t, s, "POST", "/v1/query", q))
+	if resp.Result == nil || len(resp.Result.Meets) == 0 {
+		t.Fatalf("no meets over streamed shards: %s", rec.Body)
+	}
+}
+
+func TestDurableMetricsExposed(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := openDurableServer(t, dir)
+	do(t, s, "PUT", "/v1/docs/cwi", bibArticle)
+	body := do(t, s, "GET", "/v1/metrics", "").Body.String()
+	for _, series := range []string{
+		"ncq_wal_appends_total 1",
+		"ncq_durable_commits_total 1",
+		"ncq_replay_records 0",
+	} {
+		if !strings.Contains(body, series) {
+			t.Errorf("metrics missing %q", series)
+		}
+	}
+	if !strings.Contains(body, "ncq_snapshot_bytes_total") || strings.Contains(body, "ncq_snapshot_bytes_total 0") {
+		t.Error("snapshot bytes not accounted")
+	}
+}

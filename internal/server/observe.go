@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"ncq/internal/admission"
+	"ncq/internal/durable"
 	"ncq/internal/metrics"
 )
 
@@ -80,6 +81,36 @@ func (s *Server) initObservability() {
 	reg.CounterFunc("ncq_cache_evictions_total",
 		"Entries evicted from the result cache to stay within capacity.",
 		func() float64 { return float64(s.cache.Stats().Evictions) })
+
+	// Durability series sample the attached store; without -data-dir
+	// they expose zeros, keeping the scrape surface stable.
+	durableStats := func() durable.Stats {
+		if s.store == nil {
+			return durable.Stats{}
+		}
+		return s.store.Stats()
+	}
+	reg.CounterFunc("ncq_wal_appends_total",
+		"Mutation records appended to the write-ahead log.",
+		func() float64 { return float64(durableStats().WAL.Appends) })
+	reg.CounterFunc("ncq_wal_fsyncs_total",
+		"fsyncs issued by the write-ahead log (appends, Sync, Close).",
+		func() float64 { return float64(durableStats().WAL.Fsyncs) })
+	reg.CounterFunc("ncq_wal_bytes_total",
+		"Bytes appended to the write-ahead log, framing included.",
+		func() float64 { return float64(durableStats().WAL.Bytes) })
+	reg.CounterFunc("ncq_snapshot_bytes_total",
+		"Snapshot bytes written by document commits since boot.",
+		func() float64 { return float64(durableStats().SnapshotBytes) })
+	reg.CounterFunc("ncq_durable_commits_total",
+		"Document mutations acknowledged as durable since boot.",
+		func() float64 { return float64(durableStats().Commits) })
+	reg.GaugeFunc("ncq_replay_duration_seconds",
+		"Time boot recovery spent replaying the log over the snapshots.",
+		func() float64 { return durableStats().ReplayDuration.Seconds() })
+	reg.GaugeFunc("ncq_replay_records",
+		"WAL records replayed by boot recovery.",
+		func() float64 { return float64(durableStats().ReplayRecords) })
 
 	reg.GaugeFunc("ncq_admission_inflight",
 		"Executions currently holding an admission slot; 0 when admission control is off.",

@@ -41,6 +41,7 @@ import (
 	"ncq"
 	"ncq/internal/admission"
 	"ncq/internal/cache"
+	"ncq/internal/durable"
 	"ncq/internal/metrics"
 	"ncq/internal/shard"
 )
@@ -68,6 +69,7 @@ type Server struct {
 	role       string
 	logger     *slog.Logger
 	limiter    *admission.Limiter
+	store      *durable.Store
 	mux        *http.ServeMux
 	started    time.Time
 
@@ -153,6 +155,15 @@ func WithLogger(l *slog.Logger) Option {
 // introspection stay reachable on a saturated node.
 func WithAdmission(maxConcurrent, maxQueue int, wait time.Duration) Option {
 	return func(s *Server) { s.limiter = admission.New(maxConcurrent, maxQueue, wait) }
+}
+
+// WithDurability routes every document mutation through store, which
+// must manage the same corpus the server serves: a PUT is acknowledged
+// only after its snapshots and WAL record are persisted, and a DELETE
+// only after its eviction is logged. Queries are unaffected — they
+// read the in-memory corpus as before.
+func WithDurability(store *durable.Store) Option {
+	return func(s *Server) { s.store = store }
 }
 
 // New builds a Server around corpus (a fresh empty corpus when nil).

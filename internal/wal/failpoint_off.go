@@ -1,0 +1,25 @@
+//go:build !ncqfail
+
+package wal
+
+import "io"
+
+// Crashpoint is a failpoint hook for crash-safety tests. In normal
+// builds it is a no-op the compiler erases; under the ncqfail build
+// tag (failpoint_on.go) it kills the process when the named point is
+// armed via NCQ_CRASHPOINT, so recovery tests can observe every
+// half-finished persistence state a real crash could leave.
+func Crashpoint(string) {}
+
+// crashyWrite writes b to w. Under the ncqfail tag it can tear the
+// write in half at an armed crash point — the mid-append torn-record
+// state recovery must truncate away.
+func crashyWrite(w io.Writer, b []byte, _ string) error {
+	_, err := w.Write(b)
+	return err
+}
+
+// CrashWriter wraps w; in normal builds it is transparent. Under the
+// ncqfail tag it exits at the armed point after the first write,
+// leaving a partially written file behind.
+func CrashWriter(w io.Writer, point string) io.Writer { return w }

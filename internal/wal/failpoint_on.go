@@ -1,0 +1,59 @@
+//go:build ncqfail
+
+package wal
+
+import (
+	"io"
+	"os"
+)
+
+// CrashExitCode is how a process killed at an armed crash point
+// exits; the crash-matrix tests assert it so an ordinary test failure
+// in the child is never mistaken for the injected crash.
+const CrashExitCode = 41
+
+// armed reports whether the named crash point is selected via the
+// NCQ_CRASHPOINT environment variable.
+func armed(point string) bool { return os.Getenv("NCQ_CRASHPOINT") == point }
+
+// Crashpoint kills the process when the named point is armed. It
+// deliberately uses os.Exit — no deferred cleanup, no flushes — to
+// model a real crash as closely as a unix process can.
+func Crashpoint(point string) {
+	if armed(point) {
+		os.Exit(CrashExitCode)
+	}
+}
+
+// crashyWrite models a torn append: when point is armed it writes
+// only the first half of b and exits, leaving a half record on disk
+// exactly as a crash mid-write would.
+func crashyWrite(w io.Writer, b []byte, point string) error {
+	if armed(point) && len(b) > 1 {
+		_, _ = w.Write(b[:len(b)/2])
+		if f, ok := w.(*os.File); ok {
+			_ = f.Sync() // make sure the torn half is what recovery sees
+		}
+		os.Exit(CrashExitCode)
+	}
+	_, err := w.Write(b)
+	return err
+}
+
+// tornWriter tears a stream: when its point is armed, the first Write
+// persists only half its bytes and exits, leaving a truncated file
+// behind exactly as a crash mid-stream would.
+type tornWriter struct {
+	w     io.Writer
+	point string
+}
+
+func (c *tornWriter) Write(p []byte) (int, error) {
+	return len(p), crashyWrite(c.w, p, c.point)
+}
+
+// CrashWriter wraps w so an armed point tears the stream at its first
+// write.
+func CrashWriter(w io.Writer, point string) io.Writer {
+	return &tornWriter{w: w, point: point}
+}

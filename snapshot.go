@@ -19,17 +19,36 @@ func (db *Database) SaveSnapshot(w io.Writer) error {
 	return nil
 }
 
+// SaveSnapshotShard is SaveSnapshot with per-shard framing: the
+// snapshot records that this database is shard `shard` of a
+// `shards`-way split of one logical document. OpenSnapshotShard
+// returns the framing, which is how a durable data directory knows how
+// to reassemble a sharded member from its .snap files.
+func (db *Database) SaveSnapshotShard(w io.Writer, shard, shards int) error {
+	if err := db.store.WriteSnapshotShard(w, shard, shards); err != nil {
+		return fmt.Errorf("ncq: %w", err)
+	}
+	return nil
+}
+
 // OpenSnapshot loads a database from a snapshot written by
 // SaveSnapshot. The result answers every query identically to the
 // database that was saved.
 func OpenSnapshot(r io.Reader) (*Database, error) {
-	store, err := monetx.ReadSnapshot(r)
+	db, _, _, err := OpenSnapshotShard(r)
+	return db, err
+}
+
+// OpenSnapshotShard loads a database from a snapshot and returns its
+// shard framing alongside (0 of 1 for a standalone snapshot).
+func OpenSnapshotShard(r io.Reader) (db *Database, shard, shards int, err error) {
+	store, shard, shards, err := monetx.ReadSnapshotShard(r)
 	if err != nil {
-		return nil, fmt.Errorf("ncq: %w", err)
+		return nil, 0, 0, fmt.Errorf("ncq: %w", err)
 	}
 	doc, err := store.ReassembleDocument()
 	if err != nil {
-		return nil, fmt.Errorf("ncq: %w", err)
+		return nil, 0, 0, fmt.Errorf("ncq: %w", err)
 	}
 	idx := fulltext.New(store)
 	return &Database{
@@ -37,5 +56,5 @@ func OpenSnapshot(r io.Reader) (*Database, error) {
 		store:  store,
 		index:  idx,
 		engine: query.NewEngine(store, idx),
-	}, nil
+	}, shard, shards, nil
 }

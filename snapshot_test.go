@@ -5,6 +5,8 @@ import (
 	"reflect"
 	"strings"
 	"testing"
+
+	"ncq/internal/xmltree"
 )
 
 func TestSnapshotFacadeRoundTrip(t *testing.T) {
@@ -60,4 +62,73 @@ func TestOpenSnapshotErrors(t *testing.T) {
 	if _, err := OpenSnapshot(strings.NewReader("not a snapshot")); err == nil {
 		t.Error("garbage snapshot accepted")
 	}
+	// Every proper prefix of a valid snapshot must be rejected cleanly:
+	// no panic, no partially loaded database.
+	db := fig1DB(t)
+	var buf bytes.Buffer
+	if err := db.SaveSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	for cut := 0; cut < len(raw); cut++ {
+		if back, err := OpenSnapshot(bytes.NewReader(raw[:cut])); err == nil || back != nil {
+			t.Fatalf("prefix of %d/%d bytes accepted", cut, len(raw))
+		}
+	}
+}
+
+func TestSnapshotShardFacade(t *testing.T) {
+	db := fig1DB(t)
+	var buf bytes.Buffer
+	if err := db.SaveSnapshotShard(&buf, 1, 3); err != nil {
+		t.Fatal(err)
+	}
+	back, shard, shards, err := OpenSnapshotShard(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shard != 1 || shards != 3 {
+		t.Errorf("framing = %d/%d, want 1/3", shard, shards)
+	}
+	if back.Stats() != db.Stats() {
+		t.Errorf("stats differ: %+v vs %+v", back.Stats(), db.Stats())
+	}
+	// Framing survives a save→load→save cycle byte-identically.
+	var again bytes.Buffer
+	if err := back.SaveSnapshotShard(&again, 1, 3); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), again.Bytes()) {
+		t.Error("save→load→save is not byte-identical")
+	}
+}
+
+// FuzzOpenSnapshot throws mutated snapshot bytes at the decoder. The
+// invariants: never panic, never allocate unboundedly ahead of the
+// input, and any accepted input must re-save to a loadable snapshot.
+func FuzzOpenSnapshot(f *testing.F) {
+	db, err := FromDocument(xmltree.Fig1())
+	if err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := db.SaveSnapshot(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte("NCQSNAP2"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		back, err := OpenSnapshot(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var out bytes.Buffer
+		if err := back.SaveSnapshot(&out); err != nil {
+			t.Fatalf("accepted input re-saves with error: %v", err)
+		}
+		if _, err := OpenSnapshot(bytes.NewReader(out.Bytes())); err != nil {
+			t.Fatalf("re-saved snapshot does not load: %v", err)
+		}
+	})
 }
