@@ -463,6 +463,50 @@ func BenchmarkServerQuery(b *testing.B) {
 	})
 }
 
+// BenchmarkVagueQuery measures the vague-constraints serving path —
+// relaxation of a misspelled restrict pattern against every member's
+// path summary plus blended re-ranking — through the same HTTP surface
+// as BenchmarkServerQuery. The cold series recomputes the relaxation
+// on every request; the cached series pins that an active vague spec
+// is an ordinary cache citizen (keyed by its canonical encoding).
+func BenchmarkVagueQuery(b *testing.B) {
+	corpus := benchCorpus(b, 4)
+	body := []byte(`{"terms":["ICDE","1999"],"restrict":["/dblp/inprocedings"],` +
+		`"exclude_root":true,"vague":{"max_slack":2}}`)
+	post := func(b *testing.B, h http.Handler) string {
+		req := httptest.NewRequest("POST", "/v2/query", bytes.NewReader(body))
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK {
+			b.Fatalf("status %d: %s", rec.Code, rec.Body)
+		}
+		if !bytes.Contains(rec.Body.Bytes(), []byte(`"meets"`)) {
+			b.Fatalf("no meets: %s", rec.Body)
+		}
+		return rec.Header().Get("X-NCQ-Cache")
+	}
+	b.Run("cold", func(b *testing.B) {
+		h := server.New(corpus, server.WithCacheBytes(0)).Handler()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if post(b, h) != "miss" {
+				b.Fatal("cold request hit the cache")
+			}
+		}
+	})
+	b.Run("cached", func(b *testing.B) {
+		h := server.New(corpus).Handler()
+		post(b, h) // warm the cache
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if post(b, h) != "hit" {
+				b.Fatal("cached request missed")
+			}
+		}
+	})
+}
+
 // BenchmarkShardedQuery measures the document-sharding fan-out: the
 // same nearest-concept query against one large DBLP document loaded
 // unsharded (shards=1) versus split into subtree shards searched in

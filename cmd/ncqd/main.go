@@ -31,11 +31,16 @@
 //	GET    /v1/metrics     Prometheus text exposition
 //
 // Flags tune the cache byte budget, the per-document upload limit and
-// the corpus fan-out width; -load preloads XML files at start-up, each
-// registered under its base name without the extension, split into
-// -shards shards apiece. -pprof-addr serves net/http/pprof on a
-// separate listener (off by default) so a live daemon can be profiled
-// without exposing the profiler on the query port.
+// the corpus fan-out width; -load preloads documents at start-up, each
+// registered under its base name without the extension: XML files
+// (split into -shards shards apiece), .snap snapshot files, and
+// snapshot directories of shard-NNN.snap files as the durable store
+// writes them (their own framing decides plain vs sharded; -shards does
+// not apply). -thesaurus loads synonym classes — one comma-separated
+// class per line — that vague-mode queries with "expand" broaden their
+// terms through. -pprof-addr serves net/http/pprof on a separate
+// listener (off by default) so a live daemon can be profiled without
+// exposing the profiler on the query port.
 //
 // Durability: with -data-dir the corpus survives restarts and crashes.
 // Every PUT persists per-shard snapshots plus a record in an
@@ -78,9 +83,11 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"net/url"
 	"os"
 	"os/signal"
 	"path/filepath"
+	"sort"
 	"strconv"
 	"strings"
 	"syscall"
@@ -109,8 +116,9 @@ func run(argv []string, stderr io.Writer, ready chan<- string) int {
 		cacheTTL   = fs.Duration("cache-ttl", 0, "query result cache TTL (0 = entries never expire by age)")
 		maxBody    = fs.Int64("max-body", 32<<20, "maximum document upload size in bytes")
 		workers    = fs.String("workers", "", "corpus query fan-out width (single node, 0 = GOMAXPROCS); with -coordinator, the comma-separated worker addresses")
-		load       = fs.String("load", "", "glob of XML files to preload")
-		shards     = fs.Int("shards", 1, "shards per preloaded document (1 = unsharded)")
+		load       = fs.String("load", "", "glob of XML files, .snap snapshot files or snapshot directories to preload")
+		shards     = fs.Int("shards", 1, "shards per preloaded XML document (1 = unsharded; snapshots keep their own framing)")
+		thesaurus  = fs.String("thesaurus", "", "file of synonym classes (one comma-separated class per line) for vague-mode term expansion")
 		dataDir    = fs.String("data-dir", "", "durable mode: persist documents (per-shard snapshots + write-ahead log) in this directory and recover them at boot (empty = in-memory only)")
 		fsyncMode  = fs.String("fsync", "batch", "durable mode fsync policy for WAL appends: \"always\", \"batch\" or \"off\"")
 		gracePeri  = fs.Duration("grace", 5*time.Second, "shutdown grace period")
@@ -133,7 +141,7 @@ func run(argv []string, stderr io.Writer, ready chan<- string) int {
 		return 2
 	}
 	if fs.NArg() != 0 {
-		fmt.Fprintln(stderr, "usage: ncqd [-addr :8334] [-cache-bytes N] [-cache-ttl D] [-max-body N] [-workers N] [-load GLOB] [-shards K] [-data-dir DIR] [-fsync always|batch|off] [-pprof-addr ADDR] [-log-format text|json] [-log-level L] [-max-inflight N] [-max-queue N] [-queue-wait D]\n       ncqd -coordinator -workers HOST:PORT,HOST:PORT,... [-addr :8334] [-worker-timeout D] [-retry N] [-poll-interval D]")
+		fmt.Fprintln(stderr, "usage: ncqd [-addr :8334] [-cache-bytes N] [-cache-ttl D] [-max-body N] [-workers N] [-load GLOB] [-shards K] [-thesaurus FILE] [-data-dir DIR] [-fsync always|batch|off] [-pprof-addr ADDR] [-log-format text|json] [-log-level L] [-max-inflight N] [-max-queue N] [-queue-wait D]\n       ncqd -coordinator -workers HOST:PORT,HOST:PORT,... [-addr :8334] [-worker-timeout D] [-retry N] [-poll-interval D]")
 		return 2
 	}
 	if *cacheTTL < 0 {
@@ -192,6 +200,10 @@ func run(argv []string, stderr io.Writer, ready chan<- string) int {
 			fmt.Fprintln(stderr, "ncqd: -data-dir does not apply to a coordinator; workers own the durable state")
 			return 2
 		}
+		if *thesaurus != "" {
+			fmt.Fprintln(stderr, "ncqd: -thesaurus does not apply to a coordinator; install synonym classes on the workers")
+			return 2
+		}
 		wks, err := cluster.ParseWorkers(*workers)
 		if err != nil {
 			fmt.Fprintf(stderr, "ncqd: -workers: %v\n", err)
@@ -229,6 +241,20 @@ func run(argv []string, stderr io.Writer, ready chan<- string) int {
 		}
 		corpus := ncq.NewCorpus()
 		corpus.SetParallelism(fanout)
+		if *thesaurus != "" {
+			// Installed BEFORE durable recovery on purpose: SetThesaurus
+			// bumps the corpus generation, and recovery's
+			// RestoreGeneration overwrites it with the exact pre-shutdown
+			// value — so a restart with the same -thesaurus keeps
+			// pre-shutdown cursors valid instead of mass-expiring them.
+			t, err := loadThesaurus(*thesaurus)
+			if err != nil {
+				logger.Error("start failed", "err", err)
+				return 1
+			}
+			corpus.SetThesaurus(t)
+			logger.Info("loaded thesaurus", "file", *thesaurus)
+		}
 		var store *durable.Store
 		if *dataDir != "" {
 			// Recovery before anything else touches the corpus: replay the
@@ -333,12 +359,36 @@ func servePprof(addr string, logger *slog.Logger) (*http.Server, error) {
 	return srv, nil
 }
 
-// preload loads every file matching the glob into the corpus, each
-// under its base name without the extension (docs/dblp.xml -> dblp),
-// split into up to shards subtree shards when shards > 1. With a
-// durable store attached the documents register through it — they
-// replace any recovered document of the same name and persist like any
-// PUT; without one they go straight into the in-memory corpus.
+// loadThesaurus parses the -thesaurus file into synonym classes.
+func loadThesaurus(file string) (*ncq.Thesaurus, error) {
+	f, err := os.Open(file)
+	if err != nil {
+		return nil, fmt.Errorf("-thesaurus: %w", err)
+	}
+	defer f.Close()
+	t, err := ncq.ParseThesaurus(f)
+	if err != nil {
+		return nil, fmt.Errorf("-thesaurus %s: %w", file, err)
+	}
+	return t, nil
+}
+
+// preload loads every path matching the glob into the corpus, each
+// under its base name without the extension (docs/dblp.xml -> dblp).
+// Three input shapes are understood:
+//
+//   - an XML file, split into up to shards subtree shards when
+//     shards > 1;
+//   - a .snap file written by SaveSnapshot, loaded as a plain member
+//     (its own framing, not -shards, decides its shape);
+//   - a snapshot directory holding shard-NNN.snap files — the layout
+//     the durable store writes — registered as one member under the
+//     directory's name (a durable "g<gen>-" prefix is stripped).
+//
+// With a durable store attached the documents register through it —
+// they replace any recovered document of the same name and persist
+// like any PUT; without one they go straight into the in-memory
+// corpus.
 func preload(corpus *ncq.Corpus, store *durable.Store, glob string, shards int) (int, error) {
 	files, err := filepath.Glob(glob)
 	if err != nil {
@@ -348,11 +398,28 @@ func preload(corpus *ncq.Corpus, store *durable.Store, glob string, shards int) 
 		return 0, fmt.Errorf("-load %q matched no files", glob)
 	}
 	for _, file := range files {
+		if info, err := os.Stat(file); err == nil && info.IsDir() {
+			if err := preloadSnapshotDir(corpus, store, file); err != nil {
+				return 0, err
+			}
+			continue
+		}
 		f, err := os.Open(file)
 		if err != nil {
 			return 0, err
 		}
 		name := strings.TrimSuffix(filepath.Base(file), filepath.Ext(file))
+		if filepath.Ext(file) == ".snap" {
+			db, err := ncq.OpenSnapshot(f)
+			f.Close()
+			if err != nil {
+				return 0, fmt.Errorf("%s: %w", file, err)
+			}
+			if err := registerPlain(corpus, store, name, db); err != nil {
+				return 0, fmt.Errorf("%s: %w", file, err)
+			}
+			continue
+		}
 		if shards > 1 {
 			doc, err := ncq.ParseDocument(f)
 			f.Close()
@@ -381,13 +448,88 @@ func preload(corpus *ncq.Corpus, store *durable.Store, glob string, shards int) 
 		if err != nil {
 			return 0, fmt.Errorf("%s: %w", file, err)
 		}
-		if store != nil {
-			if _, err := store.PutPlain(name, db); err != nil {
-				return 0, fmt.Errorf("%s: %w", file, err)
-			}
-		} else if err := corpus.Add(name, db); err != nil {
-			return 0, err
+		if err := registerPlain(corpus, store, name, db); err != nil {
+			return 0, fmt.Errorf("%s: %w", file, err)
 		}
 	}
 	return len(files), nil
+}
+
+// registerPlain registers one plain member, through the durable store
+// when attached so the preload persists like any PUT.
+func registerPlain(corpus *ncq.Corpus, store *durable.Store, name string, db *ncq.Database) error {
+	if store != nil {
+		_, err := store.PutPlain(name, db)
+		return err
+	}
+	return corpus.Add(name, db)
+}
+
+// snapMemberName derives a member name from a snapshot directory's base
+// name: the durable store's "g<gen>-" generation prefix is stripped and
+// its path escaping undone, so pointing -load at a data directory's
+// snapshot folders re-registers documents under their original names.
+func snapMemberName(base string) string {
+	if rest, ok := strings.CutPrefix(base, "g"); ok {
+		i := 0
+		for i < len(rest) && rest[i] >= '0' && rest[i] <= '9' {
+			i++
+		}
+		if i > 0 && i < len(rest) && rest[i] == '-' {
+			base = rest[i+1:]
+		}
+	}
+	if unescaped, err := url.PathUnescape(base); err == nil {
+		base = unescaped
+	}
+	return base
+}
+
+// preloadSnapshotDir loads a directory of shard-NNN.snap files — the
+// per-member layout the durable store writes — as one corpus member.
+// The snapshots' own shard framing decides the member's shape: a
+// single standalone snapshot registers plain, anything else sharded.
+func preloadSnapshotDir(corpus *ncq.Corpus, store *durable.Store, dir string) error {
+	files, err := filepath.Glob(filepath.Join(dir, "shard-*.snap"))
+	if err != nil {
+		return fmt.Errorf("%s: %w", dir, err)
+	}
+	if len(files) == 0 {
+		return fmt.Errorf("%s: no shard-*.snap files in snapshot directory", dir)
+	}
+	sort.Strings(files)
+	dbs := make([]*ncq.Database, 0, len(files))
+	plain := false
+	for _, file := range files {
+		f, err := os.Open(file)
+		if err != nil {
+			return err
+		}
+		db, _, shardCount, err := ncq.OpenSnapshotShard(f)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("%s: %w", file, err)
+		}
+		if shardCount <= 1 {
+			plain = true
+		}
+		dbs = append(dbs, db)
+	}
+	name := snapMemberName(filepath.Base(dir))
+	if plain && len(dbs) == 1 {
+		if err := registerPlain(corpus, store, name, dbs[0]); err != nil {
+			return fmt.Errorf("%s: %w", dir, err)
+		}
+		return nil
+	}
+	if store != nil {
+		if _, err := store.PutShards(name, dbs); err != nil {
+			return fmt.Errorf("%s: %w", dir, err)
+		}
+		return nil
+	}
+	if _, err := corpus.AddShardDBs(name, dbs); err != nil {
+		return fmt.Errorf("%s: %w", dir, err)
+	}
+	return nil
 }

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"fmt"
 	"io"
 	"net/http"
 	"os"
@@ -333,5 +334,191 @@ func TestBadFsyncFlag(t *testing.T) {
 	}
 	if !strings.Contains(stderr.String(), "-fsync") {
 		t.Errorf("stderr = %q", stderr.String())
+	}
+}
+
+// TestPreloadSnapshots covers the two snapshot shapes -load accepts
+// beyond XML: a .snap file written by SaveSnapshot, and a snapshot
+// directory of shard-NNN.snap files in the durable store's layout
+// (generation prefix and path escaping included).
+func TestPreloadSnapshots(t *testing.T) {
+	dir := t.TempDir()
+	db, err := ncq.OpenString(`<bib><book><author>Bit</author><year>1999</year></book></bib>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A plain .snap file registers under its base name.
+	f, err := os.Create(filepath.Join(dir, "bib.snap"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.SaveSnapshot(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	// A durable-layout snapshot directory registers the sharded member
+	// under its unescaped, generation-stripped name.
+	shardDir := filepath.Join(dir, "g7-my%20doc")
+	if err := os.Mkdir(shardDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	shards := []string{
+		`<refs><entry><who>Bit</who></entry></refs>`,
+		`<refs><entry><who>Code</who></entry></refs>`,
+	}
+	for i, xml := range shards {
+		sdb, err := ncq.OpenString(xml)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sf, err := os.Create(filepath.Join(shardDir, fmt.Sprintf("shard-%03d.snap", i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sdb.SaveSnapshotShard(sf, i, len(shards)); err != nil {
+			t.Fatal(err)
+		}
+		sf.Close()
+	}
+
+	corpus := ncq.NewCorpus()
+	n, err := preload(corpus, nil, filepath.Join(dir, "*"), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 || corpus.Len() != 2 {
+		t.Fatalf("preloaded %d entries, corpus len %d", n, corpus.Len())
+	}
+	if !corpus.Has("bib") {
+		t.Error("snapshot file not registered under its base name")
+	}
+	if !corpus.Has("my doc") {
+		t.Errorf("snapshot directory not registered; members = %v", corpus.Names())
+	}
+	if corpus.ShardCount("my doc") != 2 {
+		t.Errorf("shard count = %d, want 2", corpus.ShardCount("my doc"))
+	}
+	// The snapshot members answer queries like any preloaded XML.
+	meets, _, err := corpus.MeetOfTermsIn("bib", ncq.ExcludeRoot(), "Bit", "1999")
+	if err != nil || len(meets) == 0 {
+		t.Errorf("snapshot member does not answer: %v %v", meets, err)
+	}
+
+	// A directory without shard files fails the preload.
+	empty := filepath.Join(t.TempDir(), "vacant")
+	if err := os.Mkdir(empty, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := preload(ncq.NewCorpus(), nil, empty, 1); err == nil {
+		t.Error("empty snapshot directory accepted")
+	}
+	// A truncated .snap file fails the preload.
+	if err := os.WriteFile(filepath.Join(dir, "bad.snap"), []byte("not a snapshot"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := preload(ncq.NewCorpus(), nil, filepath.Join(dir, "*.snap"), 1); err == nil {
+		t.Error("corrupt snapshot accepted")
+	}
+}
+
+// TestThesaurusFlag boots the daemon with -thesaurus and checks the
+// synonym classes reach vague-mode expansion over real HTTP.
+func TestThesaurusFlag(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "bib.xml"),
+		[]byte(`<bib><book><author>Bit</author><year>1999</year></book></bib>`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	thFile := filepath.Join(dir, "synonyms.txt")
+	if err := os.WriteFile(thFile,
+		[]byte("# test classes\nbinary, Bit\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var stderr syncBuffer
+	ready := make(chan string, 1)
+	done := make(chan int, 1)
+	go func() {
+		done <- run([]string{"-addr", "127.0.0.1:0",
+			"-load", filepath.Join(dir, "*.xml"), "-thesaurus", thFile}, &stderr, ready)
+	}()
+	var base string
+	select {
+	case base = <-ready:
+	case <-time.After(10 * time.Second):
+		t.Fatalf("daemon never became ready; stderr: %s", stderr.String())
+	}
+
+	post := func(body string) string {
+		resp, err := http.Post(base+"/v2/query", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		raw, _ := io.ReadAll(resp.Body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("query: %d %s", resp.StatusCode, raw)
+		}
+		return string(raw)
+	}
+	exact := post(`{"doc":"bib","terms":["binary","1999"],"exclude_root":true}`)
+	if strings.Contains(exact, `"tag"`) {
+		t.Errorf("exact mode expanded the synonym: %s", exact)
+	}
+	expanded := post(`{"doc":"bib","terms":["binary","1999"],"exclude_root":true,"vague":{"expand":true}}`)
+	if !strings.Contains(expanded, `"tag":"book"`) {
+		t.Errorf("expansion found nothing: %s", expanded)
+	}
+
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case code := <-done:
+		if code != 0 {
+			t.Errorf("exit = %d; stderr: %s", code, stderr.String())
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatalf("daemon never shut down; stderr: %s", stderr.String())
+	}
+}
+
+// TestBadThesaurusFile pins the boot-time failures: a missing file and
+// a malformed class line both refuse to start.
+func TestBadThesaurusFile(t *testing.T) {
+	var stderr bytes.Buffer
+	if code := run([]string{"-thesaurus", filepath.Join(t.TempDir(), "absent.txt")}, &stderr, nil); code != 1 {
+		t.Errorf("missing file: exit = %d", code)
+	}
+	if !strings.Contains(stderr.String(), "-thesaurus") {
+		t.Errorf("stderr = %q", stderr.String())
+	}
+
+	bad := filepath.Join(t.TempDir(), "bad.txt")
+	if err := os.WriteFile(bad, []byte("loneterm\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	stderr.Reset()
+	if code := run([]string{"-thesaurus", bad}, &stderr, nil); code != 1 {
+		t.Errorf("malformed file: exit = %d", code)
+	}
+	if !strings.Contains(stderr.String(), "synonym class") {
+		t.Errorf("stderr = %q", stderr.String())
+	}
+}
+
+// TestCoordinatorRejectsThesaurus: synonym classes belong on the
+// workers that execute the expansion, not on the merge-only node.
+func TestCoordinatorRejectsThesaurus(t *testing.T) {
+	th := filepath.Join(t.TempDir(), "syn.txt")
+	if err := os.WriteFile(th, []byte("a, b\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var stderr bytes.Buffer
+	code := run([]string{"-coordinator", "-workers", "localhost:1", "-thesaurus", th}, &stderr, nil)
+	if code != 2 || !strings.Contains(stderr.String(), "-thesaurus") {
+		t.Errorf("exit = %d, stderr = %q", code, stderr.String())
 	}
 }

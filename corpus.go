@@ -8,6 +8,7 @@ import (
 	"sort"
 	"sync"
 
+	"ncq/internal/fulltext"
 	"ncq/internal/shard"
 	"ncq/internal/xmltree"
 )
@@ -40,6 +41,11 @@ type Corpus struct {
 	gen     uint64
 	workers int // fan-out width for corpus-wide queries; 0 = GOMAXPROCS
 	onMut   func(Mutation)
+
+	// thesaurus holds the synonym classes vague requests with Expand
+	// set broaden their terms through; nil means no expansion beyond
+	// the literal terms.
+	thesaurus *Thesaurus
 }
 
 // Mutation describes one membership change, as observed by the hook
@@ -344,6 +350,37 @@ func (c *Corpus) Parallelism() int {
 		return runtime.GOMAXPROCS(0)
 	}
 	return c.workers
+}
+
+// SetThesaurus installs the synonym classes that vague requests with
+// Expand set broaden their terms through (nil removes them). The
+// corpus generation is bumped so cached results computed against the
+// previous classes — and cursors minted from them — are invalidated;
+// installing a thesaurus is not a membership mutation, so the
+// durability hook does not fire.
+func (c *Corpus) SetThesaurus(t *Thesaurus) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.thesaurus = t
+	c.gen++
+}
+
+// Thesaurus returns the installed synonym classes, nil when none.
+func (c *Corpus) Thesaurus() *Thesaurus {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.thesaurus
+}
+
+// expander returns the underlying fulltext thesaurus for query-time
+// term expansion; nil when none is installed.
+func (c *Corpus) expander() *fulltext.Thesaurus {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if c.thesaurus == nil {
+		return nil
+	}
+	return c.thesaurus.t
 }
 
 // member is one fan-out unit of a query: a plain database or a single

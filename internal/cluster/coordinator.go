@@ -228,6 +228,13 @@ type clusterQuery struct {
 	Limit  int    `json:"limit,omitempty"`
 	Cursor string `json:"cursor,omitempty"`
 
+	// Vague is the vague-constraints spec, forwarded to workers
+	// verbatim (the ncq.Vague wire shape). Workers blend structural
+	// slack into each answer's distance before ranking, so the
+	// coordinator's merge needs no vague-specific handling — the
+	// blended distance is the order the streams already arrive in.
+	Vague *ncq.Vague `json:"vague,omitempty"`
+
 	// AllowPartial degrades worker failures instead of failing the
 	// query: the response carries the surviving workers' exact merged
 	// ranking, marked incomplete, with per-worker error detail. Strict
@@ -254,6 +261,14 @@ func (q *clusterQuery) validate() error {
 	}
 	if q.Within < 0 || q.MaxLift < 0 || q.Limit < 0 {
 		return errors.New("\"within\", \"max_lift\" and \"limit\" must be non-negative")
+	}
+	if q.Vague != nil {
+		if hasQuery {
+			return errors.New("\"vague\" applies to \"terms\" queries only")
+		}
+		if q.Vague.MaxSlack < 0 || q.Vague.MaxSlack > ncq.MaxVagueSlack {
+			return fmt.Errorf("\"vague.max_slack\" must be between 0 and %d", ncq.MaxVagueSlack)
+		}
 	}
 	return nil
 }
@@ -293,6 +308,7 @@ func (q *clusterQuery) base() string {
 	if len(q.Terms) > 0 {
 		r.Terms = q.Terms
 		r.Options = q.options()
+		r.Vague = q.Vague
 	} else {
 		r.Query = strings.TrimSpace(q.Query)
 	}

@@ -1,0 +1,144 @@
+package cluster
+
+// TestVagueDistributedEqualsSingleNode pins the coordinator's vague
+// contract: workers blend relaxation slack into the distance before
+// their streams reach the merge, so a vague query answered by the
+// cluster is byte-identical to the same corpus on one node — result
+// payloads, every cursor page, and the streamed NDJSON meet lines.
+
+import (
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"ncq"
+	"ncq/internal/server"
+)
+
+func TestVagueDistributedEqualsSingleNode(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	docs := map[string]string{}
+	for i := 0; i < 9; i++ {
+		docs[fmt.Sprintf("doc%d", i)] = docXML(rng, 4+rng.Intn(10))
+	}
+
+	single := server.New(nil)
+	singleTS := httptest.NewServer(single.Handler())
+	defer singleTS.Close()
+
+	var workers []Worker
+	var srvs []*server.Server
+	for i := 1; i <= 3; i++ {
+		srv, w := startWorker(t, fmt.Sprintf("w%d", i))
+		srvs, workers = append(srvs, srv), append(workers, w)
+	}
+	_, coordTS := startCoordinator(t, Config{Workers: workers})
+
+	// The same synonym classes on every node: expansion is a worker-
+	// side concern, the coordinator only forwards the spec.
+	thesaurus := func() *ncq.Thesaurus { return ncq.NewThesaurus().Add("subject", "Topic3") }
+	single.Corpus().SetThesaurus(thesaurus())
+	for _, srv := range srvs {
+		srv.Corpus().SetThesaurus(thesaurus())
+	}
+
+	for name, xml := range docs {
+		if status, body := httpDo(t, "PUT", singleTS.URL+"/v1/docs/"+name, xml); status != http.StatusCreated {
+			t.Fatalf("single PUT %s: %d %s", name, status, body)
+		}
+		if status, body := httpDo(t, "PUT", coordTS.URL+"/v1/docs/"+name, xml); status != http.StatusCreated {
+			t.Fatalf("cluster PUT %s: %d %s", name, status, body)
+		}
+	}
+
+	// Misspelled restrict ("artcle"), slack budgets, and expansion —
+	// including a spec the exact engine answers empty.
+	queries := []string{
+		`{"terms":["Author1","199"],"exclude_root":true,"restrict":["/bib/artcle"],"vague":{"max_slack":2}}`,
+		`{"terms":["Author1","199"],"exclude_root":true,"restrict":["/bib/artcle"]}`,
+		`{"terms":["subject","study"],"exclude_root":true,"vague":{"max_slack":0,"expand":true}}`,
+		`{"terms":["Topic3"],"exclude_root":true,"nearest":true,"vague":{"max_slack":1,"expand":true}}`,
+		`{"doc":"doc3","terms":["Author","199"],"exclude_root":true,"vague":{"max_slack":1}}`,
+	}
+	for _, q := range queries {
+		sStatus, sEnv, sRaw := postQuery(t, singleTS.URL, q)
+		cStatus, cEnv, cRaw := postQuery(t, coordTS.URL, q)
+		if sStatus != http.StatusOK || cStatus != http.StatusOK {
+			t.Fatalf("query %s: single %d %s, cluster %d %s", q, sStatus, sRaw, cStatus, cRaw)
+		}
+		if string(sEnv.Result) != string(cEnv.Result) {
+			t.Errorf("query %s:\nsingle  %s\ncluster %s", q, sEnv.Result, cEnv.Result)
+		}
+	}
+	// The relaxed restrict and the expansion actually produced answers.
+	for _, q := range []string{queries[0], queries[2]} {
+		_, probe, _ := postQuery(t, coordTS.URL, q)
+		if !strings.Contains(string(probe.Result), `"meets"`) {
+			t.Fatalf("vague workload degenerate for %s: %s", q, probe.Result)
+		}
+	}
+
+	// Cursor pagination under an active vague spec: every page
+	// byte-identical, same page count, fingerprints interchangeable
+	// only within the same spec.
+	base := `{"terms":["Author1","199"],"exclude_root":true,"restrict":["/bib/artcle"],` +
+		`"vague":{"max_slack":2},"limit":3`
+	sCursor, cCursor, pages := "", "", 0
+	for {
+		sq, cq := base+"}", base+"}"
+		if sCursor != "" {
+			sq = fmt.Sprintf(`%s,"cursor":%q}`, base, sCursor)
+			cq = fmt.Sprintf(`%s,"cursor":%q}`, base, cCursor)
+		}
+		sStatus, sEnv, sRaw := postQuery(t, singleTS.URL, sq)
+		cStatus, cEnv, cRaw := postQuery(t, coordTS.URL, cq)
+		if sStatus != http.StatusOK || cStatus != http.StatusOK {
+			t.Fatalf("page %d: single %d %s, cluster %d %s", pages, sStatus, sRaw, cStatus, cRaw)
+		}
+		if string(sEnv.Result) != string(cEnv.Result) {
+			t.Fatalf("page %d differs:\nsingle  %s\ncluster %s", pages, sEnv.Result, cEnv.Result)
+		}
+		if sEnv.Truncated != cEnv.Truncated {
+			t.Fatalf("page %d: truncated single=%t cluster=%t", pages, sEnv.Truncated, cEnv.Truncated)
+		}
+		pages++
+		if !sEnv.Truncated {
+			break
+		}
+		sCursor, cCursor = sEnv.NextCursor, cEnv.NextCursor
+		if pages > 50 {
+			t.Fatal("pagination did not terminate")
+		}
+	}
+	if pages < 2 {
+		t.Fatalf("workload too small: %d page(s)", pages)
+	}
+
+	// Streaming: the coordinator's merged NDJSON equals the single
+	// node's, blended meet line for blended meet line.
+	streamQ := `{"terms":["Author1","199"],"exclude_root":true,"restrict":["/bib/artcle"],"vague":{"max_slack":2}}`
+	sMeets := streamMeets(t, singleTS.URL, streamQ)
+	cMeets := streamMeets(t, coordTS.URL, streamQ)
+	if len(sMeets) == 0 || len(sMeets) != len(cMeets) {
+		t.Fatalf("streamed %d meets single, %d cluster", len(sMeets), len(cMeets))
+	}
+	for i := range sMeets {
+		if sMeets[i] != cMeets[i] {
+			t.Fatalf("streamed meet %d differs: %s vs %s", i, sMeets[i], cMeets[i])
+		}
+	}
+
+	// The coordinator rejects malformed vague specs itself, before any
+	// worker sees the request.
+	for _, bad := range []string{
+		`{"terms":["Author1"],"vague":{"max_slack":99}}`,
+		`{"query":"SELECT meet(e1, e2) FROM //year AS e1, //author AS e2","vague":{"max_slack":1}}`,
+	} {
+		if status, _, raw := postQuery(t, coordTS.URL, bad); status != http.StatusBadRequest {
+			t.Errorf("coordinator accepted %s: %d %s", bad, status, raw)
+		}
+	}
+}

@@ -19,14 +19,19 @@ func NewThesaurus() *Thesaurus {
 	return &Thesaurus{parent: make(map[string]string)}
 }
 
+// find returns term's class representative. It deliberately does NOT
+// path-compress: Expand runs concurrently at query time (the vague
+// mode expands every request's terms, across parallel corpus members),
+// and a compressing find would mutate the map under concurrent reads.
+// Add keeps trees shallow by always linking root to root.
 func (t *Thesaurus) find(term string) string {
-	p, ok := t.parent[term]
-	if !ok || p == term {
-		return term
+	for {
+		p, ok := t.parent[term]
+		if !ok || p == term {
+			return term
+		}
+		term = p
 	}
-	root := t.find(p)
-	t.parent[term] = root // path compression
-	return root
 }
 
 // Add declares the given terms synonymous with term. Terms are

@@ -120,6 +120,38 @@ func (p *Pattern) String() string { return p.src }
 // IsAttr reports whether the pattern addresses attribute paths.
 func (p *Pattern) IsAttr() bool { return p.wantAttr }
 
+// Step is the read-only view of one compiled element step, for
+// matchers that work on the compiled form instead of re-parsing the
+// source — internal/vague's relaxation engine walks these. Exactly one
+// of the three shapes holds: a literal Label, One (*) or Any (%).
+type Step struct {
+	Label string // literal element label; "" for wildcard steps
+	One   bool   // * — exactly one arbitrary label
+	Any   bool   // % — any (possibly empty) label sequence
+}
+
+// Steps returns the compiled element steps of the pattern in order.
+// The attribute suffix, if any, is reported by Attr, not here.
+func (p *Pattern) Steps() []Step {
+	out := make([]Step, len(p.steps))
+	for i, st := range p.steps {
+		switch st.kind {
+		case stepLabel:
+			out[i] = Step{Label: st.label}
+		case stepOne:
+			out[i] = Step{One: true}
+		case stepAny:
+			out[i] = Step{Any: true}
+		}
+	}
+	return out
+}
+
+// Attr returns the pattern's attribute constraint: the literal name
+// ("" when none), and whether @* was used. Meaningful only when IsAttr
+// reports true.
+func (p *Pattern) Attr() (name string, any bool) { return p.attr, p.attrAny }
+
 // Matches reports whether the pattern matches the given path of the
 // summary. Element patterns match only element paths; attribute
 // patterns match only attribute paths (with the element part matched

@@ -36,6 +36,11 @@ func (s *Server) initObservability() {
 		"NDJSON lines written across all query streams (header, meet, error and trailer records).")
 	s.streamBytes = reg.Counter("ncq_stream_bytes_total",
 		"Bytes written across all NDJSON query streams, newlines included.")
+	s.vagueRequests = reg.Counter("ncq_vague_requests_total",
+		"Term queries executed in the vague-constraints mode (cache hits included).")
+	s.vagueRelax = reg.Histogram("ncq_vague_relaxations_total",
+		"Relaxed answers produced by vague queries, by structural slack used (cache misses only).",
+		[]float64{1, 2, 3, 4, 6, 8, 12, 16})
 
 	reg.CounterFunc("ncq_queries_total",
 		"Queries that reached execution, batch items included.",

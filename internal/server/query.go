@@ -3,6 +3,7 @@ package server
 import (
 	"encoding/json"
 	"errors"
+	"fmt"
 	"net/http"
 	"strings"
 
@@ -30,6 +31,13 @@ type queryRequest struct {
 
 	// Limit caps the number of returned meets or rows; 0 = unlimited.
 	Limit int `json:"limit,omitempty"`
+
+	// Vague switches a terms request into the vague-constraints mode:
+	// restrict patterns match approximately within max_slack rewrites
+	// and structural slack blends into the ranking distance; expand
+	// broadens terms through the server's thesaurus. The ncq.Vague
+	// wire shape ({"max_slack": N, "expand": true}) is used verbatim.
+	Vague *ncq.Vague `json:"vague,omitempty"`
 }
 
 func (q *queryRequest) validate() error {
@@ -48,6 +56,14 @@ func (q *queryRequest) validate() error {
 	if hasQuery && (q.ExcludeRoot || q.Nearest || q.Within != 0 || q.MaxLift != 0 ||
 		len(q.Exclude) > 0 || len(q.Restrict) > 0) {
 		return errors.New("meet options apply to \"terms\" queries only; use the query language's meet(...) options instead")
+	}
+	if q.Vague != nil {
+		if hasQuery {
+			return errors.New("\"vague\" applies to \"terms\" queries only")
+		}
+		if q.Vague.MaxSlack < 0 || q.Vague.MaxSlack > ncq.MaxVagueSlack {
+			return fmt.Errorf("\"vague.max_slack\" must be between 0 and %d", ncq.MaxVagueSlack)
+		}
 	}
 	return nil
 }
@@ -85,6 +101,7 @@ func (q *queryRequest) toRequest() ncq.Request {
 	if len(q.Terms) > 0 {
 		req.Terms = q.Terms
 		req.Options = q.options()
+		req.Vague = q.Vague
 	} else {
 		req.Query = strings.TrimSpace(q.Query)
 	}

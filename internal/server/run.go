@@ -35,6 +35,9 @@ type cachedResult struct {
 // against (so a racing mutation can never publish a stale entry under
 // the new generation).
 func (s *Server) runCached(ctx context.Context, gen uint64, req ncq.Request) (cachedResult, bool, error) {
+	if req.Vague != nil {
+		s.vagueRequests.Inc()
+	}
 	key := cache.Key{Gen: gen, Query: req.Canonical()}
 	if v, ok := s.cache.Get(key); ok {
 		return v.(cachedResult), true, nil
@@ -43,6 +46,7 @@ func (s *Server) runCached(ctx context.Context, gen uint64, req ncq.Request) (ca
 	if err != nil {
 		return cachedResult{}, false, err
 	}
+	s.observeRelaxations(res.RelaxationsBySlack)
 	raw, err := json.Marshal(toWireResult(&req, res))
 	if err != nil {
 		return cachedResult{}, false, fmt.Errorf("%w: %v", errEncodeResult, err)
@@ -50,6 +54,18 @@ func (s *Server) runCached(ctx context.Context, gen uint64, req ncq.Request) (ca
 	cr := cachedResult{raw: raw, truncated: res.Truncated, nextCursor: res.NextCursor}
 	s.cache.Put(key, cr, len(raw)+len(cr.nextCursor))
 	return cr, false, nil
+}
+
+// observeRelaxations feeds a vague execution's per-slack relaxation
+// counts into the ncq_vague_relaxations_total histogram: one
+// observation of value s per answer that used slack s. Cache hits
+// observe nothing — the work was not redone.
+func (s *Server) observeRelaxations(bySlack []int) {
+	for slack, n := range bySlack {
+		for i := 0; i < n; i++ {
+			s.vagueRelax.Observe(float64(slack))
+		}
+	}
 }
 
 // toWireResult lowers an ncq.Result into the wire shape shared by v1

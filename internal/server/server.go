@@ -86,6 +86,8 @@ type Server struct {
 	streamsInflight *metrics.Gauge
 	streamLines     *metrics.Counter
 	streamBytes     *metrics.Counter
+	vagueRequests   *metrics.Counter
+	vagueRelax      *metrics.Histogram
 }
 
 // Option customises a Server.

@@ -112,6 +112,13 @@ func (s *Server) handleStreamV2(ctx context.Context, w http.ResponseWriter, star
 	ncqReq := req.toV2Request()
 	metrics.SetFingerprint(ctx, ncqReq.Canonical())
 	seq, stats := s.corpus.ResultsWithStats(ctx, ncqReq)
+	if ncqReq.Vague != nil {
+		s.vagueRequests.Inc()
+		// Streams bypass the cache, so every drain is real execution;
+		// stats (and the relaxation counts) are complete before the
+		// first yield.
+		defer func() { s.observeRelaxations(stats.RelaxationsBySlack) }()
+	}
 	flusher, _ := w.(http.Flusher)
 	started := false
 	writeLine := func(v any) bool {

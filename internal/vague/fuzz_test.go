@@ -1,0 +1,74 @@
+package vague
+
+import (
+	"strings"
+	"testing"
+
+	"ncq/internal/pathexpr"
+	"ncq/internal/pathsum"
+)
+
+// FuzzRelax drives the relaxation DP with arbitrary patterns, path
+// shapes and budgets and checks its three load-bearing invariants:
+// it never panics, slack 0 coincides exactly with the exact NFA
+// (the zero-slack == exact contract), and admission is monotone in
+// the budget with stable minimal slacks.
+func FuzzRelax(f *testing.F) {
+	f.Add("/dblp/article/author", "dblp/article/author", 2)
+	f.Add("//auther", "dblp/proceedings/inproceedings/author", 3)
+	f.Add("/a/*/c@id", "a/b/c", 1)
+	f.Add("/%/x", "root/x", 0)
+	f.Fuzz(func(t *testing.T, pattern, path string, budget int) {
+		pat, err := pathexpr.Compile(pattern)
+		if err != nil {
+			t.Skip()
+		}
+		labels := strings.Split(path, "/")
+		if len(labels) == 0 || len(labels) > 12 {
+			t.Skip()
+		}
+		sum := pathsum.New()
+		parent := pathsum.Invalid
+		for _, l := range labels {
+			if l == "" || len(l) > 32 {
+				t.Skip()
+			}
+			id, err := sum.Intern(parent, l, pathsum.Elem)
+			if err != nil {
+				t.Skip()
+			}
+			parent = id
+		}
+		// An attribute leaf named after the last label, so attribute
+		// patterns exercise the name-relaxation arm too.
+		sum.MustIntern(parent, labels[len(labels)-1], pathsum.Attr)
+		if budget < 0 {
+			budget = -budget
+		}
+		budget %= SlackLimit + 4 // exercise the above-limit clamp too
+		for _, id := range sum.AllPaths() {
+			slack, ok := Slack(pat, sum, id, budget)
+			if ok && (slack < 0 || slack > budget) {
+				t.Fatalf("Slack(%q, %q, %d) = %d outside [0, budget]",
+					pattern, sum.String(id), budget, slack)
+			}
+			exact := pat.Matches(sum, id)
+			if exact && (!ok || slack != 0) {
+				t.Fatalf("exact match %q of %q reported slack (%d, %t)",
+					sum.String(id), pattern, slack, ok)
+			}
+			if !exact && ok && slack == 0 {
+				t.Fatalf("non-match %q of %q admitted at slack 0", sum.String(id), pattern)
+			}
+			// Monotonicity: a higher budget keeps the admission and the
+			// minimal slack.
+			if ok {
+				s2, ok2 := Slack(pat, sum, id, budget+1)
+				if !ok2 || s2 != slack {
+					t.Fatalf("budget %d admits %q at %d but budget %d gives (%d, %t)",
+						budget, sum.String(id), slack, budget+1, s2, ok2)
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,247 @@
+// Package vague is the relaxation engine behind the "vague
+// constraints" query mode: it matches pathexpr patterns approximately
+// against a pathsum.Summary, assigning every admitted path a
+// structural-slack cost, and defines the scorer that blends that slack
+// with meet distance into one total order.
+//
+// The related work (EquiX; Popovici et al.'s vague interpretation of
+// structural constraints) is unanimous that exact structure is too
+// rigid for users who know a document's content but not its mark-up —
+// the very users the source paper's nearest concept queries target. A
+// pattern here is not a boolean filter but the root of a relaxation
+// lattice: each rewrite away from the original pattern carries a cost,
+// and a path's slack is the cheapest rewrite chain that makes the
+// pattern match it exactly.
+//
+// # The cost model
+//
+// Three primitive rewrites span the lattice, each applied per step:
+//
+//   - label edit: a literal step matches a differently spelled label at
+//     the Levenshtein distance between them ("auther" matches "author"
+//     at slack 1) — misspelled and near-miss vocabularies;
+//   - ancestor relaxation (insertion): the path may contain labels the
+//     pattern never mentioned, one slack each — "/dblp/article" reaches
+//     "/dblp/proceedings/article" at slack 1, the restructured-schema
+//     case;
+//   - step deletion: a pattern step may be dropped for one slack — an
+//     over-specified pattern degrades gracefully instead of matching
+//     nothing.
+//
+// Wildcard steps keep their exact-mode semantics at no cost: * consumes
+// exactly one arbitrary label, % any sequence. Element and attribute
+// paths never relax into each other; a literal attribute name relaxes
+// by edit distance like a label step. Every rewrite costs at least 1,
+// so slack 0 is exactly the set of paths Pattern.Matches accepts — the
+// property that makes a zero-budget vague request byte-identical to
+// the exact path.
+//
+// The minimal slack is computed by a Levenshtein-style dynamic program
+// over (pattern step, path label) prefixes — the relaxation lattice is
+// never materialised. Cost is O(len(steps)·len(labels)) per path, run
+// over the path summary (small by construction, the paper's Section 3
+// argument), never over the document instance.
+package vague
+
+import (
+	"ncq/internal/pathexpr"
+	"ncq/internal/pathsum"
+)
+
+// SlackLimit bounds the slack budget accepted by Slack and Select —
+// and, through ncq.MaxVagueSlack, the max_slack a request may carry.
+// Beyond it a pattern admits nearly every path and the ranking decays
+// to noise.
+const SlackLimit = 16
+
+// SlackWeight is how many units of meet distance one unit of
+// structural slack costs in the blended score: an answer found by
+// bending a constraint must beat an exact-constraint answer by more
+// than SlackWeight parent joins to outrank it.
+const SlackWeight = 2
+
+// Blend folds structural slack into a meet distance, producing the one
+// ranking key vague results are ordered by. It is strictly monotone in
+// both arguments and deterministic, so blended streams merge under the
+// existing (distance, source, shard, node) total order unchanged.
+func Blend(distance, slack int) int { return distance + SlackWeight*slack }
+
+// EditDistance returns the Levenshtein distance between two strings,
+// computed over runes — the cost a literal step pays to match a
+// differently spelled label.
+func EditDistance(a, b string) int {
+	if a == b {
+		return 0
+	}
+	ra, rb := []rune(a), []rune(b)
+	if len(ra) == 0 {
+		return len(rb)
+	}
+	if len(rb) == 0 {
+		return len(ra)
+	}
+	prev := make([]int, len(rb)+1)
+	cur := make([]int, len(rb)+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i, ca := range ra {
+		cur[0] = i + 1
+		for j, cb := range rb {
+			cost := prev[j] // substitute (free on equal runes)
+			if ca != cb {
+				cost++
+			}
+			if d := prev[j+1] + 1; d < cost { // delete from a
+				cost = d
+			}
+			if d := cur[j] + 1; d < cost { // insert into a
+				cost = d
+			}
+			cur[j+1] = cost
+		}
+		prev, cur = cur, prev
+	}
+	if d := prev[len(rb)]; d > 0 {
+		return d
+	}
+	// Distinct byte strings can decode to identical rune sequences
+	// (invalid UTF-8 collapses to U+FFFD); they are still different
+	// labels, and a distance of 0 would break slack 0 == exact match.
+	return 1
+}
+
+// Slack returns the minimal structural slack at which pat matches the
+// path id of sum, and whether that minimum is within budget. Slack 0
+// means an exact match (ok is then true for every budget >= 0); ok is
+// false for kind mismatches (element pattern vs attribute path and
+// vice versa — kinds never relax), invalid ids, negative budgets, or
+// a minimum above budget. Budgets above SlackLimit are clamped to it.
+func Slack(pat *pathexpr.Pattern, sum *pathsum.Summary, id pathsum.PathID, budget int) (slack int, ok bool) {
+	if budget < 0 || id == pathsum.Invalid || int(id) >= sum.Len() {
+		return 0, false
+	}
+	if budget > SlackLimit {
+		budget = SlackLimit
+	}
+	isAttr := sum.Kind(id) == pathsum.Attr
+	if isAttr != pat.IsAttr() {
+		return 0, false
+	}
+	labels := sum.Labels(id)
+	if pat.IsAttr() {
+		// The attribute name is the path's last label; a literal name
+		// relaxes by edit distance exactly like a label step.
+		name := labels[len(labels)-1]
+		labels = labels[:len(labels)-1]
+		if attr, any := pat.Attr(); !any && name != attr {
+			slack = EditDistance(name, attr)
+			if slack > budget {
+				return 0, false
+			}
+		}
+	}
+	s := matchSlack(labels, pat.Steps(), budget-slack)
+	if s < 0 {
+		return 0, false
+	}
+	return slack + s, true
+}
+
+// Select maps every path of sum that pat matches within budget to its
+// minimal slack — the relaxed analogue of Pattern.SelectPaths. At
+// budget 0 the key set equals SelectPaths' result with every value 0.
+func Select(pat *pathexpr.Pattern, sum *pathsum.Summary, budget int) map[pathsum.PathID]int {
+	out := make(map[pathsum.PathID]int)
+	for _, id := range sum.AllPaths() {
+		if s, ok := Slack(pat, sum, id, budget); ok {
+			out[id] = s
+		}
+	}
+	return out
+}
+
+// delCost is the slack of dropping a pattern step without consuming a
+// label: free for % (which matches the empty sequence anyway), one
+// rewrite otherwise.
+func delCost(st pathexpr.Step) int {
+	if st.Any {
+		return 0
+	}
+	return 1
+}
+
+// matchSlack is the relaxation DP: the minimal total rewrite cost of
+// matching the label sequence against the steps, or -1 when no chain
+// within budget exists. State d[j] is the cheapest way steps[:j] match
+// the labels consumed so far — the NFA of pathexpr.matchSteps with
+// costs on its edges plus two relaxation edges (insert a path label,
+// delete a pattern step). Costs are capped at budget+1, which both
+// bounds the work and makes "no match within budget" explicit.
+func matchSlack(labels []string, steps []pathexpr.Step, budget int) int {
+	if budget < 0 {
+		return -1
+	}
+	inf := budget + 1
+	n := len(steps)
+	d := make([]int, n+1)
+	next := make([]int, n+1)
+	for j := 1; j <= n; j++ {
+		d[j] = inf
+	}
+	// closure applies the epsilon edges: advancing past a step without
+	// consuming a label (free for %, one slack to delete any other
+	// step). Epsilon edges only go forward, so one ascending pass
+	// suffices.
+	closure := func(v []int) {
+		for j := 0; j < n; j++ {
+			if c := v[j] + delCost(steps[j]); c < v[j+1] {
+				v[j+1] = c
+			}
+		}
+	}
+	closure(d)
+	for _, l := range labels {
+		for j := range next {
+			next[j] = inf
+		}
+		for j := 0; j <= n; j++ {
+			if d[j] >= inf {
+				continue
+			}
+			// Ancestor relaxation: consume l without advancing — the
+			// path holds a label the pattern never mentioned.
+			if c := d[j] + 1; c < next[j] {
+				next[j] = c
+			}
+			if j == n {
+				continue
+			}
+			switch st := steps[j]; {
+			case st.Any:
+				// % consumes any label free, staying inside the step.
+				if d[j] < next[j] {
+					next[j] = d[j]
+				}
+			case st.One:
+				if d[j] < next[j+1] {
+					next[j+1] = d[j]
+				}
+			default:
+				c := d[j]
+				if st.Label != l {
+					c += EditDistance(st.Label, l)
+				}
+				if c < next[j+1] {
+					next[j+1] = c
+				}
+			}
+		}
+		closure(next)
+		d, next = next, d
+	}
+	if d[n] > budget {
+		return -1
+	}
+	return d[n]
+}

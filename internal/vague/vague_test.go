@@ -1,0 +1,222 @@
+package vague
+
+import (
+	"math/rand"
+	"testing"
+
+	"ncq/internal/pathexpr"
+	"ncq/internal/pathsum"
+)
+
+// dblpSummary builds a small DBLP-shaped summary with both the
+// "expected" layout and a restructured sibling branch, plus attributes.
+func dblpSummary(t *testing.T) *pathsum.Summary {
+	t.Helper()
+	s := pathsum.New()
+	dblp := s.MustIntern(pathsum.Invalid, "dblp", pathsum.Elem)
+	article := s.MustIntern(dblp, "article", pathsum.Elem)
+	s.MustIntern(article, "author", pathsum.Elem)
+	s.MustIntern(article, "title", pathsum.Elem)
+	s.MustIntern(article, "key", pathsum.Attr)
+	proc := s.MustIntern(dblp, "proceedings", pathsum.Elem)
+	inproc := s.MustIntern(proc, "inproceedings", pathsum.Elem)
+	s.MustIntern(inproc, "author", pathsum.Elem)
+	s.MustIntern(inproc, "booktitle", pathsum.Elem)
+	return s
+}
+
+func lookup(t *testing.T, s *pathsum.Summary, labels ...string) pathsum.PathID {
+	t.Helper()
+	id, ok := s.Lookup(labels)
+	if !ok {
+		t.Fatalf("summary has no path %v", labels)
+	}
+	return id
+}
+
+func slackOf(t *testing.T, s *pathsum.Summary, pattern string, id pathsum.PathID, budget int) (int, bool) {
+	t.Helper()
+	pat, err := pathexpr.Compile(pattern)
+	if err != nil {
+		t.Fatalf("compile %q: %v", pattern, err)
+	}
+	return Slack(pat, s, id, budget)
+}
+
+func TestSlackExactMatchesAreFree(t *testing.T) {
+	s := dblpSummary(t)
+	id := lookup(t, s, "dblp", "article", "author")
+	for _, pattern := range []string{"/dblp/article/author", "//author", "/dblp/*/author", "/%/author"} {
+		got, ok := slackOf(t, s, pattern, id, 0)
+		if !ok || got != 0 {
+			t.Errorf("Slack(%q) = %d, %t; want 0, true", pattern, got, ok)
+		}
+	}
+}
+
+func TestSlackLabelEdit(t *testing.T) {
+	s := dblpSummary(t)
+	id := lookup(t, s, "dblp", "article", "author")
+	// One-letter misspelling costs its edit distance.
+	if got, ok := slackOf(t, s, "/dblp/article/auther", id, 4); !ok || got != 1 {
+		t.Errorf("misspelled leaf: slack = %d, %t; want 1, true", got, ok)
+	}
+	// Below the needed budget the path is not admitted at all.
+	if _, ok := slackOf(t, s, "/dblp/article/auther", id, 0); ok {
+		t.Error("misspelled leaf admitted at budget 0")
+	}
+}
+
+func TestSlackAncestorRelaxation(t *testing.T) {
+	s := dblpSummary(t)
+	id := lookup(t, s, "dblp", "proceedings", "inproceedings", "author")
+	// The pattern never mentions the two intermediate levels: two label
+	// insertions... but "article"→"inproceedings" also needs handling.
+	// /dblp//author reaches it free via %, /dblp/author needs 2 inserts.
+	if got, ok := slackOf(t, s, "/dblp//author", id, 0); !ok || got != 0 {
+		t.Errorf("descendant wildcard: slack = %d, %t; want 0, true", got, ok)
+	}
+	if got, ok := slackOf(t, s, "/dblp/author", id, 4); !ok || got != 2 {
+		t.Errorf("two skipped ancestors: slack = %d, %t; want 2, true", got, ok)
+	}
+	if _, ok := slackOf(t, s, "/dblp/author", id, 1); ok {
+		t.Error("two skipped ancestors admitted at budget 1")
+	}
+}
+
+func TestSlackStepDeletion(t *testing.T) {
+	s := dblpSummary(t)
+	id := lookup(t, s, "dblp", "article")
+	// The over-specified trailing step is dropped for one slack.
+	if got, ok := slackOf(t, s, "/dblp/article/volume", id, 4); !ok || got != 1 {
+		t.Errorf("dropped step: slack = %d, %t; want 1, true", got, ok)
+	}
+	// An unrelated label substitutes at min(edit, delete+insert).
+	id = lookup(t, s, "dblp", "proceedings", "inproceedings")
+	if got, ok := slackOf(t, s, "/dblp/*/inproceedings", id, 4); !ok || got != 0 {
+		t.Errorf("star step: slack = %d, %t; want 0, true", got, ok)
+	}
+}
+
+func TestSlackKindsNeverRelax(t *testing.T) {
+	s := dblpSummary(t)
+	elem := lookup(t, s, "dblp", "article", "author")
+	attr, ok := s.LookupAttr([]string{"dblp", "article"}, "key")
+	if !ok {
+		t.Fatal("summary has no @key attribute")
+	}
+	if _, ok := slackOf(t, s, "/dblp/article@key", elem, SlackLimit); ok {
+		t.Error("attribute pattern admitted an element path")
+	}
+	if _, ok := slackOf(t, s, "/dblp/article/author", attr, SlackLimit); ok {
+		t.Error("element pattern admitted an attribute path")
+	}
+	// Attribute names relax by edit distance like labels.
+	if got, ok := slackOf(t, s, "/dblp/article@kex", attr, 4); !ok || got != 1 {
+		t.Errorf("misspelled attribute: slack = %d, %t; want 1, true", got, ok)
+	}
+	if got, ok := slackOf(t, s, "/dblp/article@*", attr, 0); !ok || got != 0 {
+		t.Errorf("@*: slack = %d, %t; want 0, true", got, ok)
+	}
+}
+
+// TestZeroBudgetEqualsExact is the keystone property: at budget 0 the
+// relaxation DP must accept exactly the paths the exact NFA accepts —
+// this is what makes a max_slack:0 vague request byte-identical to the
+// exact query path.
+func TestZeroBudgetEqualsExact(t *testing.T) {
+	s := dblpSummary(t)
+	patterns := []string{
+		"/dblp", "/dblp/article", "//author", "/dblp/*/author",
+		"/dblp/%", "/%", "/*/*/author", "/dblp/article@key",
+		"/dblp/article@*", "//inproceedings", "/dblp/article/auther",
+	}
+	for _, src := range patterns {
+		pat := pathexpr.MustCompile(src)
+		for _, id := range s.AllPaths() {
+			slack, ok := Slack(pat, s, id, 0)
+			exact := pat.Matches(s, id)
+			if ok != exact || (ok && slack != 0) {
+				t.Errorf("pattern %q path %q: Slack0 = (%d, %t), Matches = %t",
+					src, s.String(id), slack, ok, exact)
+			}
+		}
+	}
+}
+
+// TestBudgetMonotone: raising the budget only adds admissions and
+// never changes an already admitted path's minimal slack.
+func TestBudgetMonotone(t *testing.T) {
+	s := dblpSummary(t)
+	rng := rand.New(rand.NewSource(7))
+	labels := []string{"dblp", "article", "author", "auther", "proceedings", "x"}
+	for i := 0; i < 200; i++ {
+		// Random small pattern over the vocabulary plus wildcards.
+		src := ""
+		for n := 1 + rng.Intn(3); n > 0; n-- {
+			switch rng.Intn(4) {
+			case 0:
+				src += "/*"
+			case 1:
+				src += "/%"
+			default:
+				src += "/" + labels[rng.Intn(len(labels))]
+			}
+		}
+		pat, err := pathexpr.Compile(src)
+		if err != nil {
+			t.Fatalf("compile %q: %v", src, err)
+		}
+		lo, hi := rng.Intn(4), 4+rng.Intn(8)
+		lows, highs := Select(pat, s, lo), Select(pat, s, hi)
+		for id, sl := range lows {
+			if sl > lo {
+				t.Fatalf("pattern %q: Select(%d) admitted %q at slack %d", src, lo, s.String(id), sl)
+			}
+			if hsl, ok := highs[id]; !ok || hsl != sl {
+				t.Fatalf("pattern %q path %q: slack %d at budget %d but (%d, %t) at budget %d",
+					src, s.String(id), sl, lo, hsl, ok, hi)
+			}
+		}
+	}
+}
+
+func TestEditDistance(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want int
+	}{
+		{"", "", 0},
+		{"a", "", 1},
+		{"", "abc", 3},
+		{"author", "author", 0},
+		{"author", "auther", 1},
+		{"author", "authro", 2},
+		{"title", "titel", 2},
+		{"année", "annee", 1},
+		{"cat", "dog", 3},
+	}
+	for _, c := range cases {
+		if got := EditDistance(c.a, c.b); got != c.want {
+			t.Errorf("EditDistance(%q, %q) = %d, want %d", c.a, c.b, got, c.want)
+		}
+		if got := EditDistance(c.b, c.a); got != c.want {
+			t.Errorf("EditDistance(%q, %q) = %d, want %d (symmetry)", c.b, c.a, got, c.want)
+		}
+	}
+}
+
+func TestBlendOrdering(t *testing.T) {
+	// Blend is strictly monotone in both arguments, and one slack must
+	// cost more than one parent join — otherwise relaxation would be
+	// free relative to structure.
+	if SlackWeight < 2 {
+		t.Fatalf("SlackWeight = %d; must be >= 2 so slack outweighs a single join", SlackWeight)
+	}
+	if Blend(3, 0) != 3 {
+		t.Errorf("Blend(3, 0) = %d, want 3", Blend(3, 0))
+	}
+	if !(Blend(2, 1) > Blend(2, 0)) || !(Blend(3, 1) > Blend(2, 1)) {
+		t.Error("Blend is not strictly monotone")
+	}
+}

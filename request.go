@@ -74,6 +74,13 @@ type Request struct {
 	// mutation fails with ErrStaleCursor instead of silently cutting
 	// the next page from a re-ranked answer set.
 	Cursor string `json:"cursor,omitempty"`
+
+	// Vague switches a term request into the vague-constraints mode:
+	// restrict patterns match approximately within a structural-slack
+	// budget and slack blends into the ranking distance (see Vague).
+	// It must be nil for query-language requests. The zero spec is
+	// equivalent — including cache keys and cursors — to exact mode.
+	Vague *Vague `json:"vague,omitempty"`
 }
 
 // Result is the answer to a Request, whatever surface executed it.
@@ -104,6 +111,13 @@ type Result struct {
 
 	// Elapsed is the execution wall time.
 	Elapsed time.Duration `json:"elapsed_ns,omitempty"`
+
+	// RelaxationsBySlack counts, for a vague term request, the candidate
+	// answers that used each amount of structural slack (index = slack;
+	// index 0 unused). Nil for exact requests. It is observability
+	// metadata — the ncqd server feeds its relaxation histogram from it
+	// — and deliberately stays off the wire.
+	RelaxationsBySlack []int `json:"-"`
 }
 
 // Querier is the unified execution interface implemented by *Database
@@ -146,6 +160,12 @@ func (r *Request) validate() error {
 	if hasQuery && r.Options != nil {
 		return errors.New("ncq: Options apply to term requests; query-language requests carry options in meet(...)")
 	}
+	if hasQuery && r.Vague != nil {
+		return errors.New("ncq: Vague applies to term requests only")
+	}
+	if err := r.Vague.validate(); err != nil {
+		return err
+	}
 	if r.Limit < 0 {
 		return errors.New("ncq: negative Limit")
 	}
@@ -173,9 +193,12 @@ func (o *Options) canonical() string {
 // canonicalBase is the canonical encoding of everything but the page
 // position — the part a cursor is fingerprinted against.
 func (r *Request) canonicalBase() string {
+	// An inactive Vague spec contributes nothing: a vague request that
+	// relaxes and expands nothing IS the exact request and must share
+	// its cache entries and cursor fingerprints.
 	return fmt.Sprintf("doc=%q terms=%q query=%q opt=%s lim=%d",
 		r.Doc, r.Terms, strings.Join(strings.Fields(r.Query), " "),
-		r.Options.canonical(), r.Limit)
+		r.Options.canonical(), r.Limit) + r.Vague.canonical()
 }
 
 // Canonical returns a deterministic encoding of the request:

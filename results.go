@@ -61,6 +61,13 @@ type StreamStats struct {
 	// then resumes at the next page.
 	Truncated  bool
 	NextCursor string
+
+	// RelaxationsBySlack counts, for a vague request, the answers that
+	// used each amount of structural slack: index = slack, so index 0
+	// is never used and len-1 = the request's max_slack. Nil for exact
+	// requests. The counts cover the full candidate set (like Total),
+	// not just the drained page.
+	RelaxationsBySlack []int
 }
 
 // rankedMeet pairs a meet with its emission index in the member's
@@ -104,6 +111,10 @@ type localStream struct {
 	shard     int    // 1-based shard; 0 for plain members
 	heap      []rankedMeet
 	unmatched []NodeID
+
+	// relaxBySlack counts the member's answers per structural slack
+	// used (index = slack); nil for exact requests.
+	relaxBySlack []int
 }
 
 // siftDown restores the min-heap property of h at index i under less;
@@ -177,8 +188,22 @@ func (s *localStream) next() (CorpusMeet, int32, bool, error) {
 // a lazily-ranked stream instead of a sorted slice. The unmatched set
 // and the total are known as soon as it returns; the ranking cost is
 // paid per pull.
-func (db *Database) termMeetsStream(ctx context.Context, terms []string, opt *Options) (*localStream, error) {
-	copt, err := opt.compile(db)
+//
+// A non-nil vg runs the member in vague mode: restrict patterns are
+// compiled approximately (compileVague) and structural slack blends
+// into each answer's distance before the heap is built, so the blended
+// score is the distance every later layer orders by. When vg.Expand is
+// set, terms route through th (the corpus thesaurus; nil degrades to a
+// plain token search) instead of the exact substring search.
+func (db *Database) termMeetsStream(ctx context.Context, terms []string, opt *Options, vg *Vague, th *fulltext.Thesaurus) (*localStream, error) {
+	var copt *core.Options
+	var plan *vaguePlan
+	var err error
+	if vg != nil {
+		copt, plan, err = opt.compileVague(db, vg)
+	} else {
+		copt, err = opt.compile(db)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -187,7 +212,13 @@ func (db *Database) termMeetsStream(ctx context.Context, terms []string, opt *Op
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		sets = append(sets, fulltext.Owners(db.index.SearchSubstring(t)))
+		var hits []fulltext.Hit
+		if vg != nil && vg.Expand {
+			hits = db.index.SearchExpanded(th, t)
+		} else {
+			hits = db.index.SearchSubstring(t)
+		}
+		sets = append(sets, fulltext.Owners(hits))
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, err
@@ -199,7 +230,16 @@ func (db *Database) termMeetsStream(ctx context.Context, terms []string, opt *Op
 	if err != nil {
 		return nil, fmt.Errorf("ncq: %w", err)
 	}
-	return newLocalStream(db.wrapResults(results), un), nil
+	var relax []int
+	if plan != nil {
+		// Blend before the rank heap exists, so the blended score IS the
+		// order the heap, the k-way merge and the coordinator all see.
+		plan.blend(results)
+		relax = plan.relaxBySlack
+	}
+	s := newLocalStream(db.wrapResults(results), un)
+	s.relaxBySlack = relax
+	return s, nil
 }
 
 // testStreamPull, when set, is invoked every time the merge pulls the
@@ -428,12 +468,15 @@ func (db *Database) ResultsWithStats(ctx context.Context, req Request) (iter.Seq
 			yield(CorpusMeet{}, err)
 			return
 		}
-		s, err := db.termMeetsStream(ctx, req.Terms, req.Options)
+		// A Database has no corpus thesaurus; Expand degrades to a plain
+		// token search on the literal terms.
+		s, err := db.termMeetsStream(ctx, req.Terms, req.Options, req.Vague, nil)
 		if err != nil {
 			yield(CorpusMeet{}, err)
 			return
 		}
 		fillStats(stats, &req, offset, 0, s.pending(), len(s.unmatched), s.unmatched)
+		stats.RelaxationsBySlack = s.relaxBySlack
 		g, err := newMerger([]memberStream{s})
 		if err != nil {
 			yield(CorpusMeet{}, err)
@@ -491,9 +534,10 @@ func (c *Corpus) ResultsWithStats(ctx context.Context, req Request) (iter.Seq2[C
 			yield(CorpusMeet{}, fmt.Errorf("ncq: %w: the corpus changed since this cursor was minted", ErrStaleCursor))
 			return
 		}
+		th := c.expander()
 		streams := make([]*localStream, len(members))
 		err = forEachDoc(ctx, len(members), workers, func(i int) error {
-			s, err := members[i].db.termMeetsStream(ctx, req.Terms, req.Options)
+			s, err := members[i].db.termMeetsStream(ctx, req.Terms, req.Options, req.Vague, th)
 			if err != nil {
 				return fmt.Errorf("ncq: corpus %q: %w", members[i].name, err)
 			}
@@ -507,12 +551,20 @@ func (c *Corpus) ResultsWithStats(ctx context.Context, req Request) (iter.Seq2[C
 		}
 		total, unmatched := 0, 0
 		merged := make([]memberStream, len(streams))
+		var relax []int
+		if req.Vague != nil {
+			relax = make([]int, req.Vague.MaxSlack+1)
+		}
 		for i, s := range streams {
 			total += s.pending()
 			unmatched += len(s.unmatched)
+			for sl, n := range s.relaxBySlack {
+				relax[sl] += n
+			}
 			merged[i] = s
 		}
 		fillStats(stats, &req, offset, gen, total, unmatched, nil)
+		stats.RelaxationsBySlack = relax
 		g, err := newMerger(merged)
 		if err != nil {
 			yield(CorpusMeet{}, err)

@@ -73,6 +73,7 @@ func drainResults(seq func(func(CorpusMeet, error) bool), stats *StreamStats) (*
 	res.UnmatchedNodes = stats.UnmatchedNodes
 	res.Truncated = stats.Truncated
 	res.NextCursor = stats.NextCursor
+	res.RelaxationsBySlack = stats.RelaxationsBySlack
 	return res, nil
 }
 

@@ -1,0 +1,187 @@
+package ncq
+
+// The vague-constraints query mode: path constraints match
+// approximately (internal/vague's relaxation lattice over the path
+// summary) and the score blends structural slack into meet distance.
+// This file holds the request surface (the Vague spec) and the
+// compilation of a vague request's options into the core engine —
+// execution itself rides the ordinary incremental pipeline of
+// results.go, which is what keeps the k-way merge, limit push-down,
+// cursors and streaming working unchanged.
+
+import (
+	"errors"
+	"fmt"
+
+	"ncq/internal/core"
+	"ncq/internal/pathexpr"
+	"ncq/internal/pathsum"
+	"ncq/internal/vague"
+)
+
+// MaxVagueSlack bounds Vague.MaxSlack — beyond it a relaxed pattern
+// admits nearly every path and the ranking decays to noise.
+const MaxVagueSlack = vague.SlackLimit
+
+// Vague selects the approximate-constraints mode of a term request:
+// the restrict patterns of Request.Options match paths within MaxSlack
+// rewrites (label edit distance, skipped ancestors, dropped steps —
+// see internal/vague for the cost model), and every answer's ranking
+// distance is blended as distance + vague.SlackWeight·slack, so an
+// answer found by bending a constraint must clearly beat the exact
+// answers to outrank them. Exclude patterns stay exact: relaxing a
+// blacklist would discard answers the user never asked to lose.
+//
+// Expand additionally routes every term through the corpus thesaurus
+// (SetThesaurus), broadening each term to its synonym class. Synonym
+// classes are token-based, so expanded terms use token (word) search
+// semantics rather than the exact mode's substring semantics; with no
+// thesaurus installed, expansion degrades to a token search on the
+// literal terms.
+//
+// The zero spec ({"max_slack": 0, "expand": false}) is canonically —
+// and byte-for-byte — equivalent to the exact request: every rewrite
+// costs at least one slack, so a zero budget admits exactly the exact
+// matches, and the request canonicalises identically (same cache
+// entries, same cursor fingerprints).
+type Vague struct {
+	// MaxSlack is the structural-slack budget per restrict pattern and
+	// path; 0 admits exact matches only. At most MaxVagueSlack.
+	MaxSlack int `json:"max_slack"`
+
+	// Expand broadens Terms through the corpus thesaurus.
+	Expand bool `json:"expand,omitempty"`
+}
+
+// active reports whether the spec changes anything relative to the
+// exact path — the nil-safe gate canonicalisation keys off.
+func (v *Vague) active() bool {
+	return v != nil && (v.MaxSlack > 0 || v.Expand)
+}
+
+// validate bounds the spec; nil is always valid (exact mode).
+func (v *Vague) validate() error {
+	if v == nil {
+		return nil
+	}
+	if v.MaxSlack < 0 {
+		return errors.New("ncq: vague: negative max_slack")
+	}
+	if v.MaxSlack > MaxVagueSlack {
+		return fmt.Errorf("ncq: vague: max_slack %d exceeds the limit of %d", v.MaxSlack, MaxVagueSlack)
+	}
+	return nil
+}
+
+// canonical renders the spec for cache keys and cursor fingerprints.
+// An inactive spec renders empty ON PURPOSE: a vague request that
+// relaxes nothing and expands nothing is the exact request, and must
+// share its cache entries and cursors byte for byte.
+func (v *Vague) canonical() string {
+	if !v.active() {
+		return ""
+	}
+	return fmt.Sprintf(" vague=%d,%t", v.MaxSlack, v.Expand)
+}
+
+// vaguePlan is the per-member compilation of a vague request: the
+// minimal slack of every admissible path (paths admitted exactly carry
+// slack 0 and are omitted), and the relaxation counts the member's
+// execution fills in as it blends — index = slack used, so index 0 is
+// never touched.
+type vaguePlan struct {
+	slack        map[pathsum.PathID]int
+	relaxBySlack []int
+}
+
+// blend folds each result's structural slack into its ranking distance
+// and books the relaxations used. It runs on the raw core results,
+// before the member's lazy rank heap is built, so the blended score IS
+// the distance every later layer — heap, k-way merge, coordinator —
+// orders by; nothing downstream knows vague mode exists.
+func (p *vaguePlan) blend(results []core.Result) {
+	for i := range results {
+		if s := p.slack[results[i].Path]; s > 0 {
+			results[i].Distance = vague.Blend(results[i].Distance, s)
+			p.relaxBySlack[s]++
+		}
+	}
+}
+
+// compileVague lowers Options into core.Options the way compile does,
+// except that restrict patterns select approximately: every path
+// within vg.MaxSlack rewrites of a restrict pattern is admissible,
+// tagged in the returned plan with its minimal slack across patterns.
+// Exclude patterns (and the root exclusion) stay exact.
+func (o *Options) compileVague(db *Database, vg *Vague) (*core.Options, *vaguePlan, error) {
+	plan := &vaguePlan{
+		slack:        map[pathsum.PathID]int{},
+		relaxBySlack: make([]int, vg.MaxSlack+1),
+	}
+	if o == nil {
+		return nil, plan, nil
+	}
+	opt := &core.Options{
+		MaxLift:      o.maxLift,
+		MaxDistance:  o.maxDistance,
+		SkipExcluded: o.skipExcluded,
+	}
+	sum := db.store.Summary()
+	if o.excludeRoot || len(o.excludePatterns) > 0 {
+		opt.Exclude = map[pathsum.PathID]bool{}
+		if o.excludeRoot {
+			opt.Exclude[sum.Root()] = true
+		}
+		for _, src := range o.excludePatterns {
+			pat, err := pathexpr.Compile(src)
+			if err != nil {
+				return nil, nil, fmt.Errorf("ncq: exclude pattern: %w", err)
+			}
+			for _, pid := range pat.SelectPaths(sum) {
+				opt.Exclude[pid] = true
+			}
+		}
+	}
+	if len(o.restrictPatterns) > 0 {
+		pats := make([]*pathexpr.Pattern, len(o.restrictPatterns))
+		for i, src := range o.restrictPatterns {
+			pat, err := pathexpr.Compile(src)
+			if err != nil {
+				return nil, nil, fmt.Errorf("ncq: restrict pattern: %w", err)
+			}
+			pats[i] = pat
+		}
+		// The admissible set is the union over patterns of the paths
+		// within budget; a path admitted by several patterns keeps its
+		// cheapest slack (iterating paths, not pattern-match maps, keeps
+		// the walk deterministic).
+		admissible := map[pathsum.PathID]bool{}
+		for _, pid := range sum.AllPaths() {
+			best, found := 0, false
+			for _, pat := range pats {
+				if s, ok := vague.Slack(pat, sum, pid, vg.MaxSlack); ok {
+					if !found || s < best {
+						best, found = s, true
+					}
+				}
+			}
+			if !found {
+				continue
+			}
+			admissible[pid] = true
+			if best > 0 {
+				plan.slack[pid] = best
+			}
+		}
+		if opt.Exclude == nil {
+			opt.Exclude = map[pathsum.PathID]bool{}
+		}
+		for _, pid := range sum.ElemPaths() {
+			if !admissible[pid] {
+				opt.Exclude[pid] = true
+			}
+		}
+		opt.SkipExcluded = true
+	}
+	return opt, plan, nil
+}
